@@ -1,0 +1,91 @@
+"""Figure 1 / Appendix A — the travel-booking example, end to end.
+
+Reproduces the paper's running-example narrative: the discount /
+cancellation policy of Appendix A.2 is *violated* by the specification as
+given (AddHotel and Cancel race after payment) and *holds* after the fix.
+Benchmarked on the lite 3-task variant; the full 6-task system of Figure 1
+is verified once with a generous budget and reported (it is the expensive
+flagship — the paper's own prototype treats it as the stress case).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.examples.travel import (
+    discount_policy_property,
+    discount_policy_property_lite,
+    travel_booking,
+    travel_lite,
+)
+from repro.verifier import Verifier, VerifierConfig
+
+LITE_CONFIG = VerifierConfig(km_budget=200_000, time_limit_seconds=120)
+
+
+def _verify(has, prop, config):
+    return Verifier(has, config).verify(prop)
+
+
+@pytest.mark.parametrize("fixed", (False, True), ids=("buggy", "fixed"))
+def test_travel_lite(benchmark, series_report, fixed):
+    has = travel_lite(fixed=fixed)
+    prop = discount_policy_property_lite(has)
+    result = benchmark(_verify, has, prop, LITE_CONFIG)
+    expected = fixed  # fixed ⇒ holds, buggy ⇒ violated
+    assert result.holds == expected
+    series_report.add(
+        "Figure 1 / App. A.2: travel-booking policy (lite variant)",
+        f"{'fixed' if fixed else 'buggy'} specification",
+        f"holds={result.holds} ({result.stats.km_nodes} states, "
+        f"kind={result.witness_kind or '—'})",
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FULL_TRAVEL", "") != "1",
+    reason="full 6-task verification takes tens of minutes; "
+    "set REPRO_FULL_TRAVEL=1 to include it",
+)
+@pytest.mark.parametrize("fixed", (False, True), ids=("buggy", "fixed"))
+def test_travel_full(benchmark, series_report, fixed):
+    has = travel_booking(fixed=fixed)
+    prop = discount_policy_property(has)
+    config = VerifierConfig(
+        km_budget=1_000_000, max_summaries=100_000, time_limit_seconds=1200
+    )
+    started = time.time()
+    try:
+        result = benchmark.pedantic(
+            _verify, args=(has, prop, config), rounds=1, iterations=1
+        )
+        series_report.add(
+            "Figure 1: full six-task travel booking",
+            f"{'fixed' if fixed else 'buggy'}",
+            f"holds={result.holds} in {time.time()-started:.0f}s "
+            f"({result.stats.km_nodes} states)",
+        )
+    except BudgetExceeded as exc:
+        series_report.add(
+            "Figure 1: full six-task travel booking",
+            f"{'fixed' if fixed else 'buggy'}",
+            f"search truncated after {time.time()-started:.0f}s "
+            f"({exc.states_explored} states) — inconclusive at this budget",
+        )
+
+
+def test_travel_structure(benchmark, series_report):
+    """The Figure-1 hierarchy itself, as data."""
+    has = benchmark.pedantic(travel_booking, rounds=1, iterations=1)
+    lines = []
+    for task in has.root.walk():
+        parent = has.parent_of(task)
+        lines.append(f"{task.name}({'root' if parent is None else parent.name})")
+    series_report.add(
+        "Figure 1: task hierarchy",
+        " → ".join(lines),
+        f"depth={has.depth}",
+    )
+    assert has.depth == 3

@@ -1,0 +1,93 @@
+"""Figure 4 / Appendix C.3 — navigation growth per schema class.
+
+The size driver of both complexity tables: the path count ``F(n)`` and the
+navigation-universe size are (i) saturating for acyclic schemas, (ii)
+polynomial for linearly-cyclic schemas, (iii) exponential for cyclic
+schemas.  This bench measures all three curves and the resulting ``h(T)``
+values, reproducing the analysis behind Tables 1–2's columns.
+"""
+
+import pytest
+
+from repro.analysis.counting import (
+    navigation_depth_h,
+    navigation_set_size,
+    path_count_F,
+)
+from repro.database.fkgraph import SchemaClass
+from repro.workloads import (
+    acyclic_chain_schema,
+    cyclic_schema,
+    linear_cycle_schema,
+    table1_workload,
+)
+
+SCHEMAS = {
+    "acyclic": acyclic_chain_schema(3),
+    "linearly-cyclic": linear_cycle_schema(3),
+    "cyclic": cyclic_schema(3),
+}
+
+
+@pytest.mark.parametrize("name", SCHEMAS, ids=list(SCHEMAS))
+def test_path_count_curve(benchmark, series_report, name):
+    schema = SCHEMAS[name]
+    curve = benchmark(
+        lambda: [path_count_F(schema, n) for n in (1, 2, 4, 6, 8)]
+    )
+    series_report.add(
+        "Figure 4: F(n) — FK paths of length ≤ n",
+        f"{name:16s} n ∈ (1,2,4,6,8)",
+        curve,
+    )
+    if name == "acyclic":
+        assert curve[-1] == curve[-2]  # saturates
+    if name == "cyclic":
+        assert curve[-1] > 4 * curve[1]  # exponential blow-up
+
+
+@pytest.mark.parametrize("name", SCHEMAS, ids=list(SCHEMAS))
+def test_navigation_universe_growth(benchmark, series_report, name):
+    schema = SCHEMAS[name]
+
+    def measure():
+        return [navigation_set_size(schema, n) for n in (2, 4, 6)]
+
+    curve = benchmark(measure)
+    series_report.add(
+        "Figure 4: navigation-universe size, depth ∈ (2,4,6)",
+        name,
+        curve,
+    )
+    assert curve == sorted(curve)
+
+
+@pytest.mark.parametrize(
+    "schema_class",
+    (SchemaClass.ACYCLIC, SchemaClass.LINEARLY_CYCLIC, SchemaClass.CYCLIC),
+    ids=lambda c: c.value,
+)
+def test_h_per_class(benchmark, series_report, schema_class):
+    """h(T) at the root of a depth-3 workload hierarchy per class."""
+    spec = table1_workload(schema_class, depth=3)
+    h_values = benchmark(
+        lambda: [
+            navigation_depth_h(spec.has, task.name)
+            for task in spec.has.bottom_up()
+        ]
+    )
+
+    def fmt(value: int) -> str:
+        # cyclic h(T) is hyperexponential: it can exceed the 4300-digit
+        # int→str limit — exactly the tower of exponentials of Table 1
+        digits = int(value.bit_length() * 0.30103) + 1
+        if digits > 12:
+            return f"≈10^{digits - 1}"
+        return str(value)
+
+    series_report.add(
+        "Figure 4 → Tables 1–2: h(T) bottom-up (leaf … root)",
+        schema_class.value,
+        [fmt(v) for v in h_values],
+    )
+    assert h_values == sorted(h_values)

@@ -1,0 +1,76 @@
+"""Table 1 — verification without arithmetic.
+
+The paper's Table 1 gives worst-case space bounds per schema class
+(acyclic / linearly-cyclic / cyclic) with and without artifact relations.
+This bench regenerates the table's *shape* empirically: measured
+verification cost (wall time and symbolic states) for one workload per
+cell, plus a depth sweep.  Expected ordering per the paper:
+
+* artifact relations add cost in every class (counters + TS-types);
+* the schema classes order acyclic ≤ linearly-cyclic ≤ cyclic once
+  conditions navigate chains (the navigation-set driver, see Figure 4 /
+  bench_fig4);
+* cost grows with hierarchy depth h.
+"""
+
+import pytest
+
+from repro.database.fkgraph import SchemaClass
+from repro.errors import BudgetExceeded
+from repro.verifier import Verifier, VerifierConfig
+from repro.workloads import table1_workload
+
+CLASSES = (
+    SchemaClass.ACYCLIC,
+    SchemaClass.LINEARLY_CYCLIC,
+    SchemaClass.CYCLIC,
+)
+CONFIG = VerifierConfig(km_budget=60_000, time_limit_seconds=60)
+
+
+def _run(spec):
+    verifier = Verifier(spec.has, CONFIG)
+    result = verifier.verify(spec.prop)
+    assert result.holds == spec.expected_holds
+    return result
+
+
+@pytest.mark.parametrize("with_sets", (False, True), ids=("flat", "sets"))
+@pytest.mark.parametrize("schema_class", CLASSES, ids=lambda c: c.value)
+def test_table1_cell(benchmark, series_report, schema_class, with_sets):
+    spec = table1_workload(schema_class, depth=2, with_sets=with_sets, chain=2)
+    result = benchmark(_run, spec)
+    series_report.add(
+        "Table 1 (no arithmetic): symbolic states per cell",
+        f"{schema_class.value:16s} {'with sets' if with_sets else 'no sets  '}",
+        result.stats.km_nodes,
+    )
+
+
+@pytest.mark.parametrize("depth", (1, 2, 3), ids=lambda d: f"h{d}")
+def test_table1_depth_sweep(benchmark, series_report, depth):
+    spec = table1_workload(SchemaClass.ACYCLIC, depth=depth, violated=True)
+    verifier = Verifier(spec.has, CONFIG)
+
+    def run():
+        result = verifier.verify(spec.prop)
+        assert result.holds == spec.expected_holds
+        return result
+
+    result = benchmark(run)
+    series_report.add(
+        "Table 1: depth sweep (violated property, acyclic)",
+        f"h = {depth}",
+        f"{result.stats.km_nodes} states, {result.stats.summaries} summaries",
+    )
+
+
+@pytest.mark.parametrize("schema_class", CLASSES, ids=lambda c: c.value)
+def test_table1_violation_search(benchmark, series_report, schema_class):
+    spec = table1_workload(schema_class, depth=2, with_sets=True, violated=True)
+    result = benchmark(_run, spec)
+    series_report.add(
+        "Table 1: counterexample search with artifact relations",
+        schema_class.value,
+        f"{result.stats.km_nodes} states, witness={result.witness_kind}",
+    )

@@ -1,0 +1,61 @@
+"""Table 2 — verification with arithmetic.
+
+Table 2's message relative to Table 1: arithmetic costs roughly one more
+exponential (cells over the numeric expressions join the isomorphism
+types).  This bench runs the same workload cells with linear constraints
+switched on and reports the measured overhead factor per schema class.
+"""
+
+import time
+
+import pytest
+
+from repro.database.fkgraph import SchemaClass
+from repro.verifier import Verifier, VerifierConfig
+from repro.workloads import table1_workload, table2_workload
+
+CLASSES = (
+    SchemaClass.ACYCLIC,
+    SchemaClass.LINEARLY_CYCLIC,
+    SchemaClass.CYCLIC,
+)
+CONFIG = VerifierConfig(km_budget=60_000, time_limit_seconds=60)
+
+
+def _run(spec):
+    verifier = Verifier(spec.has, CONFIG)
+    result = verifier.verify(spec.prop)
+    assert result.holds == spec.expected_holds
+    return result
+
+
+@pytest.mark.parametrize("with_sets", (False, True), ids=("flat", "sets"))
+@pytest.mark.parametrize("schema_class", CLASSES, ids=lambda c: c.value)
+def test_table2_cell(benchmark, series_report, schema_class, with_sets):
+    spec = table2_workload(schema_class, depth=2, with_sets=with_sets, chain=2)
+    result = benchmark(_run, spec)
+    series_report.add(
+        "Table 2 (with arithmetic): symbolic states per cell",
+        f"{schema_class.value:16s} {'with sets' if with_sets else 'no sets  '}",
+        result.stats.km_nodes,
+    )
+
+
+@pytest.mark.parametrize("schema_class", CLASSES, ids=lambda c: c.value)
+def test_arithmetic_overhead(benchmark, series_report, schema_class):
+    """Paired measurement: the same cell with and without arithmetic."""
+    plain = table1_workload(schema_class, depth=2, chain=1)
+    arith = table2_workload(schema_class, depth=2, chain=1)
+    t0 = time.perf_counter()
+    _run(plain)
+    plain_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    benchmark.pedantic(_run, args=(arith,), rounds=1, iterations=1)
+    arith_time = time.perf_counter() - t0
+    factor = arith_time / max(plain_time, 1e-9)
+    series_report.add(
+        "Table 2 vs Table 1: arithmetic overhead (wall-time factor)",
+        schema_class.value,
+        f"×{factor:.2f}  ({plain_time*1000:.1f}ms → {arith_time*1000:.1f}ms)",
+    )
+    assert factor > 0

@@ -1,0 +1,43 @@
+"""Shared benchmark utilities: each bench prints the paper-shaped series
+(the rows of Tables 1–2, the curves of Figures 2–4) in addition to the
+pytest-benchmark timings."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench_table: prints a paper-shaped table")
+
+
+class SeriesReport:
+    """Collects (experiment, label, value) rows and prints them grouped at
+    the end of the session."""
+
+    def __init__(self):
+        self.rows: list[tuple[str, str, str]] = []
+
+    def add(self, experiment: str, label: str, value) -> None:
+        self.rows.append((experiment, label, str(value)))
+
+
+_REPORT = SeriesReport()
+
+
+@pytest.fixture(scope="session")
+def series_report():
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORT.rows:
+        return
+    terminalreporter.write_sep("=", "paper-shape series (reproduction report)")
+    current = None
+    for experiment, label, value in _REPORT.rows:
+        if experiment != current:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(f"[{experiment}]")
+            current = experiment
+        terminalreporter.write_line(f"  {label:58s} {value}")

@@ -1,0 +1,105 @@
+"""Arithmetic constraints (Section 5): a budget-approval workflow.
+
+A request for an amount is approved by a child task that may grant at
+most the requested amount; spending then never exceeds the budget.  The
+verifier tracks linear-arithmetic cells over the numeric variables, the
+Section-5 extension of the symbolic representation.
+
+Run:  python examples/arithmetic_budget.py
+"""
+
+from fractions import Fraction
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.schema import DatabaseSchema, Relation, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, service
+from repro.logic.conditions import And, ArithAtom, TRUE
+from repro.logic.terms import num_var
+from repro.ltl.formulas import Always
+from repro.runtime import labels
+from repro.verifier import VerifierConfig, verify
+
+schema = DatabaseSchema((Relation("LEDGER", (numeric("balance"),)),))
+
+requested = num_var("requested")
+granted = num_var("granted")
+
+a_requested = num_var("a_requested")
+a_granted = num_var("a_granted")
+
+approve = InternalService(
+    "Approve",
+    pre=TRUE,
+    # 0 ≤ granted ≤ requested
+    post=And(
+        ArithAtom(compare(linvar(a_granted), Rel.GE, linconst(0))),
+        ArithAtom(compare(linvar(a_granted) - linvar(a_requested), Rel.LE, linconst(0))),
+    ),
+)
+approver = Task(
+    name="Approver",
+    variables=(a_requested, a_granted),
+    services=(approve,),
+    opening=OpeningService(
+        pre=ArithAtom(compare(linvar(requested), Rel.GT, linconst(0))),
+        input_map={a_requested: requested},
+    ),
+    closing=ClosingService(
+        pre=ArithAtom(compare(linvar(a_granted), Rel.GE, linconst(0))),
+        output_map={granted: a_granted},
+    ),
+)
+
+request = InternalService(
+    "Request",
+    pre=TRUE,
+    post=ArithAtom(compare(linvar(requested), Rel.GT, linconst(0))),
+)
+root = Task(
+    name="Budget",
+    variables=(requested, granted),
+    services=(request,),
+    children=(approver,),
+)
+system = HAS(schema, root, name="budget-approval")
+
+# HOLDS: on return of the approver, the grant never exceeds the request.
+# This needs genuine cell reasoning: `granted` is the child's a_granted,
+# constrained relative to a_requested = requested at open time.
+never_overgranted = HLTLProperty(
+    HLTLSpec(
+        "Budget",
+        Always(
+            service(labels.closing("Approver")).implies(
+                cond(
+                    ArithAtom(
+                        compare(linvar(granted) - linvar(requested), Rel.LE, linconst(0))
+                    )
+                )
+            )
+        ),
+    ),
+    name="never-overgranted",
+)
+
+# VIOLATED: grants are never strictly positive
+never_granted = HLTLProperty(
+    HLTLSpec(
+        "Budget",
+        Always(
+            service(labels.closing("Approver")).implies(
+                cond(ArithAtom(compare(linvar(granted), Rel.LE, linconst(0))))
+            )
+        ),
+    ),
+    name="nothing-ever-granted",
+)
+
+if __name__ == "__main__":
+    config = VerifierConfig(km_budget=100_000)
+    for prop in (never_overgranted, never_granted):
+        result = verify(system, prop, config)
+        print(result.explain())
+        print()

@@ -1,0 +1,146 @@
+"""Order fulfillment: the batch-processing pattern the paper's Section 6
+gives as the canonical use of artifact relations — queue an unbounded
+collection of orders, then process each independently with unchanged
+input parameters.
+
+The system: a root task queues orders (an artifact relation), and a child
+task ships one order at a time.  Two policies are checked:
+
+* every shipped order is a real order of the catalog — HOLDS;
+* an order can be shipped before anything was queued — VIOLATED as stated
+  positively; we verify the contrapositive: the first action is never a
+  dequeue (counter semantics make it impossible).
+
+Run:  python examples/order_fulfillment.py
+"""
+
+from fractions import Fraction
+
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
+from repro.logic.conditions import And, Eq, Not, Or, RelationAtom, TRUE
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.ltl.formulas import Always, Eventually, Next, NotF
+from repro.runtime import labels
+from repro.verifier import VerifierConfig, verify
+
+schema = DatabaseSchema(
+    (
+        Relation("CUSTOMERS", (numeric("tier"),)),
+        Relation(
+            "ORDERS",
+            (numeric("amount"), foreign_key("customer", "CUSTOMERS")),
+        ),
+    )
+)
+
+# ----------------------------------------------------------------------
+# root task: build up a queue of orders in the artifact relation QUEUE
+# ----------------------------------------------------------------------
+q_order = id_var("q_order")
+q_amount = num_var("q_amount")
+q_customer = id_var("q_customer")
+
+select_order = InternalService(
+    "SelectOrder",
+    pre=TRUE,
+    post=RelationAtom("ORDERS", (q_order, q_amount, q_customer)),
+)
+enqueue = InternalService(
+    "Enqueue",
+    pre=Not(Eq(q_order, NULL)),
+    post=Eq(q_order, NULL),
+    update=SetUpdate.INSERT,
+)
+dequeue = InternalService(
+    "Dequeue",
+    pre=TRUE,
+    post=TRUE,
+    update=SetUpdate.RETRIEVE,
+)
+
+# ----------------------------------------------------------------------
+# child task: ship the currently dequeued order
+# ----------------------------------------------------------------------
+s_order = id_var("s_order")
+s_amount = num_var("s_amount")
+s_customer = id_var("s_customer")
+
+ship = InternalService(
+    "Ship",
+    pre=Not(Eq(s_order, NULL)),
+    post=And(
+        RelationAtom("ORDERS", (s_order, s_amount, s_customer)),
+        Not(Eq(s_customer, NULL)),
+    ),
+)
+shipper = Task(
+    name="ShipOrder",
+    variables=(s_order, s_amount, s_customer),
+    services=(ship,),
+    opening=OpeningService(pre=Not(Eq(q_order, NULL)), input_map={s_order: q_order}),
+    closing=ClosingService(pre=Not(Eq(s_customer, NULL)), output_map={}),
+)
+
+dispatcher = Task(
+    name="Dispatcher",
+    variables=(q_order, q_amount, q_customer),
+    set_variables=(q_order,),
+    services=(select_order, enqueue, dequeue),
+    children=(shipper,),
+)
+
+system = HAS(schema, dispatcher, name="order-fulfillment")
+
+# ----------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------
+# (a) whenever ShipOrder runs, it ends up shipping a real catalog order
+#     for a real customer — HOLDS (Ship's post requires it to close)
+ships_real_orders = HLTLProperty(
+    HLTLSpec(
+        "Dispatcher",
+        Always(
+            service(labels.opening("ShipOrder")).implies(
+                child(
+                    "ShipOrder",
+                    Eventually(cond(Not(Eq(s_customer, NULL)))),
+                )
+            )
+        ),
+    ),
+    name="ships-real-orders",
+)
+
+# (b) the first internal action is never a dequeue: the queue starts empty
+#     and counters cannot go negative — HOLDS by the VASS semantics
+no_dequeue_first = HLTLProperty(
+    HLTLSpec(
+        "Dispatcher",
+        NotF(Next(service(labels.internal("Dispatcher", "Dequeue")))),
+    ),
+    name="no-dequeue-before-enqueue",
+)
+
+# (c) a dequeued order is always null — VIOLATED: dequeuing restores the
+#     stored (non-null) order id into q_order
+dequeued_is_null = HLTLProperty(
+    HLTLSpec(
+        "Dispatcher",
+        Always(
+            service(labels.internal("Dispatcher", "Dequeue")).implies(
+                cond(Eq(q_order, NULL))
+            )
+        ),
+    ),
+    name="dequeued-order-null",
+)
+
+if __name__ == "__main__":
+    config = VerifierConfig(km_budget=100_000)
+    for prop in (ships_real_orders, no_dequeue_first, dequeued_is_null):
+        result = verify(system, prop, config)
+        print(result.explain())
+        print()

@@ -1,0 +1,75 @@
+"""Quickstart: specify a tiny hierarchical artifact system and verify two
+HLTL-FO properties against it.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro.database.schema import DatabaseSchema, Relation, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, service
+from repro.logic.conditions import Eq, Not, Or, RelationAtom, TRUE
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.ltl.formulas import Always, Eventually
+from repro.runtime import labels
+from repro.verifier import VerifierConfig, verify
+
+# ----------------------------------------------------------------------
+# 1. the database schema: one relation of items with a price
+# ----------------------------------------------------------------------
+schema = DatabaseSchema((Relation("ITEMS", (numeric("price"),)),))
+
+# ----------------------------------------------------------------------
+# 2. a two-task system: the root repeatedly asks a child task to pick an
+#    item from the database and stores the result
+# ----------------------------------------------------------------------
+c_item, c_price = id_var("c_item"), num_var("c_price")
+p_item, p_price = id_var("p_item"), num_var("p_price")
+
+picker = Task(
+    name="Picker",
+    variables=(c_item, c_price),
+    services=(
+        InternalService("pick", pre=TRUE, post=RelationAtom("ITEMS", (c_item, c_price))),
+    ),
+    opening=OpeningService(pre=Eq(p_item, NULL), input_map={}),
+    closing=ClosingService(
+        pre=Not(Eq(c_item, NULL)),
+        output_map={p_item: c_item, p_price: c_price},
+    ),
+)
+
+root = Task(
+    name="Main",
+    variables=(p_item, p_price),
+    services=(InternalService("reset", pre=TRUE, post=Eq(p_item, NULL)),),
+    children=(picker,),
+)
+
+system = HAS(schema, root, name="quickstart")
+
+# ----------------------------------------------------------------------
+# 3. two properties of the root task
+# ----------------------------------------------------------------------
+# (a) whenever Picker returns, the stored item is non-null — HOLDS
+returns_nonnull = HLTLProperty(
+    HLTLSpec(
+        "Main",
+        Always(service(labels.closing("Picker")).implies(cond(Not(Eq(p_item, NULL))))),
+    ),
+    name="picker-returns-an-item",
+)
+
+# (b) the stored price is always zero — VIOLATED (items have other prices)
+always_zero = HLTLProperty(
+    HLTLSpec("Main", Always(cond(Eq(p_price, Const(Fraction(0)))))),
+    name="price-always-zero",
+)
+
+if __name__ == "__main__":
+    config = VerifierConfig(km_budget=50_000)
+    for prop in (returns_nonnull, always_zero):
+        result = verify(system, prop, config)
+        print(result.explain())
+        print()

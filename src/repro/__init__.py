@@ -1,0 +1,56 @@
+"""repro — Verification of Hierarchical Artifact Systems.
+
+A from-scratch implementation of Deutsch, Li & Vianu, *Verification of
+Hierarchical Artifact Systems* (PODS 2016): the HAS workflow model, the
+HLTL-FO property language, and the symbolic model checker built on
+isomorphism types and Karp–Miller analysis of per-task VASS.
+
+Most-used entry points::
+
+    from repro import HAS, Task, InternalService, verify
+    from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, child, service
+
+See README.md for a worked example and DESIGN.md for the architecture.
+"""
+
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+from repro.has import (
+    HAS,
+    ClosingService,
+    InternalService,
+    OpeningService,
+    Task,
+    validate_has,
+)
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
+from repro.logic.terms import NULL, Const, id_var, num_var
+from repro.verifier import VerificationResult, Verifier, VerifierConfig, verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseSchema",
+    "Relation",
+    "foreign_key",
+    "numeric",
+    "HAS",
+    "ClosingService",
+    "InternalService",
+    "OpeningService",
+    "Task",
+    "validate_has",
+    "HLTLProperty",
+    "HLTLSpec",
+    "child",
+    "cond",
+    "service",
+    "NULL",
+    "Const",
+    "id_var",
+    "num_var",
+    "VerificationResult",
+    "Verifier",
+    "VerifierConfig",
+    "verify",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Analytic complexity quantities of Appendix C.3 / D.2 (experiment F4/X2)."""
+
+from repro.analysis.counting import (
+    iso_type_bound,
+    navigation_depth_h,
+    navigation_set_size,
+    path_count_F,
+    ts_type_bound,
+    cell_count_bound,
+    set_navigation_warnings,
+)
+
+__all__ = [
+    "iso_type_bound",
+    "navigation_depth_h",
+    "navigation_set_size",
+    "path_count_F",
+    "ts_type_bound",
+    "cell_count_bound",
+    "set_navigation_warnings",
+]

@@ -1,0 +1,114 @@
+"""The counting quantities behind Tables 1 and 2 (Appendix C.3, D.2).
+
+* ``path_count_F`` — the F(n) of Section 4.1 (max # FK paths of length ≤ n);
+* ``navigation_depth_h`` — h(T) per task, recursively over the hierarchy;
+* ``navigation_set_size`` — measured |E_T| per anchor (Figure 4's driver:
+  bounded for acyclic, polynomial for linearly-cyclic, exponential for
+  cyclic schemas);
+* ``iso_type_bound`` / ``ts_type_bound`` — the M and D bounds of C.3;
+* ``cell_count_bound`` — the (s·d)^O(k) bound of D.2, checked against the
+  measured non-empty cell counts of ``repro.arith.cells``;
+* ``set_navigation_warnings`` — the static exactness check for the
+  verifier's depth-0 TS-types (see ``repro.symbolic.tstypes``).
+"""
+
+from __future__ import annotations
+
+from repro.database.fkgraph import ForeignKeyGraph
+from repro.database.schema import DatabaseSchema
+from repro.has.system import HAS
+from repro.has.task import Task
+from repro.logic.conditions import Condition, Exists, RelationAtom
+from repro.logic.terms import Variable
+from repro.symbolic.navigation import universe_size_per_anchor
+
+
+def path_count_F(schema: DatabaseSchema, length: int) -> int:
+    """F(n): max number of distinct FK paths of length ≤ n from a relation."""
+    return ForeignKeyGraph(schema).max_path_count(length)
+
+
+def navigation_depth_h(has: HAS, task: Task | str | None = None) -> int:
+    """h(T) (root task by default): 1 + |x̄^T|·F(δ), δ from the children."""
+    if task is None:
+        task = has.root
+    return has.navigation_depth(task if isinstance(task, str) else task.name)
+
+
+def navigation_set_size(schema: DatabaseSchema, max_length: int) -> int:
+    """Measured navigation-universe size (expressions of length ≤ bound,
+    max over anchor relations) — Figure 4's quantity."""
+    return max(
+        universe_size_per_anchor(schema, relation, max_length)
+        for relation in schema.names
+    )
+
+
+def iso_type_bound(schema: DatabaseSchema, k: int, nav_size: int) -> int:
+    """The M bound of Appendix C.3 for acyclic schemas:
+    (r+1)^k · (a·r·k)^(a·r·k) with the measured navigation size standing in
+    for a·r·k (tighter and still an upper bound)."""
+    r = len(schema)
+    return (r + 1) ** k * max(nav_size, 1) ** max(nav_size, 1)
+
+
+def ts_type_bound(schema: DatabaseSchema, s: int, k: int) -> int:
+    """The D bound (number of TS-isomorphism types), depth-0 form:
+    partitions of s+k slots × (null + r anchors) per class ≤
+    Bell(s+k)·(r+1)^(s+k)."""
+    r = len(schema)
+    n = s + k
+    return _bell(n) * (r + 1) ** n
+
+
+def _bell(n: int) -> int:
+    row = [1]
+    for _ in range(n):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[0]
+
+
+def cell_count_bound(s: int, d: int, k: int, c: int = 2) -> int:
+    """The (s·d)^O(k) bound of Appendix D.2 with explicit constant c."""
+    return max(1, (s * d)) ** (c * max(k, 1))
+
+
+def set_navigation_warnings(has: HAS) -> list[str]:
+    """Static exactness check for depth-0 TS-types.
+
+    The verifier's counters are exact unless a condition establishes
+    navigation facts about the tuple being *inserted* (see
+    ``repro.symbolic.tstypes``); this reports, per task with an artifact
+    relation, the conditions whose relation atoms are anchored at a set
+    variable — the pattern that would require deeper TS-types.
+    """
+    warnings: list[str] = []
+    for task in has.tasks():
+        if not task.has_set:
+            continue
+        set_vars = set(task.set_variables)
+        for service in task.services:
+            if not service.update.inserts:
+                continue
+            for which, condition in (("pre", service.pre), ("post", service.post)):
+                for atom in _relation_atoms(condition):
+                    first = atom.args[0]
+                    if isinstance(first, Variable) and first in set_vars:
+                        warnings.append(
+                            f"{task.name}.{service.name} ({which}): navigates "
+                            f"from set variable {first.name} at insertion — "
+                            f"depth-0 TS-types may be coarse here"
+                        )
+    return warnings
+
+
+def _relation_atoms(condition: Condition) -> list[RelationAtom]:
+    if isinstance(condition, Exists):
+        return _relation_atoms(condition.body)
+    try:
+        return [a for a in condition.atoms() if isinstance(a, RelationAtom)]
+    except Exception:
+        return []

@@ -1,0 +1,33 @@
+"""Arithmetic substrate: linear expressions, constraints, cells, and the
+Hierarchical Cell Decomposition (Section 5 / Appendix D).
+
+The paper allows polynomial inequalities but notes that linear inequalities
+with integer coefficients suffice with the same complexity results; this
+package implements exact linear arithmetic over the rationals, with
+Fourier–Motzkin elimination realizing the Tarski–Seidenberg projection step.
+"""
+
+from repro.arith.linexpr import LinExpr, var, const
+from repro.arith.constraints import Constraint, Rel
+from repro.arith.fm import (
+    ConstraintSystem,
+    eliminate,
+    is_satisfiable,
+    project,
+)
+from repro.arith.cells import Cell, SignCondition, enumerate_cells
+
+__all__ = [
+    "LinExpr",
+    "var",
+    "const",
+    "Constraint",
+    "Rel",
+    "ConstraintSystem",
+    "eliminate",
+    "is_satisfiable",
+    "project",
+    "Cell",
+    "SignCondition",
+    "enumerate_cells",
+]

@@ -1,0 +1,174 @@
+"""Exact linear expressions over named unknowns.
+
+A :class:`LinExpr` is an immutable mapping ``unknown -> Fraction`` plus a
+constant term.  Unknowns are arbitrary hashable objects — the verifier uses
+numeric artifact variables and navigation expressions as unknowns.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping
+
+Unknown = Hashable
+Coefficient = int | float | Fraction
+
+
+def _coerce(value: Coefficient) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # guard against accidental booleans
+        raise TypeError("boolean is not a coefficient")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    raise TypeError(f"cannot use {value!r} as a coefficient")
+
+
+class LinExpr:
+    """``c0 + Σ ci·ui`` with rational coefficients, immutable and hashable."""
+
+    __slots__ = ("_coeffs", "_constant", "_hash")
+
+    def __init__(
+        self,
+        coeffs: Mapping[Unknown, Coefficient] | None = None,
+        constant: Coefficient = 0,
+    ):
+        items = {}
+        if coeffs:
+            for unknown, coeff in coeffs.items():
+                frac = _coerce(coeff)
+                if frac != 0:
+                    items[unknown] = frac
+        self._coeffs: dict[Unknown, Fraction] = items
+        self._constant = _coerce(constant)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def constant(self) -> Fraction:
+        return self._constant
+
+    @property
+    def coeffs(self) -> Mapping[Unknown, Fraction]:
+        return dict(self._coeffs)
+
+    def coefficient(self, unknown: Unknown) -> Fraction:
+        return self._coeffs.get(unknown, Fraction(0))
+
+    @property
+    def unknowns(self) -> frozenset[Unknown]:
+        return frozenset(self._coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        other = to_linexpr(other)
+        coeffs = dict(self._coeffs)
+        for unknown, coeff in other._coeffs.items():
+            coeffs[unknown] = coeffs.get(unknown, Fraction(0)) + coeff
+        return LinExpr(coeffs, self._constant + other._constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({u: -c for u, c in self._coeffs.items()}, -self._constant)
+
+    def __sub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        return self + (-to_linexpr(other))
+
+    def __rsub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
+        return to_linexpr(other) + (-self)
+
+    def __mul__(self, scalar: Coefficient) -> "LinExpr":
+        frac = _coerce(scalar)
+        return LinExpr({u: c * frac for u, c in self._coeffs.items()}, self._constant * frac)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Coefficient) -> "LinExpr":
+        frac = _coerce(scalar)
+        return self * (Fraction(1) / frac)
+
+    def substitute(self, assignment: Mapping[Unknown, "LinExpr | Coefficient"]) -> "LinExpr":
+        """Replace unknowns by expressions (or constants)."""
+        result = LinExpr({}, self._constant)
+        for unknown, coeff in self._coeffs.items():
+            if unknown in assignment:
+                result = result + to_linexpr(assignment[unknown]) * coeff
+            else:
+                result = result + LinExpr({unknown: coeff})
+        return result
+
+    def rename(self, mapping: Mapping[Unknown, Unknown]) -> "LinExpr":
+        """Rename unknowns; unknowns not in the mapping are kept."""
+        coeffs: dict[Unknown, Fraction] = {}
+        for unknown, coeff in self._coeffs.items():
+            target = mapping.get(unknown, unknown)
+            coeffs[target] = coeffs.get(target, Fraction(0)) + coeff
+        return LinExpr(coeffs, self._constant)
+
+    def evaluate(self, valuation: Mapping[Unknown, Coefficient]) -> Fraction:
+        total = self._constant
+        for unknown, coeff in self._coeffs.items():
+            total += coeff * _coerce(valuation[unknown])
+        return total
+
+    def normalized(self) -> "LinExpr":
+        """Scale so the leading coefficient (in sorted unknown order) is 1;
+        used for canonical hashing of constraints up to positive scaling."""
+        if not self._coeffs:
+            return self
+        lead = sorted(self._coeffs, key=repr)[0]
+        return self / self._coeffs[lead]
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._constant == other._constant and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._constant, frozenset(self._coeffs.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for unknown in sorted(self._coeffs, key=repr):
+            coeff = self._coeffs[unknown]
+            parts.append(f"{coeff}*{unknown}" if coeff != 1 else f"{unknown}")
+        if self._constant != 0 or not parts:
+            parts.append(str(self._constant))
+        return " + ".join(str(p) for p in parts)
+
+
+def to_linexpr(value: "LinExpr | Coefficient") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr({}, value)
+
+
+def var(unknown: Unknown) -> LinExpr:
+    """The expression consisting of a single unknown."""
+    return LinExpr({unknown: 1})
+
+
+def const(value: Coefficient) -> LinExpr:
+    return LinExpr({}, value)
+
+
+def linear_combination(terms: Iterable[tuple[Coefficient, Unknown]], constant: Coefficient = 0) -> LinExpr:
+    coeffs: dict[Unknown, Fraction] = {}
+    for coeff, unknown in terms:
+        coeffs[unknown] = coeffs.get(unknown, Fraction(0)) + _coerce(coeff)
+    return LinExpr(coeffs, constant)

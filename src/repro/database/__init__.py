@@ -1,0 +1,28 @@
+"""Relational substrate of HAS: schemas with keys and foreign keys.
+
+Implements Definition 1 of the paper: every relation has a key attribute
+``ID``, foreign-key attributes referencing other relations' IDs, and numeric
+non-key attributes.  The foreign-key graph classifies schemas as *acyclic*,
+*linearly-cyclic* or *cyclic*, the parameter driving the complexity results
+of Tables 1 and 2.
+"""
+
+from repro.database.schema import (
+    Attribute,
+    AttributeKind,
+    DatabaseSchema,
+    Relation,
+)
+from repro.database.fkgraph import ForeignKeyGraph, SchemaClass
+from repro.database.instance import DatabaseInstance, Tuple
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "DatabaseSchema",
+    "Relation",
+    "ForeignKeyGraph",
+    "SchemaClass",
+    "DatabaseInstance",
+    "Tuple",
+]

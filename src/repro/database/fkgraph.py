@@ -1,0 +1,163 @@
+"""The foreign-key graph FK and the schema classification of Definition 1.
+
+The schema class (acyclic / linearly-cyclic / cyclic) is the parameter that
+determines which column of Tables 1 and 2 applies.  This module also
+implements ``F(n)`` — the maximum number of distinct FK paths of length at
+most ``n`` from any relation — used to compute the navigation depth ``h(T)``
+(Section 4.1) and analysed per class in Appendix C.3 (Figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+import networkx as nx
+
+from repro.database.schema import DatabaseSchema
+
+
+class SchemaClass(enum.Enum):
+    """The three schema classes of the paper, in increasing generality."""
+
+    ACYCLIC = "acyclic"
+    LINEARLY_CYCLIC = "linearly-cyclic"
+    CYCLIC = "cyclic"
+
+
+class ForeignKeyGraph:
+    """Labeled graph whose nodes are relations and edges are foreign keys.
+
+    There is an edge ``Ri -> Rj`` labeled ``F`` whenever relation ``Ri`` has
+    a foreign-key attribute ``F`` referencing ``Rj``.
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        graph = nx.MultiDiGraph()
+        for rel in schema:
+            graph.add_node(rel.name)
+            for fk in rel.foreign_keys:
+                graph.add_edge(rel.name, fk.references, label=fk.name)
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify(self) -> SchemaClass:
+        """Classify the schema per Definition 1.
+
+        *acyclic*: no cycles at all; *linearly-cyclic*: every relation lies
+        on at most one simple cycle; *cyclic*: anything else.
+        """
+        if nx.is_directed_acyclic_graph(nx.DiGraph(self.graph)):
+            # Self-loops and parallel FK edges forming 2-cycles are caught
+            # below; a DAG view without them is genuinely acyclic.
+            if not any(u == v for u, v in self.graph.edges()):
+                if not self._has_parallel_cycle():
+                    return SchemaClass.ACYCLIC
+        counts = self._simple_cycle_membership_counts()
+        if all(count <= 1 for count in counts.values()):
+            return SchemaClass.LINEARLY_CYCLIC
+        return SchemaClass.CYCLIC
+
+    def _has_parallel_cycle(self) -> bool:
+        """Two parallel FK edges between the same pair never form a cycle
+        by themselves (both point the same way), so this is always False;
+        kept for clarity of the classification logic."""
+        return False
+
+    def _simple_cycle_membership_counts(self) -> dict[str, int]:
+        """Number of distinct simple cycles through each relation.
+
+        Parallel edges with distinct labels count as distinct cycles, since
+        they induce distinct FK navigation loops.
+        """
+        counts: dict[str, int] = {name: 0 for name in self.graph.nodes}
+        # Work on the multigraph: enumerate simple cycles of the underlying
+        # DiGraph, then multiply by the number of parallel-edge choices.
+        digraph = nx.DiGraph(self.graph)
+        for cycle in nx.simple_cycles(digraph):
+            multiplicity = 1
+            for i, node in enumerate(cycle):
+                succ = cycle[(i + 1) % len(cycle)]
+                multiplicity *= self.graph.number_of_edges(node, succ)
+            for node in cycle:
+                counts[node] += multiplicity
+        return counts
+
+    @property
+    def is_acyclic(self) -> bool:
+        return self.classify() is SchemaClass.ACYCLIC
+
+    # ------------------------------------------------------------------
+    # path counting: F(n) and h(T)
+    # ------------------------------------------------------------------
+    def out_edges(self, relation: str) -> list[tuple[str, str]]:
+        """Outgoing FK edges of ``relation`` as (label, target) pairs."""
+        return [
+            (data["label"], target)
+            for _, target, data in self.graph.out_edges(relation, data=True)
+        ]
+
+    def path_count(self, relation: str, length: int) -> int:
+        """Number of distinct FK paths of length at most ``length`` from
+        ``relation`` (the empty path included).
+
+        Iterative dynamic program over the length — ``h(T)`` computations
+        on cyclic schemas pass hyperexponentially large lengths, far beyond
+        any recursion limit.
+        """
+        if length <= 0:
+            return 1
+        # counts[r] = number of paths of length ≤ current from r
+        counts: dict[str, int] = {name: 1 for name in self.graph.nodes}
+        out = {
+            name: [target for _label, target in self.out_edges(name)]
+            for name in self.graph.nodes
+        }
+        for _ in range(length):
+            nxt = {
+                name: 1 + sum(counts[target] for target in out[name])
+                for name in counts
+            }
+            if nxt == counts:  # saturated (acyclic reach exhausted)
+                break
+            counts = nxt
+        return counts[relation]
+
+    def max_path_count(self, length: int) -> int:
+        """``F(n)`` of Section 4.1: max over relations of path_count."""
+        return max((self.path_count(r, length) for r in self.graph.nodes), default=1)
+
+    def longest_simple_path_length(self) -> int:
+        """Length of the longest simple FK path (finite iff acyclic).
+
+        For acyclic schemas this bounds the length of *any* FK navigation,
+        which is why navigation sets stay small there (Appendix C.3).
+        """
+        digraph = nx.DiGraph(self.graph)
+        if not nx.is_directed_acyclic_graph(digraph):
+            raise ValueError("longest path is unbounded on cyclic FK graphs")
+        longest = 0
+        # Simple DP over reverse topological order.
+        depth: dict[str, int] = {}
+        for node in list(nx.topological_sort(digraph))[::-1]:
+            succs = list(digraph.successors(node))
+            depth[node] = 0 if not succs else 1 + max(depth[s] for s in succs)
+            longest = max(longest, depth[node])
+        return longest
+
+
+def navigation_depth(
+    fk_graph: ForeignKeyGraph,
+    num_variables: int,
+    child_depths: tuple[int, ...] = (),
+) -> int:
+    """The depth bound ``h(T)`` of Section 4.1.
+
+    ``h(T) = 1 + |x̄^T| · F(δ)`` where ``δ = 1`` for leaf tasks and
+    ``δ = max h(T_c)`` over children otherwise.
+    """
+    delta = max(child_depths) if child_depths else 1
+    return 1 + num_variables * fk_graph.max_path_count(delta)

@@ -1,0 +1,171 @@
+"""Finite database instances satisfying key and inclusion dependencies.
+
+Identifiers are modelled as strings tagged with their relation name so the
+domains ``Dom(R.ID)`` of distinct relations are disjoint, as Definition 1
+requires.  Numeric attribute values are Python numbers (int / float /
+Fraction all accepted; compared by value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.database.schema import DatabaseSchema, Relation, AttributeKind
+from repro.errors import InstanceError
+
+Numeric = int | float | Fraction
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """An element of ``Dom(R.ID)``: a value of the ID domain of relation R."""
+
+    relation: str
+    label: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.relation}#{self.label}"
+
+
+Value = Identifier | Numeric | None
+Tuple = tuple[Value, ...]
+
+
+class DatabaseInstance:
+    """A finite instance of a :class:`DatabaseSchema`.
+
+    Tuples are keyed by their ID (key dependency is enforced on insert);
+    :meth:`validate` additionally checks all inclusion dependencies.
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._rows: dict[str, dict[Identifier, Tuple]] = {r.name: {} for r in schema}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, relation: str, *values: Value) -> Identifier:
+        """Insert a tuple; the first value is the ID (an Identifier or a
+        plain string label that will be tagged with the relation name)."""
+        rel = self.schema.relation(relation)
+        if len(values) != rel.arity:
+            raise InstanceError(
+                f"{relation}: expected {rel.arity} values (incl. id), got {len(values)}"
+            )
+        row = list(values)
+        row[0] = self._coerce_id(relation, row[0])
+        for offset, attr in enumerate(rel.attributes, start=1):
+            row[offset] = self._coerce_value(rel, attr.name, row[offset])
+        ident = row[0]
+        assert isinstance(ident, Identifier)
+        table = self._rows[relation]
+        if ident in table:
+            raise InstanceError(f"{relation}: duplicate id {ident!r} (key dependency)")
+        table[ident] = tuple(row)
+        return ident
+
+    def _coerce_id(self, relation: str, value: Value) -> Identifier:
+        if isinstance(value, str):
+            return Identifier(relation, value)
+        if isinstance(value, Identifier):
+            if value.relation != relation:
+                raise InstanceError(
+                    f"id {value!r} belongs to Dom({value.relation}.ID), not {relation}"
+                )
+            return value
+        raise InstanceError(f"{relation}: id must be a string or Identifier, got {value!r}")
+
+    def _coerce_value(self, rel: Relation, attr_name: str, value: Value) -> Value:
+        attr = rel.attribute(attr_name)
+        if attr.kind is AttributeKind.NUMERIC:
+            if not isinstance(value, (int, float, Fraction)) or isinstance(value, bool):
+                raise InstanceError(
+                    f"{rel.name}.{attr_name}: numeric attribute needs a number, got {value!r}"
+                )
+            return value
+        # foreign key: Identifier of the referenced relation, or a string label
+        assert attr.kind is AttributeKind.FOREIGN_KEY
+        if isinstance(value, str):
+            return Identifier(attr.references, value)
+        if isinstance(value, Identifier):
+            if value.relation != attr.references:
+                raise InstanceError(
+                    f"{rel.name}.{attr_name}: expects id of {attr.references!r}, "
+                    f"got id of {value.relation!r}"
+                )
+            return value
+        raise InstanceError(
+            f"{rel.name}.{attr_name}: foreign key needs an id, got {value!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def rows(self, relation: str) -> Iterable[Tuple]:
+        return self._rows[relation].values()
+
+    def lookup(self, ident: Identifier) -> Tuple | None:
+        """Tuple with the given ID, or None."""
+        table = self._rows.get(ident.relation)
+        if table is None:
+            return None
+        return table.get(ident)
+
+    def attribute_of(self, ident: Identifier, attribute: str) -> Value | None:
+        """Value of ``attribute`` in the tuple identified by ``ident``.
+
+        Returns None when the tuple does not exist — the foreign-key
+        navigation semantics of conditions treat that as undefined.
+        """
+        row = self.lookup(ident)
+        if row is None:
+            return None
+        rel = self.schema.relation(ident.relation)
+        names = rel.attribute_names
+        return row[names.index(attribute)]
+
+    def navigate(self, ident: Identifier, path: Iterable[str]) -> Value | None:
+        """Follow a sequence of attributes (FKs then possibly one numeric)."""
+        current: Value | None = ident
+        for attr in path:
+            if not isinstance(current, Identifier):
+                return None
+            current = self.attribute_of(current, attr)
+        return current
+
+    def size(self, relation: str | None = None) -> int:
+        if relation is not None:
+            return len(self._rows[relation])
+        return sum(len(table) for table in self._rows.values())
+
+    def active_domain(self) -> set[Value]:
+        """All ids and numeric values occurring in the instance."""
+        domain: set[Value] = set()
+        for table in self._rows.values():
+            for row in table.values():
+                domain.update(row)
+        return domain
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all inclusion dependencies ``R[F] ⊆ R_F[ID]``."""
+        for rel in self.schema:
+            names = rel.attribute_names
+            for row in self.rows(rel.name):
+                for fk in rel.foreign_keys:
+                    value = row[names.index(fk.name)]
+                    assert isinstance(value, Identifier)
+                    if self.lookup(value) is None:
+                        raise InstanceError(
+                            f"{rel.name}.{fk.name} = {value!r} dangles "
+                            f"(inclusion dependency violated)"
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(f"{name}:{len(table)}" for name, table in self._rows.items())
+        return f"DatabaseInstance({sizes})"

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed database schema, task schema, or artifact schema."""
+
+
+class InstanceError(ReproError):
+    """A database or artifact instance violating its schema constraints."""
+
+
+class ConditionError(ReproError):
+    """An ill-formed or ill-typed condition / formula."""
+
+
+class SpecificationError(ReproError):
+    """An ill-formed HAS specification (services, hierarchy, wiring)."""
+
+
+class RestrictionViolation(SpecificationError):
+    """A HAS specification violating one of the paper's 8 restrictions.
+
+    Section 6 of the paper shows each restriction is necessary for
+    decidability (Theorem 24); the validator reports which one failed.
+    """
+
+    def __init__(self, restriction: int, message: str):
+        self.restriction = restriction
+        super().__init__(f"restriction ({restriction}): {message}")
+
+
+class RunError(ReproError):
+    """An invalid transition or run construction in the concrete semantics."""
+
+
+class VerificationError(ReproError):
+    """The verifier was asked something it cannot decide soundly."""
+
+
+class BudgetExceeded(VerificationError):
+    """A state / depth budget was exhausted before the search completed."""
+
+    def __init__(self, message: str, states_explored: int = 0):
+        self.states_explored = states_explored
+        super().__init__(message)

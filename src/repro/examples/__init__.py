@@ -1,0 +1,19 @@
+"""Built-in example systems, foremost the travel-booking HAS of Appendix A."""
+
+from repro.examples.travel import (
+    travel_booking,
+    travel_database,
+    travel_lite,
+    discount_policy_property,
+    discount_policy_property_lite,
+    STATUS,
+)
+
+__all__ = [
+    "travel_booking",
+    "travel_database",
+    "travel_lite",
+    "discount_policy_property",
+    "discount_policy_property_lite",
+    "STATUS",
+]

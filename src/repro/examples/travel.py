@@ -1,0 +1,627 @@
+"""The travel-booking HAS of Appendix A (Figure 1) and its HLTL-FO policy.
+
+Database schema::
+
+    FLIGHTS(id, price, comp_hotel_id → HOTELS)
+    HOTELS(id, unit_price, discount_price)
+
+Task hierarchy (Figure 1)::
+
+    ManageTrips
+    ├── AddHotel ── AlsoBookHotel
+    ├── AddFlight
+    ├── BookInitialTrip
+    └── Cancel
+
+String statuses are numeric constants (the paper does the same); variable
+names are prefixed per task because Definition 3 requires disjoint
+variable sets.
+
+Two variants are provided:
+
+* ``travel_booking(fixed=False)`` — the paper's specification, in which
+  **AddHotel and Cancel may run concurrently** after a successful payment;
+  the discount/cancellation policy of Appendix A.2 is then violated
+  (pay for a flight, reserve the hotel at the discount price, cancel the
+  flight without penalty).
+* ``travel_booking(fixed=True)`` — the repaired specification.  The paper
+  sketches a mutex variable; an equivalent guard expressible without
+  extending the model is to open ``Cancel`` only once the trip's hotel
+  reservation is visible in the parent (``hotel_id ≠ null``), which
+  serializes AddHotel before Cancel.  The policy then holds.
+
+``travel_lite`` is a 3-task variant (no artifact relation, no
+AddFlight/BookInitialTrip) exhibiting the same bug, small enough for quick
+tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import var as linvar, const as linconst
+from repro.database.instance import DatabaseInstance
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
+from repro.logic.conditions import (
+    And,
+    ArithAtom,
+    Condition,
+    Eq,
+    Exists,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+)
+from repro.logic.terms import Const, NULL, Variable, id_var, num_var
+from repro.ltl.formulas import Always, Eventually, Formula, Next
+from repro.runtime import labels
+
+STATUS = {
+    "Unpaid": Fraction(0),
+    "Paid": Fraction(1),
+    "Failed": Fraction(2),
+    "FlightCanceled": Fraction(3),
+    "HotelCanceled": Fraction(4),
+    "AllCanceled": Fraction(5),
+}
+
+
+def _status(name: str) -> Const:
+    return Const(STATUS[name])
+
+
+def _is(variable: Variable, name: str) -> Condition:
+    return Eq(variable, _status(name))
+
+
+def _sum_eq(total: Variable, *parts: Variable) -> Condition:
+    """total = part₁ + part₂ + …"""
+    expr = linvar(total)
+    for part in parts:
+        expr = expr - linvar(part)
+    return ArithAtom(compare(expr, Rel.EQ, linconst(0)))
+
+
+def _diff_eq(result: Variable, minuend: Variable, subtrahend: Variable) -> Condition:
+    """result = minuend − subtrahend"""
+    return ArithAtom(
+        compare(linvar(result) - linvar(minuend) + linvar(subtrahend), Rel.EQ, linconst(0))
+    )
+
+
+def travel_database_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        (
+            Relation(
+                "FLIGHTS",
+                (numeric("price"), foreign_key("comp_hotel_id", "HOTELS")),
+            ),
+            Relation("HOTELS", (numeric("unit_price"), numeric("discount_price"))),
+        )
+    )
+
+
+def travel_database() -> DatabaseInstance:
+    """A small concrete instance for simulation and the examples."""
+    db = DatabaseInstance(travel_database_schema())
+    h1 = db.add("HOTELS", "grand", Fraction(200), Fraction(150))
+    h2 = db.add("HOTELS", "plaza", Fraction(120), Fraction(100))
+    db.add("FLIGHTS", "aa100", Fraction(400), h1)
+    db.add("FLIGHTS", "ba200", Fraction(550), h2)
+    db.validate()
+    return db
+
+
+# ----------------------------------------------------------------------
+# the full six-task system
+# ----------------------------------------------------------------------
+def travel_booking(fixed: bool = False) -> HAS:
+    schema = travel_database_schema()
+
+    # -- ManageTrips (root) ------------------------------------------------
+    m_flight = id_var("m_flight_id")
+    m_hotel = id_var("m_hotel_id")
+    m_status = num_var("m_status")
+    m_paid = num_var("m_amount_paid")
+
+    store_trip = InternalService(
+        "StoreTrip",
+        pre=And(
+            _is(m_status, "Unpaid"),
+            Or(Not(Eq(m_flight, NULL)), Not(Eq(m_hotel, NULL))),
+        ),
+        post=And(
+            Eq(m_flight, NULL),
+            Eq(m_hotel, NULL),
+            _is(m_status, "Unpaid"),
+            Eq(m_paid, Const(Fraction(0))),
+        ),
+        update=SetUpdate.INSERT,
+    )
+    retrieve_trip = InternalService(
+        "RetrieveTrip",
+        pre=_is(m_status, "Unpaid"),
+        post=And(_is(m_status, "Unpaid"), Eq(m_paid, Const(Fraction(0)))),
+        update=SetUpdate.RETRIEVE,
+    )
+
+    # -- AddFlight (T3) -----------------------------------------------------
+    af_flight = id_var("af_flight_id")
+    af_price = num_var("af_price")
+    af_cid = id_var("af_cid")
+    choose_flight = InternalService(
+        "ChooseFlight",
+        pre=TRUE,
+        post=RelationAtom("FLIGHTS", (af_flight, af_price, af_cid)),
+    )
+    add_flight = Task(
+        name="AddFlight",
+        variables=(af_flight, af_price, af_cid),
+        services=(choose_flight,),
+        opening=OpeningService(
+            pre=And(Eq(m_flight, NULL), _is(m_status, "Unpaid")),
+            input_map={},
+        ),
+        closing=ClosingService(
+            pre=Not(Eq(af_flight, NULL)),
+            output_map={m_flight: af_flight},
+        ),
+    )
+
+    # -- AlsoBookHotel (T6, child of AddHotel) -------------------------------
+    abh_hotel_price = num_var("abh_hotel_price")
+    abh_paid = num_var("abh_amount_paid")
+    abh_new_paid = num_var("abh_new_amount_paid")
+    abh_hotel_paid = num_var("abh_hotel_amount_paid")
+
+    # -- AddHotel (T2) --------------------------------------------------------
+    ah_flight = id_var("ah_flight_id")
+    ah_hotel = id_var("ah_hotel_id")
+    ah_status = num_var("ah_status")
+    ah_paid = num_var("ah_amount_paid")
+    ah_new_paid = num_var("ah_new_amount_paid")
+    ah_disc = num_var("ah_discount_price")
+    ah_unit = num_var("ah_unit_price")
+    ah_hotel_price = num_var("ah_hotel_price")
+
+    abh_pay = InternalService(
+        "Pay",
+        pre=TRUE,
+        post=_sum_eq(abh_new_paid, abh_paid, abh_hotel_paid),
+    )
+    also_book_hotel = Task(
+        name="AlsoBookHotel",
+        variables=(abh_hotel_price, abh_paid, abh_new_paid, abh_hotel_paid),
+        services=(abh_pay,),
+        opening=OpeningService(
+            pre=And(Not(Eq(ah_hotel, NULL)), _is(ah_status, "Paid")),
+            input_map={abh_hotel_price: ah_hotel_price, abh_paid: ah_paid},
+        ),
+        closing=ClosingService(
+            pre=Eq(abh_hotel_paid, abh_hotel_price),
+            output_map={ah_new_paid: abh_new_paid},
+        ),
+    )
+
+    cid = id_var("ah_cid")
+    pf = num_var("ah_pf")
+    choose_hotel = InternalService(
+        "ChooseHotel",
+        pre=TRUE,
+        post=Exists(
+            (cid, pf),
+            And(
+                Implies(Eq(ah_flight, NULL), Eq(cid, NULL)),
+                Implies(
+                    Not(Eq(ah_flight, NULL)),
+                    RelationAtom("FLIGHTS", (ah_flight, pf, cid)),
+                ),
+                RelationAtom("HOTELS", (ah_hotel, ah_unit, ah_disc)),
+                Implies(Eq(cid, ah_hotel), Eq(ah_hotel_price, ah_disc)),
+                Implies(Not(Eq(cid, ah_hotel)), Eq(ah_hotel_price, ah_unit)),
+                Eq(ah_new_paid, Const(Fraction(0))),
+            ),
+        ),
+    )
+    add_hotel = Task(
+        name="AddHotel",
+        variables=(
+            ah_flight,
+            ah_hotel,
+            ah_status,
+            ah_paid,
+            ah_new_paid,
+            ah_disc,
+            ah_unit,
+            ah_hotel_price,
+        ),
+        services=(choose_hotel,),
+        opening=OpeningService(
+            pre=And(
+                Eq(m_hotel, NULL),
+                Or(_is(m_status, "Paid"), _is(m_status, "Unpaid")),
+            ),
+            input_map={ah_flight: m_flight, ah_status: m_status, ah_paid: m_paid},
+        ),
+        closing=ClosingService(
+            pre=Or(
+                _is(ah_status, "Unpaid"),
+                And(
+                    _is(ah_status, "Paid"),
+                    _diff_eq(ah_hotel_price, ah_new_paid, ah_paid),
+                ),
+            ),
+            output_map={m_hotel: ah_hotel, m_paid: ah_new_paid},
+        ),
+        children=(also_book_hotel,),
+    )
+
+    # -- BookInitialTrip (T4) -------------------------------------------------
+    b_flight = id_var("b_flight_id")
+    b_hotel = id_var("b_hotel_id")
+    b_status = num_var("b_status")
+    b_paid = num_var("b_amount_paid")
+    b_ticket = num_var("b_ticket_price")
+    b_hotel_price = num_var("b_hotel_price")
+    b_cid = id_var("b_cid")
+    b_p1 = num_var("b_p1")
+    b_p2 = num_var("b_p2")
+
+    b_pay = InternalService(
+        "Pay",
+        pre=Or(Not(Eq(b_hotel, NULL)), Not(Eq(b_flight, NULL))),
+        post=Exists(
+            (b_cid, b_p1, b_p2),
+            And(
+                Implies(
+                    Eq(b_flight, NULL),
+                    And(Eq(b_ticket, Const(Fraction(0))), Eq(b_cid, NULL)),
+                ),
+                Implies(
+                    Not(Eq(b_flight, NULL)),
+                    RelationAtom("FLIGHTS", (b_flight, b_ticket, b_cid)),
+                ),
+                Implies(Eq(b_hotel, NULL), Eq(b_hotel_price, Const(Fraction(0)))),
+                Implies(
+                    Not(Eq(b_hotel, NULL)),
+                    And(
+                        RelationAtom("HOTELS", (b_hotel, b_p1, b_p2)),
+                        Implies(Eq(b_hotel, b_cid), Eq(b_hotel_price, b_p2)),
+                        Implies(Not(Eq(b_hotel, b_cid)), Eq(b_hotel_price, b_p1)),
+                    ),
+                ),
+                Implies(
+                    _sum_eq(b_paid, b_ticket, b_hotel_price),
+                    _is(b_status, "Paid"),
+                ),
+                Implies(
+                    Not(_sum_eq(b_paid, b_ticket, b_hotel_price)),
+                    _is(b_status, "Failed"),
+                ),
+            ),
+        ),
+    )
+    book_initial_trip = Task(
+        name="BookInitialTrip",
+        variables=(
+            b_flight,
+            b_hotel,
+            b_status,
+            b_paid,
+            b_ticket,
+            b_hotel_price,
+        ),
+        services=(b_pay,),
+        opening=OpeningService(
+            pre=_is(m_status, "Unpaid"),
+            input_map={b_flight: m_flight, b_hotel: m_hotel},
+        ),
+        closing=ClosingService(
+            pre=Or(_is(b_status, "Paid"), _is(b_status, "Failed")),
+            output_map={m_status: b_status, m_paid: b_paid},
+        ),
+    )
+
+    # -- Cancel (T5) ------------------------------------------------------------
+    c_flight = id_var("c_flight_id")
+    c_hotel = id_var("c_hotel_id")
+    c_paid = num_var("c_amount_paid")
+    c_ticket = num_var("c_ticket_price")
+    c_disc = num_var("c_discount_price")
+    c_unit = num_var("c_unit_price")
+    c_hotel_price = num_var("c_hotel_price")
+    c_refund = num_var("c_amount_refunded")
+    c_status = num_var("c_status")
+    c_cid = id_var("c_cid")
+
+    discounted = And(Not(Eq(c_hotel, NULL)), Eq(c_hotel_price, c_disc))
+    penalized = ArithAtom(
+        compare(
+            linvar(c_refund) - linvar(c_ticket) + linvar(c_unit) - linvar(c_disc),
+            Rel.EQ,
+            linconst(0),
+        )
+    )
+    not_canceled_yet = And(
+        Not(_is(c_status, "FlightCanceled")),
+        Not(_is(c_status, "HotelCanceled")),
+        Not(_is(c_status, "AllCanceled")),
+    )
+    cancel_flight = InternalService(
+        "CancelFlight",
+        pre=And(Not(Eq(c_flight, NULL)), not_canceled_yet),
+        post=Exists(
+            (c_cid,),
+            And(
+                RelationAtom("FLIGHTS", (c_flight, c_ticket, c_cid)),
+                _diff_eq(c_hotel_price, c_paid, c_ticket),
+                Implies(
+                    Not(Eq(c_hotel, NULL)),
+                    And(
+                        RelationAtom("HOTELS", (c_hotel, c_unit, c_disc)),
+                        Implies(Not(discounted), Eq(c_refund, c_ticket)),
+                        Implies(discounted, penalized),
+                    ),
+                ),
+                _is(c_status, "FlightCanceled"),
+            ),
+        ),
+    )
+    cancel_hotel = InternalService(
+        "CancelHotel",
+        pre=And(Not(Eq(c_hotel, NULL)), not_canceled_yet),
+        post=Exists(
+            (c_cid,),
+            And(
+                RelationAtom("HOTELS", (c_hotel, c_unit, c_disc)),
+                Implies(Not(Eq(c_flight, NULL)),
+                        RelationAtom("FLIGHTS", (c_flight, c_ticket, c_cid))),
+                _diff_eq(c_hotel_price, c_paid, c_ticket),
+                Eq(c_refund, c_hotel_price),
+                _is(c_status, "HotelCanceled"),
+            ),
+        ),
+    )
+    cancel_both = InternalService(
+        "CancelBoth",
+        pre=not_canceled_yet,
+        post=And(Eq(c_refund, c_paid), _is(c_status, "AllCanceled")),
+    )
+    cancel_opening = And(_is(m_status, "Paid")) if not fixed else And(
+        _is(m_status, "Paid"), Not(Eq(m_hotel, NULL))
+    )
+    cancel = Task(
+        name="Cancel",
+        variables=(
+            c_flight,
+            c_hotel,
+            c_paid,
+            c_ticket,
+            c_disc,
+            c_unit,
+            c_hotel_price,
+            c_refund,
+            c_status,
+        ),
+        services=(cancel_flight, cancel_hotel, cancel_both),
+        opening=OpeningService(
+            pre=cancel_opening,
+            input_map={c_flight: m_flight, c_hotel: m_hotel, c_paid: m_paid},
+        ),
+        closing=ClosingService(
+            pre=TRUE,
+            output_map={m_status: c_status},
+        ),
+    )
+
+    manage_trips = Task(
+        name="ManageTrips",
+        variables=(m_flight, m_hotel, m_status, m_paid),
+        set_variables=(m_flight, m_hotel),
+        services=(store_trip, retrieve_trip),
+        opening=OpeningService(),
+        closing=ClosingService(),
+        children=(add_hotel, add_flight, book_initial_trip, cancel),
+    )
+    return HAS(
+        schema,
+        manage_trips,
+        name=f"travel-booking-{'fixed' if fixed else 'buggy'}",
+    )
+
+
+def discount_policy_property(has: HAS) -> HLTLProperty:
+    """The Appendix A.2 policy, as an HLTL-FO property of ManageTrips:
+
+    ``F [F (Discounted ∧ X σ^o_AlsoBookHotel)]_AddHotel →
+      G (σ^o_Cancel → [G (CancelFlight → Penalized)]_Cancel)``
+    """
+    add_hotel = has.task("AddHotel")
+    cancel = has.task("Cancel")
+    ah = {v.name: v for v in add_hotel.variables}
+    c = {v.name: v for v in cancel.variables}
+
+    ah_discounted = And(
+        Not(Eq(ah["ah_hotel_id"], NULL)),
+        Eq(ah["ah_hotel_price"], ah["ah_discount_price"]),
+    )
+    c_penalized = ArithAtom(
+        compare(
+            linvar(c["c_amount_refunded"])
+            - linvar(c["c_ticket_price"])
+            + linvar(c["c_unit_price"])
+            - linvar(c["c_discount_price"]),
+            Rel.EQ,
+            linconst(0),
+        )
+    )
+    antecedent: Formula = Eventually(
+        child(
+            "AddHotel",
+            Eventually(
+                cond(ah_discounted)
+                & Next(service(labels.opening("AlsoBookHotel")))
+            ),
+        )
+    )
+    consequent: Formula = Always(
+        service(labels.opening("Cancel")).implies(
+            child(
+                "Cancel",
+                Always(
+                    service(labels.internal("Cancel", "CancelFlight")).implies(
+                        cond(c_penalized)
+                    )
+                ),
+            )
+        )
+    )
+    return HLTLProperty(
+        HLTLSpec("ManageTrips", antecedent.implies(consequent)),
+        name="discount-cancellation-policy",
+    )
+
+
+# ----------------------------------------------------------------------
+# the lite three-task variant
+# ----------------------------------------------------------------------
+def travel_lite(fixed: bool = False) -> HAS:
+    """ManageTrips + AddHotel + Cancel, no artifact relation or payments:
+    small enough for fast tests, same concurrency bug."""
+    schema = travel_database_schema()
+
+    m_flight = id_var("l_flight_id")
+    m_hotel = id_var("l_hotel_id")
+    m_status = num_var("l_status")
+
+    ah_flight = id_var("lah_flight_id")
+    ah_hotel = id_var("lah_hotel_id")
+    ah_disc = num_var("lah_discount_price")
+    ah_unit = num_var("lah_unit_price")
+    ah_price = num_var("lah_hotel_price")
+    ah_cid = id_var("lah_cid")
+    ah_pf = num_var("lah_pf")
+
+    choose_hotel = InternalService(
+        "ChooseHotel",
+        pre=TRUE,
+        post=Exists(
+            (ah_cid, ah_pf),
+            And(
+                Implies(Eq(ah_flight, NULL), Eq(ah_cid, NULL)),
+                Implies(
+                    Not(Eq(ah_flight, NULL)),
+                    RelationAtom("FLIGHTS", (ah_flight, ah_pf, ah_cid)),
+                ),
+                RelationAtom("HOTELS", (ah_hotel, ah_unit, ah_disc)),
+                Implies(Eq(ah_cid, ah_hotel), Eq(ah_price, ah_disc)),
+                Implies(Not(Eq(ah_cid, ah_hotel)), Eq(ah_price, ah_unit)),
+            ),
+        ),
+    )
+    add_hotel = Task(
+        name="AddHotel",
+        variables=(ah_flight, ah_hotel, ah_disc, ah_unit, ah_price, ah_cid, ah_pf),
+        services=(choose_hotel,),
+        opening=OpeningService(
+            pre=And(Eq(m_hotel, NULL), _is(m_status, "Paid")),
+            input_map={ah_flight: m_flight},
+        ),
+        closing=ClosingService(
+            pre=Not(Eq(ah_hotel, NULL)),
+            output_map={m_hotel: ah_hotel},
+        ),
+    )
+
+    c_flight = id_var("lc_flight_id")
+    c_hotel = id_var("lc_hotel_id")
+    c_refund = num_var("lc_amount_refunded")
+    c_ticket = num_var("lc_ticket_price")
+    c_cid = id_var("lc_cid")
+
+    cancel_flight = InternalService(
+        "CancelFlight",
+        pre=Not(Eq(c_flight, NULL)),
+        post=Exists(
+            (c_cid,),
+            And(
+                RelationAtom("FLIGHTS", (c_flight, c_ticket, c_cid)),
+                # full refund allowed only when no hotel reservation exists
+                Implies(Eq(c_hotel, NULL), Eq(c_refund, c_ticket)),
+            ),
+        ),
+    )
+    cancel = Task(
+        name="Cancel",
+        variables=(c_flight, c_hotel, c_refund, c_ticket, c_cid),
+        services=(cancel_flight,),
+        opening=OpeningService(
+            pre=(
+                _is(m_status, "Paid")
+                if not fixed
+                else And(_is(m_status, "Paid"), Not(Eq(m_hotel, NULL)))
+            ),
+            input_map={c_flight: m_flight, c_hotel: m_hotel},
+        ),
+        closing=ClosingService(pre=TRUE, output_map={}),
+    )
+
+    pay = InternalService(
+        "MarkPaid",
+        pre=_is(m_status, "Unpaid"),
+        post=Exists(
+            (id_var("l_pf_cid"),),
+            And(
+                _is(m_status, "Paid"),
+                RelationAtom(
+                    "FLIGHTS", (m_flight, num_var("l_pf_price"), id_var("l_pf_cid"))
+                ),
+                Eq(m_hotel, NULL),
+            ),
+        ),
+    )
+    manage = Task(
+        name="ManageTrips",
+        variables=(m_flight, m_hotel, m_status, num_var("l_pf_price")),
+        services=(pay,),
+        opening=OpeningService(),
+        closing=ClosingService(),
+        children=(add_hotel, cancel),
+    )
+    return HAS(schema, manage, name=f"travel-lite-{'fixed' if fixed else 'buggy'}")
+
+
+def discount_policy_property_lite(has: HAS) -> HLTLProperty:
+    """Lite policy: whenever AddHotel runs at all, any concurrent Cancel
+    must see the hotel reservation (i.e. not give a no-hotel full refund):
+
+    ``F [true]_AddHotel → G (σ^o_Cancel → [G¬(CancelFlight ∧ hotel=null)]_Cancel)``
+    """
+    cancel = has.task("Cancel")
+    c = {v.name: v for v in cancel.variables}
+    from repro.ltl.formulas import NotF, TrueF
+
+    antecedent = Eventually(child("AddHotel", TrueF()))
+    consequent = Always(
+        service(labels.opening("Cancel")).implies(
+            child(
+                "Cancel",
+                Always(
+                    NotF(
+                        service(labels.internal("Cancel", "CancelFlight"))
+                        & cond(Eq(c["lc_hotel_id"], NULL))
+                    )
+                ),
+            )
+        )
+    )
+    return HLTLProperty(
+        HLTLSpec("ManageTrips", antecedent.implies(consequent)),
+        name="lite-discount-policy",
+    )

@@ -1,0 +1,21 @@
+"""The Hierarchical Artifact System model (Section 2, Definitions 2–7).
+
+A HAS is ``Γ = (A, Σ, Π)``: an artifact schema (a database schema plus a
+rooted tree of task schemas), services (internal / opening / closing), and
+a global pre-condition Π over the root task's input variables.
+"""
+
+from repro.has.services import ClosingService, InternalService, OpeningService, SetUpdate
+from repro.has.task import Task
+from repro.has.system import HAS
+from repro.has.restrictions import validate_has
+
+__all__ = [
+    "ClosingService",
+    "InternalService",
+    "OpeningService",
+    "SetUpdate",
+    "Task",
+    "HAS",
+    "validate_has",
+]

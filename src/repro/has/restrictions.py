@@ -1,0 +1,195 @@
+"""Static validation of HAS specifications (Section 2 + Section 6).
+
+The eight restrictions of Section 6 are enforced partly here (those that
+are static properties of the specification) and partly by the operational
+semantics in ``repro.runtime`` (those that constrain runs):
+
+===  =============================================================  =========
+ #   restriction                                                    enforced
+===  =============================================================  =========
+ 1   internal transitions propagate only input parameters           runtime
+ 2   returns overwrite only null parent ID variables                runtime
+ 3   returned parent variables disjoint from parent's inputs        here
+ 4   internal transitions only when no subtask is active            runtime
+ 5   one artifact relation per task                                 by type
+ 6   artifact relation reset when the task closes                   runtime
+ 7   fixed tuple s̄^T inserted/retrieved                             by type
+ 8   each subtask called at most once per segment                   runtime
+===  =============================================================  =========
+
+``validate_has`` additionally checks variable disjointness across tasks,
+scoping of every condition, well-sortedness of variable mappings, and
+relation-atom typing, raising :class:`SpecificationError` (or the more
+specific :class:`RestrictionViolation`) on failure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RestrictionViolation, SpecificationError
+from repro.has.system import HAS
+from repro.has.task import Task
+from repro.logic.conditions import Condition, Exists, RelationAtom
+from repro.logic.terms import Variable, VarKind
+
+
+def _check_scope(
+    condition: Condition, allowed: set[Variable], where: str, permit_exists: bool = True
+) -> None:
+    free = condition.variables()
+    stray = free - allowed
+    if stray:
+        names = ", ".join(sorted(v.name for v in stray))
+        raise SpecificationError(f"{where}: out-of-scope variables {{{names}}}")
+    if not permit_exists and _contains_exists(condition):
+        raise SpecificationError(f"{where}: Exists must be desugared first")
+
+
+def _contains_exists(condition: Condition) -> bool:
+    if isinstance(condition, Exists):
+        return True
+    for attr in ("body", "parts", "antecedent", "consequent"):
+        inner = getattr(condition, attr, None)
+        if inner is None:
+            continue
+        if isinstance(inner, Condition):
+            if _contains_exists(inner):
+                return True
+        elif isinstance(inner, tuple):
+            if any(isinstance(p, Condition) and _contains_exists(p) for p in inner):
+                return True
+    return False
+
+
+def _typecheck_atoms(condition: Condition, has: HAS, where: str) -> None:
+    if isinstance(condition, Exists):
+        _typecheck_atoms(condition.body, has, where)
+        return
+    try:
+        atoms = condition.atoms()
+    except Exception:
+        return  # Exists inside boolean structure; handled recursively above
+    for atom in atoms:
+        if isinstance(atom, RelationAtom):
+            atom.typecheck(has.database)
+
+
+def validate_has(has: HAS, require_simplified: bool = False) -> None:
+    """Validate a HAS specification; raise on the first problem found.
+
+    With ``require_simplified`` the Lemma-31 normal form is also required:
+    variables passed to and returned from subtasks are disjoint, and no
+    numeric variable is returned.  The verifier handles the general form,
+    so this is off by default.
+    """
+    _check_variable_disjointness(has)
+    for task in has.tasks():
+        _validate_task(has, task, require_simplified)
+    _check_scope(
+        has.precondition,
+        set(has.root.input_variables),
+        "precondition Π",
+    )
+    _typecheck_atoms(has.precondition, has, "precondition Π")
+    if has.root.closing.pre is not None and has.root.closing.output_map:
+        raise SpecificationError("root task cannot return variables")
+
+
+def _check_variable_disjointness(has: HAS) -> None:
+    owner: dict[Variable, str] = {}
+    for task in has.tasks():
+        for variable in task.variables:
+            if variable in owner:
+                raise SpecificationError(
+                    f"variable {variable!r} belongs to both {owner[variable]!r} "
+                    f"and {task.name!r}; task variable sets must be disjoint "
+                    f"(Definition 3) — prefix names per task"
+                )
+            owner[variable] = task.name
+
+
+def _validate_task(has: HAS, task: Task, require_simplified: bool) -> None:
+    own = set(task.variables)
+    parent = has.parent_of(task)
+
+    # -- opening service ------------------------------------------------
+    opening = task.opening
+    if parent is None:
+        for child_var, parent_var in opening.input_map.items():
+            if child_var not in own:
+                raise SpecificationError(
+                    f"{task.name}: root input {child_var!r} is not a task variable"
+                )
+            if parent_var != child_var:
+                raise SpecificationError(
+                    f"{task.name}: root input map must be the identity on "
+                    f"its input variables"
+                )
+        _check_scope(opening.pre, own, f"{task.name}: root opening guard")
+    else:
+        parent_vars = set(parent.variables)
+        _check_scope(opening.pre, parent_vars, f"{task.name}: opening guard")
+        for child_var, parent_var in opening.input_map.items():
+            if child_var not in own:
+                raise SpecificationError(
+                    f"{task.name}: f_in domain {child_var!r} not in x̄^{task.name}"
+                )
+            if parent_var not in parent_vars:
+                raise SpecificationError(
+                    f"{task.name}: f_in range {parent_var!r} not in x̄^{parent.name}"
+                )
+    _typecheck_atoms(opening.pre, has, f"{task.name}: opening guard")
+
+    # -- closing service ------------------------------------------------
+    closing = task.closing
+    _check_scope(closing.pre, own, f"{task.name}: closing guard")
+    _typecheck_atoms(closing.pre, has, f"{task.name}: closing guard")
+    if parent is not None:
+        parent_vars = set(parent.variables)
+        for parent_var, child_var in closing.output_map.items():
+            if parent_var not in parent_vars:
+                raise SpecificationError(
+                    f"{task.name}: f_out domain {parent_var!r} not in x̄^{parent.name}"
+                )
+            if child_var not in own:
+                raise SpecificationError(
+                    f"{task.name}: f_out range {child_var!r} not in x̄^{task.name}"
+                )
+        # Restriction (3): x̄^T_{Tc↑} ∩ x̄^T_in = ∅
+        returned = set(closing.output_map.keys())
+        parent_inputs = set(parent.input_variables)
+        overlap = returned & parent_inputs
+        if overlap:
+            names = ", ".join(sorted(v.name for v in overlap))
+            raise RestrictionViolation(
+                3,
+                f"{task.name} returns into {parent.name}'s input variables "
+                f"{{{names}}} (x̄^T_Tc↑ ∩ x̄^T_in must be empty)",
+            )
+        if require_simplified:
+            passed = set(opening.input_map.values())
+            if passed & returned:
+                raise SpecificationError(
+                    f"{task.name}: Lemma 31(i) normal form violated — "
+                    f"passed and returned parent variables overlap"
+                )
+            numeric_returns = [
+                v for v in closing.output_map if v.kind is VarKind.NUMERIC
+            ]
+            if numeric_returns:
+                raise SpecificationError(
+                    f"{task.name}: Lemma 31(ii) normal form violated — "
+                    f"numeric variables returned"
+                )
+
+    # -- internal services ----------------------------------------------
+    for service in task.services:
+        _check_scope(service.pre, own, f"{task.name}.{service.name}: pre-condition")
+        _check_scope(service.post, own, f"{task.name}.{service.name}: post-condition")
+        _typecheck_atoms(service.pre, has, f"{task.name}.{service.name}: pre")
+        _typecheck_atoms(service.post, has, f"{task.name}.{service.name}: post")
+        if service.update.inserts or service.update.retrieves:
+            if not task.has_set:
+                raise SpecificationError(
+                    f"{task.name}.{service.name}: set update on a task "
+                    f"without an artifact relation"
+                )

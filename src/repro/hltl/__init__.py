@@ -1,0 +1,37 @@
+"""HLTL-FO: hierarchical LTL-FO (Section 3, Definition 12).
+
+An HLTL-FO property over a HAS is ``∀ȳ [ϕ_f]_{T1}`` where ``ϕ_f`` is an
+LTL formula whose propositions are FO conditions over the task's variables
+(plus the global variables ȳ and set atoms) or recursively ``[ψ]_{Tc}``
+formulas over child tasks.
+"""
+
+from repro.hltl.formulas import (
+    ChildProp,
+    CondProp,
+    HLTLProperty,
+    HLTLSpec,
+    ServiceProp,
+    SetAtom,
+    cond,
+    service,
+    child,
+)
+from repro.hltl.eval_tree import evaluate_on_tree
+from repro.hltl.ltlfo import LTLFOProperty, StageProp, evaluate_ltlfo
+
+__all__ = [
+    "ChildProp",
+    "CondProp",
+    "HLTLProperty",
+    "HLTLSpec",
+    "ServiceProp",
+    "SetAtom",
+    "cond",
+    "service",
+    "child",
+    "evaluate_on_tree",
+    "LTLFOProperty",
+    "StageProp",
+    "evaluate_ltlfo",
+]

@@ -1,0 +1,125 @@
+"""Evaluation of HLTL-FO on trees of local runs (Section 3).
+
+A local run of task T induces a word over the propositions of the formula
+at T; ``[ψ]_{Tc}`` propositions hold exactly at the positions opening a
+child run that recursively satisfies ψ.  Finite (complete) runs use the
+finite-trace semantics of Appendix B.2; a global valuation instantiates
+the ∀-quantified global variables.
+
+Only finite trees can be evaluated concretely; the simulator produces run
+*prefixes*, which this evaluator treats with finite semantics — adequate
+for cross-validating violations of safety-shaped properties against the
+verifier, and exact for complete (returning / blocking) runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.database.instance import DatabaseInstance, Value
+from repro.errors import ConditionError
+from repro.hltl.formulas import (
+    ChildProp,
+    CondProp,
+    HLTLProperty,
+    HLTLSpec,
+    ServiceProp,
+    SetAtom,
+)
+from repro.logic.conditions import Condition
+from repro.logic.terms import Variable
+from repro.ltl.formulas import Letter, holds_finite, propositions
+from repro.runtime.labels import ServiceKind
+from repro.runtime.tree import RunTree, RunTreeNode
+
+
+def evaluate_on_tree(
+    prop: HLTLProperty | HLTLSpec,
+    tree: RunTree | RunTreeNode,
+    db: DatabaseInstance,
+    global_valuation: Mapping[Variable, Value] | None = None,
+) -> bool:
+    """Evaluate a property (for one valuation of its global variables) or a
+    bare spec on a tree of local runs."""
+    node = tree.root if isinstance(tree, RunTree) else tree
+    spec = prop.root if isinstance(prop, HLTLProperty) else prop
+    return _evaluate_spec(spec, node, db, dict(global_valuation or {}))
+
+
+def _evaluate_spec(
+    spec: HLTLSpec,
+    node: RunTreeNode,
+    db: DatabaseInstance,
+    global_valuation: dict[Variable, Value],
+) -> bool:
+    if node.run.task.name != spec.task:
+        raise ConditionError(
+            f"spec is over task {spec.task!r} but the run is of "
+            f"{node.run.task.name!r}"
+        )
+    word = _word_of(spec, node, db, global_valuation)
+    if not word:
+        return False
+    return holds_finite(spec.formula, word)
+
+
+def _word_of(
+    spec: HLTLSpec,
+    node: RunTreeNode,
+    db: DatabaseInstance,
+    global_valuation: dict[Variable, Value],
+) -> list[Letter]:
+    payloads = propositions(spec.formula)
+    word: list[Letter] = []
+    for index, step in enumerate(node.run.steps):
+        letter: dict = {}
+        for payload in payloads:
+            if isinstance(payload, ServiceProp):
+                letter[payload] = payload.ref == step.service
+            elif isinstance(payload, CondProp):
+                letter[payload] = _eval_condition(
+                    payload.condition, db, step, global_valuation
+                )
+            elif isinstance(payload, ChildProp):
+                value = False
+                opens_child = (
+                    step.service.kind is ServiceKind.OPENING
+                    and step.service.task == payload.task
+                )
+                if opens_child and index in node.children:
+                    value = _evaluate_spec(
+                        payload.spec, node.children[index], db, global_valuation
+                    )
+                letter[payload] = value
+            else:
+                raise ConditionError(f"unsupported payload {payload!r}")
+        word.append(letter)
+    return word
+
+
+def _eval_condition(
+    condition: Condition,
+    db: DatabaseInstance,
+    step,
+    global_valuation: dict[Variable, Value],
+) -> bool:
+    valuation = dict(step.state.valuation)
+    valuation.update(global_valuation)
+    set_atoms = _collect_set_atoms(condition)
+    if not set_atoms:
+        return condition.evaluate(db, valuation)
+    assignment = {}
+    for atom in condition.atoms():
+        if isinstance(atom, SetAtom):
+            values = tuple(valuation.get(v) for v in atom.args)
+            assignment[atom] = values in step.state.set_contents
+        else:
+            assignment[atom] = atom.evaluate(db, valuation)
+    return condition.evaluate_abstract(assignment)
+
+
+def _collect_set_atoms(condition: Condition) -> list[SetAtom]:
+    try:
+        return [a for a in condition.atoms() if isinstance(a, SetAtom)]
+    except ConditionError:
+        return []

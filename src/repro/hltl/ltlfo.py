@@ -1,0 +1,76 @@
+"""Plain (non-hierarchical) LTL-FO over global runs (Appendix B.4).
+
+Used to state the undecidability frontier of Theorem 11: LTL-FO (even
+propositional LTL over Σ) on global runs is undecidable for HAS, which is
+why the paper adopts HLTL-FO.  This module provides the semantics of
+LTL-FO on (finite prefixes of) global runs so the Theorem-11 construction
+is executable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.database.instance import DatabaseInstance
+from repro.hltl.formulas import CondProp, ServiceProp
+from repro.logic.conditions import Condition
+from repro.ltl.formulas import Formula, Letter, holds_finite, propositions
+from repro.runtime.global_run import GlobalConfig, Stage
+
+
+@dataclass(frozen=True)
+class StageProp:
+    """Proposition: task ``task`` is currently in stage ``stage``."""
+
+    task: str
+    stage: Stage
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"stg({self.task})={self.stage.value}"
+
+
+@dataclass(frozen=True)
+class LTLFOProperty:
+    """An LTL-FO formula over global runs.
+
+    ``task_of`` assigns each FO condition to the task whose variables it
+    reads: per Appendix B.4 a condition proposition holds only while that
+    task is active.
+    """
+
+    formula: Formula
+    task_of: dict[CondProp, str]
+
+    def __hash__(self) -> int:  # pragma: no cover - convenience
+        return hash(self.formula)
+
+
+def evaluate_ltlfo(
+    prop: LTLFOProperty,
+    run: Sequence[GlobalConfig],
+    db: DatabaseInstance,
+) -> bool:
+    """Finite-trace evaluation of an LTL-FO property on a global run prefix."""
+    if not run:
+        return False
+    word: list[Letter] = []
+    for config in run:
+        letter: dict = {}
+        for payload in propositions(prop.formula):
+            if isinstance(payload, ServiceProp):
+                letter[payload] = payload.ref == config.service
+            elif isinstance(payload, StageProp):
+                letter[payload] = config.stages.get(payload.task) is payload.stage
+            elif isinstance(payload, CondProp):
+                task = prop.task_of.get(payload)
+                active = task is None or config.stages.get(task) is Stage.ACTIVE
+                letter[payload] = active and _evaluate(payload.condition, db, config)
+            else:
+                raise TypeError(f"unsupported payload {payload!r}")
+        word.append(letter)
+    return holds_finite(prop.formula, word)
+
+
+def _evaluate(condition: Condition, db: DatabaseInstance, config: GlobalConfig) -> bool:
+    return condition.evaluate(db, config.valuations)

@@ -1,0 +1,52 @@
+"""Quantifier-free FO conditions over ``DB ∪ C ∪ {=}`` (Section 2).
+
+Conditions are the pre/post-conditions of services and the FO building
+blocks of HLTL-FO.  Atoms are equalities between terms, relation atoms over
+the database schema, and (linear) arithmetic constraints over numeric
+variables; ``null`` participates only in equalities with ID variables, and
+a relation atom with a null argument is false.
+"""
+
+from repro.logic.terms import (
+    NULL,
+    Const,
+    NullTerm,
+    Term,
+    Variable,
+    VarKind,
+)
+from repro.logic.conditions import (
+    And,
+    ArithAtom,
+    Atom,
+    Condition,
+    Eq,
+    Exists,
+    FALSE,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+)
+
+__all__ = [
+    "NULL",
+    "Const",
+    "NullTerm",
+    "Term",
+    "Variable",
+    "VarKind",
+    "And",
+    "ArithAtom",
+    "Atom",
+    "Condition",
+    "Eq",
+    "Exists",
+    "FALSE",
+    "Implies",
+    "Not",
+    "Or",
+    "RelationAtom",
+    "TRUE",
+]

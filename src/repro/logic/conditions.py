@@ -1,0 +1,580 @@
+"""Quantifier-free FO conditions and their evaluation (Section 2).
+
+A condition is a boolean combination of three atom kinds:
+
+* :class:`Eq` — equality between two terms of the same sort; ``null`` may
+  only be compared with ID terms;
+* :class:`RelationAtom` — ``R(x, ā)`` over a database relation, arguments
+  in the relation's attribute order (ID first); false when any argument is
+  null or the identified tuple does not exist / does not match;
+* :class:`ArithAtom` — a linear constraint over numeric variables (an atom
+  of the interpreted relations ``C``).
+
+:class:`Exists` is supported natively by the verifier for positive
+occurrences (bound variables become anonymous symbolic values — the
+paper's "simulate ∃FO by adding variables", done internally); the static
+desugaring of ``repro.transform`` remains available.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.arith.constraints import Constraint, Rel
+from repro.arith.linexpr import LinExpr
+from repro.database.instance import DatabaseInstance, Identifier, Value
+from repro.database.schema import AttributeKind
+from repro.errors import ConditionError
+from repro.logic.terms import (
+    NULL,
+    Const,
+    NullTerm,
+    Term,
+    Variable,
+    WildcardTerm,
+    is_id_term,
+    is_numeric_term,
+)
+
+Valuation = Mapping[Variable, Value]
+
+
+class Condition:
+    """Base class for conditions; immutable and hashable."""
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        raise NotImplementedError
+
+    # -- structure -----------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        raise NotImplementedError
+
+    def atoms(self) -> frozenset["Atom"]:
+        """All atoms occurring in the condition."""
+        raise NotImplementedError
+
+    def evaluate_abstract(self, assignment: Mapping["Atom", bool]) -> bool:
+        """Evaluate given a truth assignment to the atoms."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "Condition":
+        raise NotImplementedError
+
+    # -- sugar ---------------------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    def implies(self, other: "Condition") -> "Condition":
+        return Implies(self, other)
+
+    def satisfying_atom_assignments(self) -> Iterator[dict["Atom", bool]]:
+        """Enumerate truth assignments to this condition's atoms that make
+        the condition true.  Exponential in the number of atoms; conditions
+        in practice have few atoms, and the verifier prunes inconsistent
+        assignments immediately."""
+        atom_list = sorted(self.atoms(), key=repr)
+        for bits in itertools.product((True, False), repeat=len(atom_list)):
+            assignment = dict(zip(atom_list, bits))
+            if self.evaluate_abstract(assignment):
+                yield assignment
+
+
+def eliminate_single_atom_exists(condition: "Condition") -> "Condition":
+    """Rewrite ∃-bound variables that occur exactly once, inside one
+    relation-atom position, into wildcard positions.
+
+    Sound by the key dependency: the row of an anchored id is unique, so
+    ``∃q R(x, q, y)`` holds iff ``R(x, ＿, y)`` does.  This makes such
+    existentials closed under negation (needed when properties are negated
+    for verification)."""
+    from repro.logic.terms import ANY
+
+    if isinstance(condition, Exists):
+        body = eliminate_single_atom_exists(condition.body)
+        counts: dict[Variable, int] = {}
+
+        def count(cond: "Condition") -> None:
+            if isinstance(cond, Exists):
+                count(cond.body)
+                return
+            if isinstance(cond, Atom):
+                if isinstance(cond, RelationAtom):
+                    for arg in cond.args:
+                        if isinstance(arg, Variable):
+                            counts[arg] = counts.get(arg, 0) + 1
+                else:
+                    for variable in cond.variables():
+                        counts[variable] = counts.get(variable, 0) + 2
+                return
+            for attr in ("body",):
+                inner = getattr(cond, attr, None)
+                if isinstance(inner, Condition):
+                    count(inner)
+            for part in getattr(cond, "parts", ()):  # And / Or
+                count(part)
+
+        count(body)
+        eliminable = {
+            v
+            for v in condition.bound
+            if counts.get(v, 0) == 1
+        }
+
+        def rewrite(cond: "Condition") -> "Condition":
+            if isinstance(cond, RelationAtom):
+                args = tuple(
+                    ANY
+                    if (isinstance(a, Variable) and a in eliminable and i > 0)
+                    else a
+                    for i, a in enumerate(cond.args)
+                )
+                return RelationAtom(cond.relation, args)
+            if isinstance(cond, Atom) or isinstance(
+                cond, (_TrueCondition, _FalseCondition)
+            ):
+                return cond
+            if isinstance(cond, Not):
+                return Not(rewrite(cond.body))
+            if isinstance(cond, (And, Or)):
+                return type(cond)(*(rewrite(p) for p in cond.parts))
+            if isinstance(cond, Exists):
+                return Exists(cond.bound, rewrite(cond.body))
+            return cond
+
+        body = rewrite(body)
+        remaining = tuple(
+            v for v in condition.bound if v in body.rename({}).variables() or v not in eliminable
+        )
+        remaining = tuple(v for v in remaining if v in _free_variables(body))
+        if not remaining:
+            return body
+        return Exists(remaining, body)
+    if isinstance(condition, Not):
+        return Not(eliminate_single_atom_exists(condition.body))
+    if isinstance(condition, (And, Or)):
+        return type(condition)(
+            *(eliminate_single_atom_exists(p) for p in condition.parts)
+        )
+    return condition
+
+
+def _free_variables(condition: "Condition") -> frozenset[Variable]:
+    try:
+        return condition.variables()
+    except Exception:
+        return frozenset()
+
+
+def nnf_condition(condition: "Condition", negated: bool = False) -> "Condition":
+    """Negation normal form: negations pushed onto the atoms.
+
+    The result uses only And / Or / Atom / Not(Atom) / TRUE / FALSE (and
+    Exists, which must occur positively).  Single-atom existentials are
+    first rewritten into wildcard positions so they survive negation."""
+    condition = eliminate_single_atom_exists(condition)
+    if isinstance(condition, _TrueCondition):
+        return FALSE if negated else condition
+    if isinstance(condition, _FalseCondition):
+        return TRUE if negated else condition
+    if isinstance(condition, Atom):
+        return Not(condition) if negated else condition
+    if isinstance(condition, Not):
+        return nnf_condition(condition.body, not negated)
+    if isinstance(condition, And):
+        parts = tuple(nnf_condition(p, negated) for p in condition.parts)
+        return Or(*parts) if negated else And(*parts)
+    if isinstance(condition, Or):
+        parts = tuple(nnf_condition(p, negated) for p in condition.parts)
+        return And(*parts) if negated else Or(*parts)
+    if isinstance(condition, Exists):
+        if negated:
+            raise ConditionError(
+                "∃ under negation is a universal quantifier — not supported"
+            )
+        return Exists(condition.bound, nnf_condition(condition.body))
+    raise ConditionError(f"cannot normalize {condition!r}")
+
+
+class Atom(Condition):
+    """Base class for the three atom kinds."""
+
+    def atoms(self) -> frozenset["Atom"]:
+        return frozenset({self})
+
+    def evaluate_abstract(self, assignment: Mapping["Atom", bool]) -> bool:
+        try:
+            return assignment[self]
+        except KeyError:
+            raise ConditionError(f"no truth value supplied for atom {self!r}") from None
+
+
+@dataclass(frozen=True)
+class _TrueCondition(Condition):
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        return True
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset()
+
+    def evaluate_abstract(self, assignment: Mapping[Atom, bool]) -> bool:
+        return True
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "true"
+
+
+@dataclass(frozen=True)
+class _FalseCondition(Condition):
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        return False
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset()
+
+    def evaluate_abstract(self, assignment: Mapping[Atom, bool]) -> bool:
+        return False
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "false"
+
+
+TRUE = _TrueCondition()
+FALSE = _FalseCondition()
+
+
+def _term_value(term: Term, valuation: Valuation) -> Value:
+    if isinstance(term, NullTerm):
+        return None
+    if isinstance(term, Const):
+        return term.value
+    try:
+        return valuation[term]
+    except KeyError:
+        raise ConditionError(f"unbound variable {term!r}") from None
+
+
+def _values_equal(left: Value, right: Value) -> bool:
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, Identifier) or isinstance(right, Identifier):
+        return left == right
+    return Fraction(left) == Fraction(right)
+
+
+@dataclass(frozen=True)
+class Eq(Atom):
+    """Equality between two terms of the same sort."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        lid, rid = is_id_term(self.left), is_id_term(self.right)
+        lnum, rnum = is_numeric_term(self.left), is_numeric_term(self.right)
+        if not ((lid and rid) or (lnum and rnum)):
+            raise ConditionError(
+                f"ill-sorted equality between {self.left!r} and {self.right!r}"
+            )
+
+    @property
+    def is_id_equality(self) -> bool:
+        return is_id_term(self.left)
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        return _values_equal(
+            _term_value(self.left, valuation), _term_value(self.right, valuation)
+        )
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        def ren(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return mapping.get(term, term)
+            return term
+
+        return Eq(ren(self.left), ren(self.right))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True)
+class RelationAtom(Atom):
+    """``R(x, a1, …, ak)`` with arguments in attribute order, ID first."""
+
+    relation: str
+    args: tuple[Term, ...]
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        rel = db.schema.relation(self.relation)
+        if len(self.args) != rel.arity:
+            raise ConditionError(
+                f"{self.relation}: atom arity {len(self.args)} != {rel.arity}"
+            )
+        wild = [isinstance(arg, WildcardTerm) for arg in self.args]
+        values = [
+            None if wild[i] else _term_value(self.args[i], valuation)
+            for i in range(len(self.args))
+        ]
+        if any(values[i] is None and not wild[i] for i in range(len(values))):
+            return False  # null argument makes the atom false (Section 2)
+        ident = values[0]
+        if not isinstance(ident, Identifier) or ident.relation != self.relation:
+            return False
+        row = db.lookup(ident)
+        if row is None:
+            return False
+        return all(
+            wild[i] or _values_equal(row[i], values[i]) for i in range(rel.arity)
+        )
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.args if isinstance(t, Variable))
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        args = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.args
+        )
+        return RelationAtom(self.relation, args)
+
+    def typecheck(self, db_schema) -> None:
+        """Static well-sortedness check against a database schema."""
+        rel = db_schema.relation(self.relation)
+        if len(self.args) != rel.arity:
+            raise ConditionError(
+                f"{self.relation}: atom arity {len(self.args)} != {rel.arity}"
+            )
+        names = rel.attribute_names
+        for position, (term, name) in enumerate(zip(self.args, names)):
+            if isinstance(term, WildcardTerm):
+                if position == 0:
+                    raise ConditionError(
+                        f"{self.relation}: the key position cannot be a wildcard"
+                    )
+                continue
+            attr = rel.attribute(name)
+            if attr.kind is AttributeKind.NUMERIC:
+                if not is_numeric_term(term):
+                    raise ConditionError(
+                        f"{self.relation}.{name}: numeric position got {term!r}"
+                    )
+            else:
+                if not (isinstance(term, Variable) and term.is_id):
+                    raise ConditionError(
+                        f"{self.relation}.{name}: id position needs an ID variable, "
+                        f"got {term!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class ArithAtom(Atom):
+    """A linear constraint over numeric variables (an atom of ``C``).
+
+    Unknowns of the underlying :class:`LinExpr` must be numeric
+    :class:`Variable` objects.
+    """
+
+    constraint: Constraint
+
+    def __post_init__(self) -> None:
+        for unknown in self.constraint.unknowns:
+            if not (isinstance(unknown, Variable) and unknown.is_numeric):
+                raise ConditionError(
+                    f"arithmetic atom over non-numeric unknown {unknown!r}"
+                )
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        values: dict[Variable, Fraction] = {}
+        for unknown in self.constraint.unknowns:
+            value = _term_value(unknown, valuation)
+            if value is None or isinstance(value, Identifier):
+                raise ConditionError(f"non-numeric value for {unknown!r}: {value!r}")
+            values[unknown] = Fraction(value)
+        return self.constraint.holds(values)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(self.constraint.unknowns)  # type: ignore[arg-type]
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        return ArithAtom(self.constraint.rename(mapping))
+
+    @property
+    def is_pure_equality(self) -> bool:
+        """True for atoms expressible without arithmetic: ``x - y = 0`` or
+        ``x - c = 0`` patterns with the EQ/NE relation (these are just
+        equality tests, allowed in Table-1 systems)."""
+        if self.constraint.rel not in (Rel.EQ, Rel.NE):
+            return False
+        expr = self.constraint.expr
+        coeffs = list(expr.coeffs.values())
+        if len(coeffs) == 1 and abs(coeffs[0]) == 1:
+            return True
+        if (
+            len(coeffs) == 2
+            and expr.constant == 0
+            and sorted(coeffs) == [Fraction(-1), Fraction(1)]
+        ):
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.constraint)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    body: Condition
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        return not self.body.evaluate(db, valuation)
+
+    def variables(self) -> frozenset[Variable]:
+        return self.body.variables()
+
+    def atoms(self) -> frozenset[Atom]:
+        return self.body.atoms()
+
+    def evaluate_abstract(self, assignment: Mapping[Atom, bool]) -> bool:
+        return not self.body.evaluate_abstract(assignment)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        return Not(self.body.rename(mapping))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"¬{self.body!r}"
+
+
+class _NaryCondition(Condition):
+    """Shared machinery for And / Or."""
+
+    op_name = "?"
+    _fold: Callable[[Iterable[bool]], bool]
+
+    def __init__(self, *parts: Condition):
+        flattened: list[Condition] = []
+        for part in parts:
+            if type(part) is type(self):
+                flattened.extend(part.parts)  # type: ignore[attr-defined]
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        return type(self)._fold(p.evaluate(db, valuation) for p in self.parts)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset().union(*(p.variables() for p in self.parts)) if self.parts else frozenset()
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset().union(*(p.atoms() for p in self.parts)) if self.parts else frozenset()
+
+    def evaluate_abstract(self, assignment: Mapping[Atom, bool]) -> bool:
+        return type(self)._fold(p.evaluate_abstract(assignment) for p in self.parts)
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        return type(self)(*(p.rename(mapping) for p in self.parts))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        joiner = f" {self.op_name} "
+        return "(" + joiner.join(repr(p) for p in self.parts) + ")"
+
+
+class And(_NaryCondition):
+    op_name = "∧"
+    _fold = staticmethod(all)
+
+
+class Or(_NaryCondition):
+    op_name = "∨"
+    _fold = staticmethod(any)
+
+
+def Implies(antecedent: Condition, consequent: Condition) -> Condition:
+    """Sugar: ``a → b`` is ``¬a ∨ b``."""
+    return Or(Not(antecedent), consequent)
+
+
+@dataclass(frozen=True)
+class Exists(Condition):
+    """Existential quantification — surface syntax only.
+
+    The concrete evaluator enumerates the active domain extended with null
+    (for ID variables) plus one off-domain numeric witness; complete for
+    arithmetic-free conditions.  The verifier handles positive ∃ natively
+    (fresh anonymous values), per the paper's remark that ∃FO conditions
+    are simulated by adding variables.
+    """
+
+    bound: tuple[Variable, ...]
+    body: Condition
+
+    def evaluate(self, db: DatabaseInstance, valuation: Valuation) -> bool:
+        domain = db.active_domain()
+        id_values = [v for v in domain if isinstance(v, Identifier)] + [None]
+        numeric_values = sorted(
+            {Fraction(v) for v in domain if not isinstance(v, Identifier)}
+        ) or [Fraction(0)]
+        # Include a fresh numeric value outside the active domain: real-
+        # valued ∃ can always be witnessed off-domain for disequalities.
+        numeric_pool = list(numeric_values) + [max(numeric_values, default=Fraction(0)) + 1]
+
+        def candidates(variable: Variable):
+            return id_values if variable.is_id else numeric_pool
+
+        base = dict(valuation)
+        for combo in itertools.product(*(candidates(v) for v in self.bound)):
+            extended = dict(base)
+            extended.update(zip(self.bound, combo))
+            if self.body.evaluate(db, extended):
+                return True
+        return False
+
+    def variables(self) -> frozenset[Variable]:
+        return self.body.variables() - frozenset(self.bound)
+
+    def atoms(self) -> frozenset[Atom]:
+        raise ConditionError("Exists must be desugared before symbolic use")
+
+    def evaluate_abstract(self, assignment: Mapping[Atom, bool]) -> bool:
+        raise ConditionError("Exists must be desugared before symbolic use")
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> Condition:
+        safe = {k: v for k, v in mapping.items() if k not in self.bound}
+        return Exists(self.bound, self.body.rename(safe))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(v.name for v in self.bound)
+        return f"∃{names}.{self.body!r}"

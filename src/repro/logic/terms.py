@@ -1,0 +1,137 @@
+"""Terms of conditions: artifact variables, numeric constants, and null.
+
+The paper fixes two disjoint infinite sets of variables: ``VAR_id`` (ID
+variables, ranging over tuple identifiers plus ``null``) and ``VAR_R``
+(numeric variables, ranging over the reals).  A :class:`Variable` carries
+its kind; ID variables may additionally be annotated with the relation
+whose ID domain they are expected to hold (used by static type checking of
+relation atoms — the runtime domain is the union of all ID domains).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.arith.linexpr import Coefficient
+
+
+class VarKind(enum.Enum):
+    ID = "id"
+    NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """An artifact variable (or HLTL-FO global variable)."""
+
+    name: str
+    kind: VarKind
+
+    @property
+    def is_id(self) -> bool:
+        return self.kind is VarKind.ID
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is VarKind.NUMERIC
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def id_var(name: str) -> Variable:
+    """Convenience constructor for an ID variable."""
+    return Variable(name, VarKind.ID)
+
+
+def num_var(name: str) -> Variable:
+    """Convenience constructor for a numeric variable."""
+    return Variable(name, VarKind.NUMERIC)
+
+
+@dataclass(frozen=True)
+class Const:
+    """A numeric constant (exact rational)."""
+
+    value: Fraction
+
+    @staticmethod
+    def of(value: Coefficient) -> "Const":
+        if isinstance(value, Fraction):
+            return Const(value)
+        if isinstance(value, int):
+            return Const(Fraction(value))
+        if isinstance(value, float):
+            return Const(Fraction(value).limit_denominator(10**12))
+        raise TypeError(f"not a numeric constant: {value!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self.value)
+
+
+class NullTerm:
+    """The special constant ``null`` (singleton)."""
+
+    _instance: "NullTerm | None" = None
+
+    def __new__(cls) -> "NullTerm":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "null"
+
+    def __hash__(self) -> int:
+        return hash("__null__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullTerm)
+
+
+NULL = NullTerm()
+
+
+class WildcardTerm:
+    """An unconstrained relation-atom position (singleton).
+
+    ``R(x, ＿, y)`` means "x's row has *some* value there".  Produced by
+    eliminating single-atom existentials (key dependencies make the row
+    unique, so ∃q R(x, q, y) ⟺ R(x, ＿, y)); never written by users.
+    """
+
+    _instance: "WildcardTerm | None" = None
+
+    def __new__(cls) -> "WildcardTerm":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "＿"
+
+    def __hash__(self) -> int:
+        return hash("__wildcard__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WildcardTerm)
+
+
+ANY = WildcardTerm()
+
+Term = Variable | Const | NullTerm | WildcardTerm
+
+
+def is_id_term(term: Term) -> bool:
+    """ID-sorted terms: ID variables and null."""
+    if isinstance(term, (NullTerm, WildcardTerm)):
+        return True
+    return isinstance(term, Variable) and term.is_id
+
+
+def is_numeric_term(term: Term) -> bool:
+    if isinstance(term, (Const, WildcardTerm)):
+        return True
+    return isinstance(term, Variable) and term.is_numeric

@@ -1,0 +1,49 @@
+"""Propositional LTL over opaque propositions (Section 3, Appendix B.2).
+
+Formulas are evaluated both on infinite words (standard semantics) and on
+finite words (the finite-trace semantics of Appendix B.2, strong next).
+``repro.ltl.automaton`` builds one automaton per formula carrying *both*
+acceptance conditions: Büchi acceptance for infinite runs and the final
+states ``Q_fin`` for finite runs, exactly as the paper's construction
+requires.
+"""
+
+from repro.ltl.formulas import (
+    Always,
+    AndF,
+    Eventually,
+    FalseF,
+    Formula,
+    Next,
+    NotF,
+    OrF,
+    Prop,
+    Release,
+    TrueF,
+    Until,
+    holds_finite,
+    holds_infinite_lasso,
+    nnf,
+)
+from repro.ltl.automaton import Automaton, Transition, build_automaton
+
+__all__ = [
+    "Always",
+    "AndF",
+    "Eventually",
+    "FalseF",
+    "Formula",
+    "Next",
+    "NotF",
+    "OrF",
+    "Prop",
+    "Release",
+    "TrueF",
+    "Until",
+    "holds_finite",
+    "holds_infinite_lasso",
+    "nnf",
+    "Automaton",
+    "Transition",
+    "build_automaton",
+]

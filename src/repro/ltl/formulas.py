@@ -1,0 +1,281 @@
+"""LTL formula ASTs, negation normal form, and reference semantics.
+
+Propositions wrap arbitrary hashable payloads; HLTL-FO instantiates them
+with FO conditions, service references, and child-task formulas.
+
+The reference evaluators here (:func:`holds_finite` over finite words,
+:func:`holds_infinite_lasso` over ultimately-periodic words) implement the
+textbook semantics directly; tests use them to cross-check the automaton
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Hashable, Mapping, Sequence
+
+Payload = Hashable
+Letter = Mapping[Payload, bool]
+
+
+class Formula:
+    """Base class; immutable and hashable."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return AndF(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return OrF(self, other)
+
+    def __invert__(self) -> "Formula":
+        return NotF(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return OrF(NotF(self), other)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    payload: Payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"p[{self.payload!r}]"
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    body: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"¬{self.body!r}"
+
+
+class _Binary(Formula):
+    symbol = "?"
+
+    def __init__(self, *parts: Formula):
+        if len(parts) < 1:
+            raise ValueError("connective needs at least one operand")
+        self.parts = tuple(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + f" {self.symbol} ".join(repr(p) for p in self.parts) + ")"
+
+
+class AndF(_Binary):
+    symbol = "∧"
+
+
+class OrF(_Binary):
+    symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    body: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"X {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} U {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} R {self.right!r})"
+
+
+def Eventually(body: Formula) -> Formula:
+    """F φ ≡ true U φ."""
+    return Until(TrueF(), body)
+
+
+def Always(body: Formula) -> Formula:
+    """G φ ≡ false R φ."""
+    return Release(FalseF(), body)
+
+
+# ----------------------------------------------------------------------
+# negation normal form
+# ----------------------------------------------------------------------
+def nnf(formula: Formula, negated: bool = False) -> Formula:
+    """Push negations to the propositions (X/U/R dualities)."""
+    if isinstance(formula, TrueF):
+        return FalseF() if negated else formula
+    if isinstance(formula, FalseF):
+        return TrueF() if negated else formula
+    if isinstance(formula, Prop):
+        return NotF(formula) if negated else formula
+    if isinstance(formula, NotF):
+        return nnf(formula.body, not negated)
+    if isinstance(formula, AndF):
+        parts = tuple(nnf(p, negated) for p in formula.parts)
+        return OrF(*parts) if negated else AndF(*parts)
+    if isinstance(formula, OrF):
+        parts = tuple(nnf(p, negated) for p in formula.parts)
+        return AndF(*parts) if negated else OrF(*parts)
+    if isinstance(formula, Next):
+        return Next(nnf(formula.body, negated))
+    if isinstance(formula, Until):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return Release(left, right) if negated else Until(left, right)
+    if isinstance(formula, Release):
+        left, right = nnf(formula.left, negated), nnf(formula.right, negated)
+        return Until(left, right) if negated else Release(left, right)
+    raise TypeError(f"not an LTL formula: {formula!r}")
+
+
+def _letter_value(letter: Letter, payload: Payload) -> bool:
+    return bool(letter.get(payload, False))
+
+
+# ----------------------------------------------------------------------
+# reference semantics
+# ----------------------------------------------------------------------
+def holds_finite(formula: Formula, word: Sequence[Letter], position: int = 0) -> bool:
+    """Finite-trace semantics of Appendix B.2 (strong next).
+
+    The word must be non-empty; ``position`` must be a valid index.
+    """
+    if not word:
+        raise ValueError("finite semantics is defined on non-empty words")
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Prop):
+        return _letter_value(word[position], formula.payload)
+    if isinstance(formula, NotF):
+        return not holds_finite(formula.body, word, position)
+    if isinstance(formula, AndF):
+        return all(holds_finite(p, word, position) for p in formula.parts)
+    if isinstance(formula, OrF):
+        return any(holds_finite(p, word, position) for p in formula.parts)
+    if isinstance(formula, Next):
+        return position + 1 < len(word) and holds_finite(formula.body, word, position + 1)
+    if isinstance(formula, Until):
+        for k in range(position, len(word)):
+            if holds_finite(formula.right, word, k):
+                return True
+            if not holds_finite(formula.left, word, k):
+                return False
+        return False
+    if isinstance(formula, Release):
+        # a R b ≡ ¬(¬a U ¬b)
+        return not holds_finite(
+            Until(nnf(formula.left, True), nnf(formula.right, True)), word, position
+        )
+    raise TypeError(f"not an LTL formula: {formula!r}")
+
+
+def holds_infinite_lasso(
+    formula: Formula, prefix: Sequence[Letter], loop: Sequence[Letter]
+) -> bool:
+    """Standard ω-semantics on the ultimately periodic word prefix·loop^ω.
+
+    Evaluated by unrolling: positions up to ``len(prefix) + 2·len(loop)·|φ|``
+    determine satisfaction for any formula over a lasso word (each temporal
+    subformula's value is periodic with the loop after the prefix), so we
+    memoize over (formula, position-class).
+    """
+    if not loop:
+        raise ValueError("lasso words need a non-empty loop")
+    plen, llen = len(prefix), len(loop)
+
+    def letter(position: int) -> Letter:
+        if position < plen:
+            return prefix[position]
+        return loop[(position - plen) % llen]
+
+    def canon(position: int) -> int:
+        if position < plen:
+            return position
+        return plen + (position - plen) % llen
+
+    @lru_cache(maxsize=None)
+    def sat(f: Formula, pos: int) -> bool:
+        # pos is always canonical here
+        if isinstance(f, TrueF):
+            return True
+        if isinstance(f, FalseF):
+            return False
+        if isinstance(f, Prop):
+            return _letter_value(letter(pos), f.payload)
+        if isinstance(f, NotF):
+            return not sat(f.body, pos)
+        if isinstance(f, AndF):
+            return all(sat(p, pos) for p in f.parts)
+        if isinstance(f, OrF):
+            return any(sat(p, pos) for p in f.parts)
+        if isinstance(f, Next):
+            return sat(f.body, canon(pos + 1))
+        if isinstance(f, (Until, Release)):
+            # all positions reachable from pos have canonical index < plen+llen;
+            # check over one full sweep of prefix + two loop unrollings
+            horizon = plen + 2 * llen
+            if isinstance(f, Until):
+                for k in range(pos, pos + horizon):
+                    ck = canon(k)
+                    if sat(f.right, ck):
+                        return True
+                    if not sat(f.left, ck):
+                        return False
+                return False
+            # Release: b holds until (and including when) a holds; or b forever
+            for k in range(pos, pos + horizon):
+                ck = canon(k)
+                if not sat(f.right, ck):
+                    return False
+                if sat(f.left, ck):
+                    return True
+            return True
+        raise TypeError(f"not an LTL formula: {f!r}")
+
+    return sat(formula, 0)
+
+
+def propositions(formula: Formula) -> frozenset[Payload]:
+    """All proposition payloads occurring in the formula."""
+    if isinstance(formula, Prop):
+        return frozenset({formula.payload})
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, NotF):
+        return propositions(formula.body)
+    if isinstance(formula, (AndF, OrF)):
+        return frozenset().union(*(propositions(p) for p in formula.parts))
+    if isinstance(formula, Next):
+        return propositions(formula.body)
+    if isinstance(formula, (Until, Release)):
+        return propositions(formula.left) | propositions(formula.right)
+    raise TypeError(f"not an LTL formula: {formula!r}")

@@ -1,0 +1,19 @@
+"""Executable reductions: Theorem 11 (RB-VASS → HAS + LTL) and Theorem 24
+(PCP → HAS with a lifted restriction)."""
+
+from repro.reductions.rb_vass import RBVASS, RBAction, RESET
+from repro.reductions.theorem11 import theorem11_construction, Theorem11Artifacts
+from repro.reductions.pcp import PCPInstance, solve_pcp_bounded
+from repro.reductions.theorem24 import lifted_restriction_systems, LiftedRestriction
+
+__all__ = [
+    "RBVASS",
+    "RBAction",
+    "RESET",
+    "theorem11_construction",
+    "Theorem11Artifacts",
+    "PCPInstance",
+    "solve_pcp_bounded",
+    "lifted_restriction_systems",
+    "LiftedRestriction",
+]

@@ -1,0 +1,95 @@
+"""Post's Correspondence Problem instances (Theorem 24's reduction source).
+
+A PCP instance is a list of pairs (uᵢ, vᵢ) of words; a *solution* is a
+non-empty index sequence i₁…iₖ with u_{i₁}…u_{iₖ} = v_{i₁}…v_{iₖ}.
+The problem is undecidable [Post 1947]; Theorem 24 reduces it to
+verification of HAS with any one of the eight restrictions lifted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class PCPInstance:
+    pairs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("PCP instances need at least one pair")
+        for u, v in self.pairs:
+            if not (u or v):
+                raise ValueError("pairs cannot both be empty")
+
+    def apply(self, indices: Sequence[int]) -> tuple[str, str]:
+        top = "".join(self.pairs[i][0] for i in indices)
+        bottom = "".join(self.pairs[i][1] for i in indices)
+        return top, bottom
+
+    def is_solution(self, indices: Sequence[int]) -> bool:
+        if not indices:
+            return False
+        top, bottom = self.apply(indices)
+        return top == bottom
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        letters: set[str] = set()
+        for u, v in self.pairs:
+            letters.update(u)
+            letters.update(v)
+        return frozenset(letters)
+
+
+def solve_pcp_bounded(
+    instance: PCPInstance, max_length: int
+) -> tuple[int, ...] | None:
+    """Breadth-first search for a solution up to ``max_length`` indices.
+
+    PCP is undecidable in general; the bounded solver exists to label the
+    generated HAS instances (solvable / not within the bound) in tests and
+    benchmarks.  Prunes by prefix compatibility.
+    """
+    # state: the outstanding difference (suffix of the longer word, +side)
+    start = ("", 0)  # (difference, +1 top ahead / -1 bottom ahead / 0 equal)
+    frontier: list[tuple[str, int, tuple[int, ...]]] = [("", 0, ())]
+    seen: set[tuple[str, int]] = {start}
+    while frontier:
+        next_frontier: list[tuple[str, int, tuple[int, ...]]] = []
+        for difference, side, indices in frontier:
+            if len(indices) >= max_length:
+                continue
+            for index, (u, v) in enumerate(instance.pairs):
+                top = (difference if side > 0 else "") + u
+                bottom = (difference if side < 0 else "") + v
+                if top.startswith(bottom):
+                    new_diff, new_side = top[len(bottom):], 1
+                elif bottom.startswith(top):
+                    new_diff, new_side = bottom[len(top):], -1
+                else:
+                    continue
+                new_indices = indices + (index,)
+                if not new_diff:
+                    return new_indices
+                key = (new_diff, new_side)
+                if key not in seen:
+                    seen.add(key)
+                    next_frontier.append((new_diff, new_side, new_indices))
+        frontier = next_frontier
+    return None
+
+
+def classic_unsolvable() -> PCPInstance:
+    """A small instance with no solution (length mismatch invariant)."""
+    return PCPInstance((("ab", "abb"), ("b", "bb")))
+
+
+def classic_solvable() -> PCPInstance:
+    """The textbook solvable instance: solution (2, 1, 3) → bba|ab|aa... .
+
+    pairs: (a, baa), (ab, aa), (bba, bb); solution [3,2,3,1] 1-indexed.
+    """
+    return PCPInstance((("a", "baa"), ("ab", "aa"), ("bba", "bb")))

@@ -1,0 +1,112 @@
+"""RB-VASS: VASS with reset arcs and bounded lossiness (Appendix B.3).
+
+The undecidability of LTL(-FO) over HAS (Theorem 11) is proved by
+reduction from repeated state reachability of RB-VASS with lossiness
+bound 1 [Mayr 2003].  This module gives RB-VASS an executable semantics
+(used to sanity-check the Theorem-11 construction on small instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+State = Hashable
+RESET = "r"  # action component: reset the counter to 0
+
+
+@dataclass(frozen=True)
+class RBAction:
+    """``(p, ā, q)`` with ā ∈ {−1, +1, r}^d."""
+
+    source: State
+    delta: tuple  # entries: -1 | +1 | RESET
+    target: State
+
+
+@dataclass
+class RBVASS:
+    """Reset VASS with lossiness bound 1: after applying an action, each
+    non-reset counter may additionally drop by one, nondeterministically."""
+
+    dimension: int
+    states: set[State] = field(default_factory=set)
+    actions: list[RBAction] = field(default_factory=list)
+
+    def add_action(self, source: State, delta: Sequence, target: State) -> RBAction:
+        if len(delta) != self.dimension:
+            raise ValueError("bad action dimension")
+        for entry in delta:
+            if entry not in (-1, 1, RESET):
+                raise ValueError(f"bad action entry {entry!r}")
+        action = RBAction(source, tuple(delta), target)
+        self.states.add(source)
+        self.states.add(target)
+        self.actions.append(action)
+        return action
+
+    def successors(
+        self, state: State, counters: tuple[int, ...]
+    ) -> Iterator[tuple[State, tuple[int, ...]]]:
+        """All successor configurations (lossiness included)."""
+        for action in self.actions:
+            if action.source != state:
+                continue
+            base: list[int | None] = []
+            feasible = True
+            loss_positions: list[int] = []
+            for index, entry in enumerate(action.delta):
+                if entry == RESET:
+                    base.append(0)
+                    continue
+                value = counters[index] + entry
+                if value < 0:
+                    feasible = False
+                    break
+                base.append(value)
+                loss_positions.append(index)
+            if not feasible:
+                continue
+            # lossiness bound 1: each non-reset counter may drop by one more
+            droppable = [i for i in loss_positions if base[i] > 0]
+            for drop_set in _subsets(droppable):
+                result = list(base)
+                for index in drop_set:
+                    result[index] -= 1
+                yield action.target, tuple(result)  # type: ignore[arg-type]
+
+    def repeated_reachable_bounded(
+        self, start: State, target: State, counter_cap: int, max_steps: int = 100_000
+    ) -> bool:
+        """Semi-decision: is there a run visiting ``target`` twice with a
+        non-decreasing counter vector, exploring counters up to a cap?
+
+        The general problem is undecidable (that is the point of Theorem
+        11); the bounded search is used only to sanity-check instances.
+        """
+        seen: set[tuple[State, tuple[int, ...]]] = set()
+        zero = tuple([0] * self.dimension)
+        stack: list[tuple[State, tuple[int, ...], list]] = [(start, zero, [])]
+        steps = 0
+        while stack and steps < max_steps:
+            steps += 1
+            state, counters, visits = stack.pop()
+            if state == target:
+                for earlier in visits:
+                    if all(a <= b for a, b in zip(earlier, counters)):
+                        return True
+                visits = visits + [counters]
+            key = (state, counters)
+            if key in seen:
+                continue
+            seen.add(key)
+            for next_state, next_counters in self.successors(state, counters):
+                if all(value <= counter_cap for value in next_counters):
+                    stack.append((next_state, next_counters, visits))
+        return False
+
+
+def _subsets(items: list[int]) -> Iterator[tuple[int, ...]]:
+    for size in range(len(items) + 1):
+        yield from itertools.combinations(items, size)

@@ -1,0 +1,181 @@
+"""The Theorem 11 construction (Appendix B.3, Figure 2): from an RB-VASS
+``(Q, A)`` and states (q0, qf), build a HAS Γ and an LTL formula Φ over Σ
+such that qf is repeatedly reachable iff some global run of Γ satisfies Φ.
+
+The HAS (Figure 2):
+
+* root task T1 with children P0, P1 … Pd;
+* P0 holds a numeric variable ``s`` (the RB-VASS state) with one service
+  σ_q per state q;
+* each Pi (i ≥ 1) has one no-op service σ_ri (the *reset* signal) and a
+  child Ci with an artifact relation Si whose size encodes counter i —
+  services σ+_i / σ−_i insert/retrieve, and closing/reopening Ci resets
+  Si to ∅ (the paper's encoding of reset arcs; the ±1 lossiness comes
+  from insertion collisions and double retrievals).
+
+Φ forces the services of sibling tasks to follow the action structure of
+the RB-VASS — a *cross-sibling* coordination that HLTL-FO deliberately
+cannot express, which is the heart of the undecidability argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.database.schema import DatabaseSchema, Relation
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import CondProp, ServiceProp
+from repro.hltl.ltlfo import LTLFOProperty
+from repro.logic.conditions import Eq, TRUE
+from repro.logic.terms import Const, id_var, num_var
+from repro.ltl.formulas import (
+    Always,
+    AndF,
+    Eventually,
+    Formula,
+    Next,
+    OrF,
+    Prop,
+    TrueF,
+)
+from repro.reductions.rb_vass import RBVASS, RESET
+from repro.runtime import labels
+
+
+@dataclass
+class Theorem11Artifacts:
+    """The output of the construction: the HAS and the LTL property."""
+
+    has: HAS
+    formula: LTLFOProperty
+    state_index: dict  # RB-VASS state -> numeric constant
+
+
+def theorem11_construction(
+    rb: RBVASS, q0, qf
+) -> Theorem11Artifacts:
+    """Build (Γ, Φ) per Lemma 25."""
+    schema = DatabaseSchema((Relation("R", ()),))
+    state_index = {state: i for i, state in enumerate(sorted(rb.states, key=repr))}
+
+    # P0: the state holder
+    s_var = num_var("p0_s")
+    state_services = tuple(
+        InternalService(
+            f"sigma_{state_index[state]}",
+            pre=TRUE,
+            post=Eq(s_var, Const(state_index[state])),
+        )
+        for state in sorted(rb.states, key=repr)
+    )
+    p0 = Task(
+        name="P0",
+        variables=(s_var,),
+        services=state_services,
+        opening=OpeningService(pre=TRUE, input_map={}),
+        closing=ClosingService(),
+    )
+
+    counter_tasks = []
+    for index in range(rb.dimension):
+        x = id_var(f"c{index}_x")
+        insert = InternalService(
+            f"plus_{index}", pre=TRUE, post=TRUE, update=SetUpdate.INSERT
+        )
+        retrieve = InternalService(
+            f"minus_{index}", pre=TRUE, post=TRUE, update=SetUpdate.RETRIEVE
+        )
+        c_task = Task(
+            name=f"C{index}",
+            variables=(x,),
+            set_variables=(x,),
+            services=(insert, retrieve),
+            opening=OpeningService(pre=TRUE, input_map={}),
+            closing=ClosingService(pre=TRUE, output_map={}),
+        )
+        reset = InternalService(f"reset_{index}", pre=TRUE, post=TRUE)
+        p_task = Task(
+            name=f"P{index + 1}",
+            variables=(num_var(f"p{index + 1}_pad"),),
+            services=(reset,),
+            opening=OpeningService(pre=TRUE, input_map={}),
+            closing=ClosingService(),
+            children=(c_task,),
+        )
+        counter_tasks.append(p_task)
+
+    root = Task(
+        name="T1",
+        variables=(num_var("t1_pad"),),
+        services=(),
+        opening=OpeningService(),
+        closing=ClosingService(),
+        children=(p0,) + tuple(counter_tasks),
+    )
+    has = HAS(schema, root, name="theorem11")
+
+    formula = _build_formula(rb, has, state_index, qf)
+    return Theorem11Artifacts(has, formula, state_index)
+
+
+def _sigma(state_index: dict, state) -> Formula:
+    return Prop(ServiceProp(labels.internal("P0", f"sigma_{state_index[state]}")))
+
+
+def _build_formula(rb: RBVASS, has: HAS, state_index: dict, qf) -> LTLFOProperty:
+    """Φ = Φ_init ∧ ⋀_p G(σ_p → ⋁_{α∈α(p)} ϕ(α)) ∧ G F σ_qf."""
+
+    def phi_action(action) -> Formula:
+        # φ_{d+1} = X σ_q ; compose down from dimension d to 1
+        current: Formula = Next(_sigma(state_index, action.target))
+        for index in range(rb.dimension - 1, -1, -1):
+            entry = action.delta[index]
+            plus = Prop(ServiceProp(labels.internal(f"C{index}", f"plus_{index}")))
+            minus = Prop(ServiceProp(labels.internal(f"C{index}", f"minus_{index}")))
+            reset = Prop(ServiceProp(labels.internal(f"P{index + 1}", f"reset_{index}")))
+            close_c = Prop(ServiceProp(labels.closing(f"C{index}")))
+            open_c = Prop(ServiceProp(labels.opening(f"C{index}")))
+            if entry == 1:
+                current = AndF(plus, Next(current))
+            elif entry == -1:
+                once = AndF(minus, Next(current))
+                twice = AndF(minus, Next(AndF(minus, Next(current))))
+                current = OrF(once, twice)
+            else:  # RESET: close C_i, signal, reopen
+                current = AndF(
+                    close_c, Next(AndF(reset, Next(AndF(open_c, Next(current)))))
+                )
+        return Next(current)
+
+    conjuncts: list[Formula] = []
+    # Φ_init: all tasks opened, then some σ_q0 — abstracted as "eventually
+    # a state service fires" with the first being q0
+    init = Eventually(
+        OrF(*(_sigma(state_index, s) for s in sorted(rb.states, key=repr)))
+    )
+    conjuncts.append(init)
+    for state in sorted(rb.states, key=repr):
+        outgoing = [a for a in rb.actions if a.source == state]
+        body: Formula = (
+            OrF(*(phi_action(a) for a in outgoing)) if outgoing else TrueF()
+        )
+        conjuncts.append(Always(_sigma(state_index, state).implies(body)))
+    conjuncts.append(Always(Eventually(_sigma(state_index, qf))))
+    formula = AndF(*conjuncts)
+    return LTLFOProperty(formula, task_of={})
+
+
+def formula_size(formula: Formula) -> int:
+    """Node count of an LTL formula (the scaling measure of experiment F2)."""
+    from repro.ltl.formulas import NotF, Release, Until
+
+    if isinstance(formula, (Prop, TrueF)):
+        return 1
+    if isinstance(formula, (AndF, OrF)):
+        return 1 + sum(formula_size(p) for p in formula.parts)
+    if isinstance(formula, (Next, NotF)):
+        return 1 + formula_size(formula.body)
+    if isinstance(formula, (Until, Release)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    return 1

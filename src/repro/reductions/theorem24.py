@@ -1,0 +1,178 @@
+"""Theorem 24: lifting any of the eight restrictions is undecidable.
+
+The proofs reduce PCP to verification of ``HAS(i)`` — HAS with restriction
+``i`` lifted.  This module makes the reductions *tangible*:
+
+* :func:`lifted_restriction_systems` documents, for every restriction,
+  what the lifted model would allow and how a PCP instance is encoded
+  (the chain-extraction idea sketched in Appendix E);
+* for restriction (2) — the one the paper sketches in detail — we build
+  the *database layout* of the encoding explicitly: a linked list of
+  cells spelling a candidate PCP solution, which a HAS(2) could traverse
+  by repeatedly overwriting non-null parent variables;
+* the strict validator (``repro.has.restrictions``) rejects restriction-3
+  violations statically, and the runtime checkers reject runs violating
+  the semantic restrictions, which the tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.database.instance import DatabaseInstance, Identifier
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+from repro.reductions.pcp import PCPInstance
+
+RESTRICTIONS = {
+    1: "internal transitions propagate only the task's input parameters",
+    2: "returns overwrite only null parent ID variables",
+    3: "returned parent variables are disjoint from the parent's inputs",
+    4: "internal transitions require all active subtasks to have returned",
+    5: "each task has exactly one artifact relation",
+    6: "the artifact relation is reset to empty when the task closes",
+    7: "the inserted/retrieved tuple is the fixed s̄^T",
+    8: "each subtask is called at most once between internal transitions",
+}
+
+
+@dataclass(frozen=True)
+class LiftedRestriction:
+    """Description of one HAS(i) reduction."""
+
+    index: int
+    restriction: str
+    mechanism: str
+    uses_arithmetic: bool
+
+
+def lifted_restriction_systems() -> tuple[LiftedRestriction, ...]:
+    """The per-restriction reduction mechanisms (Section 6 / Appendix E)."""
+    return (
+        LiftedRestriction(
+            1,
+            RESTRICTIONS[1],
+            "propagating a non-input cursor variable across internal "
+            "transitions walks an unbounded FK chain; the chain's labels "
+            "spell a PCP solution",
+            False,
+        ),
+        LiftedRestriction(
+            2,
+            RESTRICTIONS[2],
+            "a child called repeatedly overwrites the parent's non-null "
+            "cursor with the next cell of the chain (Appendix E) — "
+            "unbounded data flow through a single variable",
+            False,
+        ),
+        LiftedRestriction(
+            3,
+            RESTRICTIONS[3],
+            "returning into the parent's inputs lets the next call see a "
+            "moved cursor, same chain walk",
+            False,
+        ),
+        LiftedRestriction(
+            4,
+            RESTRICTIONS[4],
+            "interleaving internal transitions with an active child leaks "
+            "intermediate cursors between the two, composing two walks",
+            False,
+        ),
+        LiftedRestriction(
+            5,
+            RESTRICTIONS[5],
+            "two artifact relations implement a queue (two stacks), i.e. a "
+            "Turing tape",
+            False,
+        ),
+        LiftedRestriction(
+            6,
+            RESTRICTIONS[6],
+            "a persistent artifact relation carries unbounded state across "
+            "repeated child invocations",
+            False,
+        ),
+        LiftedRestriction(
+            7,
+            RESTRICTIONS[7],
+            "inserting varying tuples encodes position-indexed chain cells",
+            False,
+        ),
+        LiftedRestriction(
+            8,
+            RESTRICTIONS[8],
+            "unboundedly many child calls per segment, with numeric "
+            "accumulation across calls, count matched word lengths — the "
+            "only reduction needing arithmetic (liftable without numeric "
+            "variables at no cost, as the paper notes)",
+            True,
+        ),
+    )
+
+
+def pcp_chain_schema() -> DatabaseSchema:
+    """The database layout of the Appendix-E encoding: CELL is a linked
+    list whose ``letter``/``pair`` attributes spell a candidate solution."""
+    return DatabaseSchema(
+        (
+            Relation(
+                "CELL",
+                (
+                    numeric("letter"),
+                    numeric("pair_index"),
+                    numeric("side"),  # 1 = top word u_i, 2 = bottom word v_i
+                    foreign_key("next", "CELL"),
+                ),
+            ),
+        )
+    )
+
+
+def encode_candidate(
+    instance: PCPInstance, indices: list[int]
+) -> DatabaseInstance:
+    """A CELL chain spelling the candidate solution ``indices``.
+
+    A HAS(2) (restriction 2 lifted) can walk this chain with a repeatedly
+    re-called child task overwriting the parent's cursor, verifying that
+    the top and bottom spellings agree — which is exactly how the
+    Theorem 24 proof extracts unbounded words from the database.
+    """
+    letters = sorted(instance.alphabet)
+    letter_code = {letter: Fraction(i + 1) for i, letter in enumerate(letters)}
+    db = DatabaseInstance(pcp_chain_schema())
+    cells: list[tuple[str, Fraction, Fraction, Fraction]] = []
+    for position, index in enumerate(indices):
+        u, v = instance.pairs[index]
+        for offset, letter in enumerate(u):
+            cells.append(
+                (f"t{position}_{offset}", letter_code[letter], Fraction(index), Fraction(1))
+            )
+        for offset, letter in enumerate(v):
+            cells.append(
+                (f"b{position}_{offset}", letter_code[letter], Fraction(index), Fraction(2))
+            )
+    # link each cell to the next (the last cell points to itself)
+    for position, (label, letter, pair, side) in enumerate(cells):
+        next_label = cells[position + 1][0] if position + 1 < len(cells) else label
+        db.add("CELL", label, letter, pair, side, next_label)
+    db.validate()
+    return db
+
+
+def chain_spells_solution(db: DatabaseInstance, instance: PCPInstance) -> bool:
+    """Decode the chain back and check the PCP solution condition — the
+    check a HAS(2) performs along its walk."""
+    letters = sorted(instance.alphabet)
+    code_letter = {Fraction(i + 1): letter for i, letter in enumerate(letters)}
+    top: list[str] = []
+    bottom: list[str] = []
+    rows = sorted(db.rows("CELL"), key=lambda r: r[0].label)
+    for row in rows:
+        _ident, letter, _pair, side, _next = row
+        if side == Fraction(1):
+            top.append(code_letter[Fraction(letter)])
+        else:
+            bottom.append(code_letter[Fraction(letter)])
+    return bool(top) and top == bottom

@@ -1,0 +1,31 @@
+"""Concrete operational semantics of HAS (Definitions 8–10, Appendix B.1).
+
+This package implements task instances, local transitions, local runs,
+trees of local runs, global runs obtained by interleaving, and a
+best-effort forward simulator used by examples and by cross-validation
+tests of the symbolic verifier.
+"""
+
+from repro.runtime.labels import ServiceKind, ServiceRef
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.local_run import LocalRun, Step, validate_local_run
+from repro.runtime.tree import RunTree, RunTreeNode, validate_run_tree
+from repro.runtime.global_run import GlobalConfig, linearize
+from repro.runtime.simulator import Simulator, SimulationConfig
+
+__all__ = [
+    "ServiceKind",
+    "ServiceRef",
+    "TaskState",
+    "initial_state",
+    "LocalRun",
+    "Step",
+    "validate_local_run",
+    "RunTree",
+    "RunTreeNode",
+    "validate_run_tree",
+    "GlobalConfig",
+    "linearize",
+    "Simulator",
+    "SimulationConfig",
+]

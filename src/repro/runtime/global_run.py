@@ -1,0 +1,224 @@
+"""Global runs as interleavings of a tree of local runs (Appendix B.1).
+
+Events of the tree are the steps of all local runs, quotiented by the
+equivalence ∼ of Appendix B.1: the parent's ``σ^o_Tc`` step and the child's
+first step form one event, and (for returning children) the parent's
+``σ^c_Tc`` step and the child's last step form one event.  A *global run*
+is a linear extension of the induced partial order ⪯, lifted to full HAS
+configurations.  :func:`linearize` enumerates them for finite trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from repro.database.instance import Value
+from repro.errors import RunError
+from repro.has.system import HAS
+from repro.logic.terms import Variable, VarKind
+from repro.runtime.labels import ServiceKind, ServiceRef
+from repro.runtime.local_run import LocalRun
+from repro.runtime.state import SetTuple
+from repro.runtime.tree import RunTree, RunTreeNode
+
+
+class Stage(enum.Enum):
+    INIT = "init"
+    ACTIVE = "active"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class GlobalConfig:
+    """One snapshot of a global run: ``(ν̄, stg, S̄)`` plus the service that
+    produced it."""
+
+    service: ServiceRef
+    valuations: Mapping[Variable, Value]
+    stages: Mapping[str, Stage]
+    sets: Mapping[str, frozenset[SetTuple]]
+
+
+@dataclass(frozen=True)
+class _Event:
+    node_id: int
+    step_index: int
+
+
+def _close_after(run: LocalRun, index: int, child_name: str) -> int | None:
+    for position in range(index + 1, len(run.steps)):
+        service = run.steps[position].service
+        if service.kind is ServiceKind.CLOSING and service.task == child_name:
+            return position
+    return None
+
+
+class _TreeIndex:
+    """Event classes of a finite tree and the partial order ⪯ over them."""
+
+    def __init__(self, tree: RunTree):
+        self.nodes: list[RunTreeNode] = list(tree.walk())
+        self.node_ids = {id(node): idx for idx, node in enumerate(self.nodes)}
+        # representative: event -> class representative event
+        self.rep: dict[_Event, _Event] = {}
+        # companion: representative -> merged child-side event (if any)
+        self.companion: dict[_Event, _Event] = {}
+        events = [
+            _Event(node_id, step_index)
+            for node_id, node in enumerate(self.nodes)
+            for step_index in range(len(node.run.steps))
+        ]
+        for event in events:
+            self.rep[event] = event
+        for node_id, node in enumerate(self.nodes):
+            run = node.run
+            for open_index, child_node in node.children.items():
+                child_id = self.node_ids[id(child_node)]
+                child_run = child_node.run
+                parent_open = _Event(node_id, open_index)
+                child_first = _Event(child_id, 0)
+                self.rep[child_first] = parent_open
+                self.companion[parent_open] = child_first
+                if child_run.complete and child_run.is_returning:
+                    close_index = _close_after(run, open_index, child_run.task.name)
+                    if close_index is not None:
+                        parent_close = _Event(node_id, close_index)
+                        child_last = _Event(child_id, len(child_run.steps) - 1)
+                        self.rep[child_last] = parent_close
+                        self.companion[parent_close] = child_last
+        self.classes = sorted(
+            {self.rep[e] for e in events},
+            key=lambda e: (e.node_id, e.step_index),
+        )
+        self.preds: dict[_Event, set[_Event]] = {c: set() for c in self.classes}
+        for event in events:
+            if event.step_index == 0:
+                continue
+            earlier = _Event(event.node_id, event.step_index - 1)
+            source, target = self.rep[earlier], self.rep[event]
+            if source != target:
+                self.preds[target].add(source)
+
+
+def linearize(
+    has: HAS, tree: RunTree, limit: int | None = 1
+) -> Iterator[list[GlobalConfig]]:
+    """Yield up to ``limit`` global runs induced by the tree (all when
+    ``limit`` is None).  The tree must be finite and full."""
+    if tree.root.run.task.name != has.root.name:
+        raise RunError("global runs require a full tree (rooted at the root task)")
+    index = _TreeIndex(tree)
+    produced = 0
+    for order in _topological_orders(index):
+        yield _lift(has, index, order)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def count_linearizations(has: HAS, tree: RunTree, cap: int = 10_000) -> int:
+    """Number of distinct interleavings (up to ``cap``)."""
+    total = 0
+    for _ in linearize(has, tree, limit=cap):
+        total += 1
+    return total
+
+
+def _topological_orders(index: _TreeIndex) -> Iterator[list[_Event]]:
+    """All linear extensions of ⪯ over event classes (lazily)."""
+    remaining = set(index.classes)
+    indegree = {c: len(index.preds[c]) for c in index.classes}
+    order: list[_Event] = []
+
+    def backtrack() -> Iterator[list[_Event]]:
+        if not remaining:
+            yield list(order)
+            return
+        ready = sorted(
+            (c for c in remaining if indegree[c] == 0),
+            key=lambda c: (c.node_id, c.step_index),
+        )
+        for event in ready:
+            remaining.discard(event)
+            order.append(event)
+            decremented = []
+            for other in remaining:
+                if event in index.preds[other]:
+                    indegree[other] -= 1
+                    decremented.append(other)
+            yield from backtrack()
+            for other in decremented:
+                indegree[other] += 1
+            order.pop()
+            remaining.add(event)
+
+    yield from backtrack()
+
+
+def _lift(has: HAS, index: _TreeIndex, order: list[_Event]) -> list[GlobalConfig]:
+    """Lift a linearization of event classes to global configurations."""
+    valuations: dict[Variable, Value] = {}
+    for task in has.tasks():
+        for variable in task.variables:
+            valuations[variable] = None if variable.kind is VarKind.ID else Fraction(0)
+    stages: dict[str, Stage] = {task.name: Stage.INIT for task in has.tasks()}
+    sets: dict[str, frozenset[SetTuple]] = {
+        task.name: frozenset() for task in has.tasks()
+    }
+    configs: list[GlobalConfig] = []
+    for event in order:
+        configs.append(_apply(has, index, event, valuations, stages, sets))
+    return configs
+
+
+def _apply(
+    has: HAS,
+    index: _TreeIndex,
+    event: _Event,
+    valuations: dict[Variable, Value],
+    stages: dict[str, Stage],
+    sets: dict[str, frozenset[SetTuple]],
+) -> GlobalConfig:
+    node = index.nodes[event.node_id]
+    run = node.run
+    step = run.steps[event.step_index]
+    task = run.task
+    service = step.service
+
+    def load(local_run: LocalRun, state) -> None:
+        for variable in local_run.task.variables:
+            valuations[variable] = state.valuation[variable]
+        sets[local_run.task.name] = state.set_contents
+
+    if service.kind is ServiceKind.INTERNAL:
+        load(run, step.state)
+        for descendant in task.descendants():
+            stages[descendant.name] = Stage.INIT
+    elif service.kind is ServiceKind.OPENING and service.task == task.name:
+        # the root's own opening (non-root self-openings are merged away)
+        load(run, step.state)
+        stages[task.name] = Stage.ACTIVE
+    elif service.kind is ServiceKind.OPENING:
+        load(run, step.state)  # parent state is unchanged by the opening
+        stages[service.task] = Stage.ACTIVE
+        sets[service.task] = frozenset()
+        companion = index.companion.get(event)
+        if companion is not None:
+            child_node = index.nodes[companion.node_id]
+            load(child_node.run, child_node.run.steps[0].state)
+    elif service.kind is ServiceKind.CLOSING and service.task != task.name:
+        load(run, step.state)
+        stages[service.task] = Stage.CLOSED
+        sets[service.task] = frozenset()
+    else:  # the task's own closing (root only; merged away otherwise)
+        load(run, step.state)
+        stages[task.name] = Stage.CLOSED
+    return GlobalConfig(
+        service=service,
+        valuations=dict(valuations),
+        stages=dict(stages),
+        sets=dict(sets),
+    )

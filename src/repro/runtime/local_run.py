@@ -1,0 +1,170 @@
+"""Local runs of a task (Definition 9) and their validation.
+
+A local run records the task's inputs, its outputs (``None`` standing for
+⊥ when the run does not return), and the sequence of (instance, service)
+pairs.  Infinite runs are represented by finite prefixes plus an explicit
+flag; the verifier works symbolically and only the simulator materializes
+runs, always finitely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.database.instance import DatabaseInstance, Value
+from repro.errors import RunError
+from repro.has.task import Task
+from repro.logic.terms import Variable, VarKind
+from repro.runtime.labels import ServiceKind, ServiceRef
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.transition import (
+    check_close_child,
+    check_internal_transition,
+    check_open_child,
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One element ``(I_i, σ_i)`` of a local run."""
+
+    state: TaskState
+    service: ServiceRef
+
+
+@dataclass
+class LocalRun:
+    """A (finite prefix of a) local run of ``task``."""
+
+    task: Task
+    inputs: Mapping[Variable, Value]
+    steps: list[Step] = field(default_factory=list)
+    complete: bool = True
+    """True when the run is whole: either returning (last service σ^c_T)
+    or a deliberately blocking/finished prefix; False for a prefix of a
+    longer (possibly infinite) run."""
+
+    @property
+    def is_returning(self) -> bool:
+        return bool(self.steps) and self._is_self_close(self.steps[-1].service)
+
+    def _is_self_close(self, service: ServiceRef) -> bool:
+        return service.kind is ServiceKind.CLOSING and service.task == self.task.name
+
+    @property
+    def outputs(self) -> dict[Variable, Value] | None:
+        """ν_out: the returned values (over x̄^T_ret), or None for ⊥."""
+        if not self.is_returning:
+            return None
+        final = self.steps[-1].state
+        return {v: final.valuation[v] for v in self.task.return_variables}
+
+    def services(self) -> list[ServiceRef]:
+        return [step.service for step in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def segments(run: LocalRun) -> list[list[int]]:
+    """Indices of the segments of the run (Definition 9): maximal intervals
+    with no internal service of the task after the first position."""
+    result: list[list[int]] = []
+    current: list[int] = []
+    for index, step in enumerate(run.steps):
+        service = step.service
+        is_boundary = (
+            service.kind is ServiceKind.INTERNAL
+            or (service.task == run.task.name and service.kind is ServiceKind.OPENING)
+        )
+        if is_boundary and current:
+            result.append(current)
+            current = []
+        current.append(index)
+    if current:
+        result.append(current)
+    return result
+
+
+def validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
+    """Check every clause of Definition 9; raise :class:`RunError` if any
+    fails.  Child I/O consistency is checked at tree level, not here."""
+    task = run.task
+    steps = run.steps
+    if not steps:
+        raise RunError(f"{task.name}: empty local run")
+    first = steps[0]
+    if not (first.service.kind is ServiceKind.OPENING and first.service.task == task.name):
+        raise RunError(f"{task.name}: runs must start with σ^o_T")
+    expected0 = initial_state(task, run.inputs)
+    if first.state != expected0:
+        raise RunError(f"{task.name}: bad initial instance")
+    child_names = {c.name for c in task.children}
+    for index in range(1, len(steps)):
+        prev, step = steps[index - 1], steps[index]
+        service = step.service
+        if service.kind is ServiceKind.INTERNAL:
+            if service.task != task.name:
+                raise RunError(f"{task.name}: foreign internal service {service!r}")
+            check_internal_transition(
+                task, task.service(service.name), db, prev.state, step.state
+            )
+        elif service.kind is ServiceKind.OPENING:
+            if service.task == task.name:
+                raise RunError(f"{task.name}: σ^o_T occurs mid-run")
+            if service.task not in child_names:
+                raise RunError(f"{task.name}: opening unknown child {service.task!r}")
+            check_open_child(task, task.child(service.task), db, prev.state, step.state)
+        elif service.kind is ServiceKind.CLOSING:
+            if service.task == task.name:
+                if index != len(steps) - 1:
+                    raise RunError(f"{task.name}: σ^c_T not at the end")
+                if not task.closing.pre.evaluate(db, prev.state.valuation):
+                    raise RunError(f"{task.name}: closing guard fails")
+                if step.state != prev.state:
+                    raise RunError(f"{task.name}: σ^c_T must not change the instance")
+            else:
+                if service.task not in child_names:
+                    raise RunError(
+                        f"{task.name}: closing unknown child {service.task!r}"
+                    )
+                check_close_child(
+                    task, task.child(service.task), prev.state, step.state
+                )
+    _validate_segments(run)
+
+
+def _validate_segments(run: LocalRun) -> None:
+    """Segment discipline: each child opened at most once per segment and
+    closed within it unless the segment is blocking/terminal (restrictions
+    4 and 8)."""
+    task = run.task
+    for segment in segments(run):
+        is_last = segment[-1] == len(run.steps) - 1
+        opened: set[str] = set()
+        closed: set[str] = set()
+        for index in segment:
+            service = run.steps[index].service
+            if service.task == task.name:
+                continue
+            if service.kind is ServiceKind.OPENING:
+                if service.task in opened:
+                    raise RunError(
+                        f"{task.name}: child {service.task!r} opened twice in a "
+                        f"segment (restriction 8)"
+                    )
+                opened.add(service.task)
+            elif service.kind is ServiceKind.CLOSING:
+                if service.task not in opened or service.task in closed:
+                    raise RunError(
+                        f"{task.name}: child {service.task!r} closes without a "
+                        f"matching open in the segment"
+                    )
+                closed.add(service.task)
+        if not is_last and opened - closed:
+            dangling = ", ".join(sorted(opened - closed))
+            raise RunError(
+                f"{task.name}: children {{{dangling}}} still active at an internal "
+                f"transition (restriction 4)"
+            )

@@ -1,0 +1,231 @@
+"""A forward simulator for HAS over a concrete database.
+
+The simulator executes random (seeded) runs, maintaining the tree of local
+runs as it goes, and returns the resulting :class:`RunTree` prefix.  It is
+used by the examples and by cross-validation tests: every run it produces
+validates against the Definition 9/10 checkers, and satisfaction of
+HLTL-FO properties on simulated trees is compared with the verifier's
+verdict on small systems.
+
+Post-conditions are solved by bounded enumeration plus Fourier–Motzkin
+sampling (see ``repro.runtime.transition``); the simulator is therefore
+sound but deliberately incomplete — it explores *some* runs, which is all a
+concrete tester can do over infinite domains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.database.instance import DatabaseInstance, Value
+from repro.errors import RunError
+from repro.has.system import HAS
+from repro.has.task import Task
+from repro.logic.terms import Variable, VarKind
+from repro.runtime import labels
+from repro.runtime.local_run import LocalRun, Step
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.transition import (
+    EnumerationLimits,
+    enumerate_post_valuations,
+    set_update_results,
+)
+from repro.runtime.tree import RunTree, RunTreeNode
+
+
+@dataclass
+class SimulationConfig:
+    max_steps: int = 50
+    seed: int = 0
+    max_choices_per_step: int = 16
+    limits: EnumerationLimits = field(default_factory=EnumerationLimits)
+    close_bias: float = 0.3
+    """Probability weight nudging the walk toward closing services, so
+    finite returning runs are produced often."""
+
+
+class _ActiveTask:
+    """Bookkeeping for one active local run."""
+
+    def __init__(self, task: Task, node: RunTreeNode):
+        self.task = task
+        self.node = node
+        self.state: TaskState = node.run.steps[-1].state
+        self.opened_in_segment: set[str] = set()
+        self.active_children: dict[str, "_ActiveTask"] = {}
+
+    def append(self, state: TaskState, service: labels.ServiceRef) -> None:
+        self.node.run.steps.append(Step(state, service))
+        self.state = state
+
+
+@dataclass
+class _Move:
+    kind: str  # "internal" | "open" | "close_child" | "close_self"
+    actor: _ActiveTask
+    payload: object = None
+
+
+class Simulator:
+    """Random-walk execution of a HAS over a fixed database instance."""
+
+    def __init__(self, has: HAS, db: DatabaseInstance, config: SimulationConfig | None = None):
+        self.has = has
+        self.db = db
+        self.config = config or SimulationConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunTree:
+        """Execute one random run prefix and return its tree of local runs."""
+        root_inputs = self._choose_root_inputs()
+        root_state = initial_state(self.has.root, root_inputs)
+        root_run = LocalRun(
+            self.has.root,
+            root_inputs,
+            [Step(root_state, labels.opening(self.has.root.name))],
+            complete=False,
+        )
+        root_node = RunTreeNode(root_run)
+        root_active = _ActiveTask(self.has.root, root_node)
+        actives: list[_ActiveTask] = [root_active]
+
+        for _ in range(self.config.max_steps):
+            moves = self._enabled_moves(actives)
+            if not moves:
+                break
+            move = self._pick(moves)
+            self._execute(move, actives)
+        for active in actives:
+            active.node.run.complete = False
+        # mark properly-closed runs complete (they were removed from actives)
+        return RunTree(root_node)
+
+    def _choose_root_inputs(self) -> dict[Variable, Value]:
+        inputs = tuple(self.has.root.input_variables)
+        if not inputs:
+            return {}
+        options = list(
+            enumerate_post_valuations(
+                inputs, self.has.precondition, self.db, {}, self.config.limits
+            )
+        )
+        if not options:
+            raise RunError("precondition Π is unsatisfiable over this database")
+        return self._rng.choice(options)
+
+    # ------------------------------------------------------------------
+    def _enabled_moves(self, actives: list[_ActiveTask]) -> list[_Move]:
+        moves: list[_Move] = []
+        for active in actives:
+            task = active.task
+            no_active_children = not active.active_children
+            if no_active_children:
+                for service in task.services:
+                    if service.pre.evaluate(self.db, active.state.valuation):
+                        moves.append(_Move("internal", active, service))
+            for child in task.children:
+                if child.name in active.active_children:
+                    continue
+                if child.name in active.opened_in_segment:
+                    continue  # restriction 8
+                if child.opening.pre.evaluate(self.db, active.state.valuation):
+                    moves.append(_Move("open", active, child))
+            for child_active in active.active_children.values():
+                if not child_active.active_children and child_active.task.closing.pre.evaluate(
+                    self.db, child_active.state.valuation
+                ):
+                    moves.append(_Move("close_child", active, child_active))
+        return moves
+
+    def _pick(self, moves: list[_Move]) -> _Move:
+        closing = [m for m in moves if m.kind == "close_child"]
+        if closing and self._rng.random() < self.config.close_bias:
+            return self._rng.choice(closing)
+        return self._rng.choice(moves)
+
+    # ------------------------------------------------------------------
+    def _execute(self, move: _Move, actives: list[_ActiveTask]) -> None:
+        if move.kind == "internal":
+            self._do_internal(move.actor, move.payload)  # type: ignore[arg-type]
+        elif move.kind == "open":
+            self._do_open(move.actor, move.payload, actives)  # type: ignore[arg-type]
+        elif move.kind == "close_child":
+            self._do_close_child(move.actor, move.payload, actives)  # type: ignore[arg-type]
+
+    def _do_internal(self, active: _ActiveTask, service) -> None:
+        task = active.task
+        preserved = {
+            v: active.state.valuation[v] for v in task.input_variables
+        }
+        candidates = []
+        for valuation in enumerate_post_valuations(
+            task.variables, service.post, self.db, preserved, self.config.limits
+        ):
+            for adjusted, contents in set_update_results(
+                task, service.update, active.state, valuation
+            ):
+                # retrieval may overwrite s̄^T; re-check input preservation
+                # and the post-condition on the adjusted valuation
+                if any(adjusted[v] != preserved[v] for v in preserved):
+                    continue
+                if not service.post.evaluate(self.db, adjusted):
+                    continue
+                candidates.append(TaskState(adjusted, contents))
+                if len(candidates) >= self.config.max_choices_per_step:
+                    break
+            if len(candidates) >= self.config.max_choices_per_step:
+                break
+        if not candidates:
+            return
+        nxt = self._rng.choice(candidates)
+        active.append(nxt, labels.internal(task.name, service.name))
+        active.opened_in_segment = set()
+
+    def _do_open(self, active: _ActiveTask, child: Task, actives: list[_ActiveTask]) -> None:
+        inputs = {
+            child_var: active.state.valuation[parent_var]
+            for child_var, parent_var in child.opening.input_map.items()
+        }
+        active.append(active.state, labels.opening(child.name))
+        open_index = len(active.node.run.steps) - 1
+        child_state = initial_state(child, inputs)
+        child_run = LocalRun(
+            child, inputs, [Step(child_state, labels.opening(child.name))], complete=False
+        )
+        child_node = RunTreeNode(child_run)
+        active.node.children[open_index] = child_node
+        child_active = _ActiveTask(child, child_node)
+        active.active_children[child.name] = child_active
+        active.opened_in_segment.add(child.name)
+        actives.append(child_active)
+
+    def _do_close_child(
+        self, parent: _ActiveTask, child: _ActiveTask, actives: list[_ActiveTask]
+    ) -> None:
+        child_task = child.task
+        # child-side: final step σ^c_Tc with unchanged instance
+        child.append(child.state, labels.closing(child_task.name))
+        child.node.run.complete = True
+        # parent-side: overwrite returned variables per restriction (2)
+        valuation = dict(parent.state.valuation)
+        for parent_var, child_var in child_task.closing.output_map.items():
+            old = valuation[parent_var]
+            overwritable = parent_var.kind is VarKind.NUMERIC or old is None
+            if overwritable:
+                valuation[parent_var] = child.state.valuation[child_var]
+        parent.append(
+            TaskState(valuation, parent.state.set_contents),
+            labels.closing(child_task.name),
+        )
+        del parent.active_children[child_task.name]
+        actives.remove(child)
+
+    # ------------------------------------------------------------------
+    def sample_trees(self, count: int) -> Iterator[RunTree]:
+        """Yield ``count`` independent random run trees."""
+        for offset in range(count):
+            self._rng = random.Random(self.config.seed + offset)
+            yield self.run()

@@ -1,0 +1,126 @@
+"""Trees of local runs (Definition 10).
+
+A :class:`RunTree` links a local run of a task to the local runs of the
+children it opens: the edge label ``i`` is the position of the child's
+opening service in the parent's run.  Validation checks the input/output
+consistency clauses of Definition 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.database.instance import DatabaseInstance
+from repro.errors import RunError
+from repro.logic.terms import VarKind
+from repro.runtime.labels import ServiceKind
+from repro.runtime.local_run import LocalRun, validate_local_run
+
+
+@dataclass
+class RunTreeNode:
+    """A node: one local run plus edges to child-run nodes, keyed by the
+    index of the opening service in this run."""
+
+    run: LocalRun
+    children: dict[int, "RunTreeNode"] = field(default_factory=dict)
+
+    def walk(self) -> Iterator["RunTreeNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+@dataclass
+class RunTree:
+    """A tree of local runs; *full* when rooted at the root task."""
+
+    root: RunTreeNode
+
+    def walk(self) -> Iterator[RunTreeNode]:
+        return self.root.walk()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+def validate_run_tree(tree: RunTree, db: DatabaseInstance) -> None:
+    """Check Definition 10 on every edge; local runs are checked too."""
+    for node in tree.walk():
+        validate_local_run(node.run, db)
+        _validate_edges(node)
+
+
+def _validate_edges(node: RunTreeNode) -> None:
+    run = node.run
+    task = run.task
+    opening_positions = {
+        index: step.service.task
+        for index, step in enumerate(run.steps)
+        if step.service.kind is ServiceKind.OPENING and step.service.task != task.name
+    }
+    for index in opening_positions:
+        if index not in node.children:
+            raise RunError(
+                f"{task.name}: opening at position {index} has no child run"
+            )
+    for index, child_node in node.children.items():
+        if index not in opening_positions:
+            raise RunError(f"{task.name}: edge label {index} is not an opening")
+        child_task_name = opening_positions[index]
+        child_run = child_node.run
+        if child_run.task.name != child_task_name:
+            raise RunError(
+                f"{task.name}: edge {index} opens {child_task_name!r} but the "
+                f"child run is of {child_run.task.name!r}"
+            )
+        child_task = task.child(child_task_name)
+        # ν_in = f_in ∘ ν_i
+        parent_state = run.steps[index].state
+        for child_var, parent_var in child_task.opening.input_map.items():
+            expected = parent_state.valuation[parent_var]
+            actual = child_run.inputs.get(child_var, "__missing__")
+            if actual != expected:
+                raise RunError(
+                    f"{child_task_name}: input {child_var!r} is {actual!r}, "
+                    f"parent passes {expected!r}"
+                )
+        # returning ↔ a matching σ^c_Tc exists after position index
+        close_index = _first_close_after(run, index, child_task_name)
+        if child_run.complete and child_run.is_returning:
+            if close_index is None:
+                raise RunError(
+                    f"{task.name}: child {child_task_name!r} returns but no "
+                    f"σ^c is observed in the parent"
+                )
+            outputs = child_run.outputs
+            assert outputs is not None
+            before = run.steps[close_index - 1].state
+            after = run.steps[close_index].state
+            for parent_var, child_var in child_task.closing.output_map.items():
+                old = before.valuation[parent_var]
+                new = after.valuation[parent_var]
+                overwritable = (
+                    parent_var.kind is VarKind.NUMERIC or old is None
+                )
+                if overwritable and new != outputs[child_var]:
+                    raise RunError(
+                        f"{task.name}: on return of {child_task_name!r}, "
+                        f"{parent_var!r} is {new!r} but the child returned "
+                        f"{outputs[child_var]!r}"
+                    )
+        elif child_run.complete and not child_run.is_returning:
+            if close_index is not None:
+                raise RunError(
+                    f"{task.name}: parent observes σ^c of {child_task_name!r} "
+                    f"but the child run does not return"
+                )
+
+
+def _first_close_after(run: LocalRun, index: int, child_name: str) -> int | None:
+    for position in range(index + 1, len(run.steps)):
+        service = run.steps[position].service
+        if service.kind is ServiceKind.CLOSING and service.task == child_name:
+            return position
+    return None

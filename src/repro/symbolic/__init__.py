@@ -1,0 +1,45 @@
+"""Symbolic layer: isomorphism types, constraint stores, TS-types, and
+symbolic runs (Section 4.1, Appendix C).
+
+Two representations coexist:
+
+* :mod:`repro.symbolic.isotypes` — the paper's *total* T-isomorphism types
+  over full navigation sets up to ``h(T)``; exercised on acyclic schemas by
+  tests and by the counting experiments (Appendix C.3);
+* :mod:`repro.symbolic.store` — lazily-refined *partial* types (constraint
+  stores), the representation the verifier searches over.  Every consistent
+  store denotes a non-empty set of total types, and conditions are applied
+  by case-splitting on unknown relationships, so reachability over stores
+  coincides with reachability over total types (the refinement used by the
+  authors' own VERIFAS prototype).
+"""
+
+from repro.symbolic.nodes import (
+    NULL,
+    ConstNode,
+    NavNode,
+    Node,
+    Sort,
+    ValueNode,
+    ZERO,
+    null_node,
+)
+from repro.symbolic.store import ConstraintStore, Inconsistent
+from repro.symbolic.tstypes import TSType, insertion_vector, ts_slots, ts_type_of
+
+__all__ = [
+    "NULL",
+    "ConstNode",
+    "NavNode",
+    "Node",
+    "Sort",
+    "ValueNode",
+    "ZERO",
+    "null_node",
+    "ConstraintStore",
+    "Inconsistent",
+    "TSType",
+    "insertion_vector",
+    "ts_slots",
+    "ts_type_of",
+]

@@ -1,0 +1,290 @@
+"""Applying FO conditions to constraint stores with case-splitting.
+
+``apply_condition(store, φ)`` yields refinements of the store in which φ
+definitely holds; the union of their realizations is exactly the set of
+realizations of the store satisfying φ.  Branching happens per satisfying
+truth-assignment of φ's atoms, and within negative relation atoms (which
+are disjunctive: null argument / different anchor / attribute mismatch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from repro.database.schema import AttributeKind
+from repro.errors import ConditionError
+from repro.logic.conditions import (
+    ArithAtom,
+    Atom,
+    Condition,
+    Eq,
+    Not,
+    RelationAtom,
+)
+from repro.logic.terms import Const, NullTerm, Term, Variable, WildcardTerm
+from repro.symbolic.nodes import NULL, Node
+from repro.symbolic.store import ConstraintStore, Inconsistent
+
+
+def term_node(store: ConstraintStore, term: Term) -> Node:
+    if isinstance(term, WildcardTerm):
+        raise ConditionError("wildcard positions carry no value")
+    if isinstance(term, NullTerm):
+        return NULL
+    if isinstance(term, Const):
+        return store.const(term.value)
+    assert isinstance(term, Variable)
+    return store.node_of(term)
+
+
+def pull_exists(condition: Condition) -> tuple[tuple[Variable, ...], Condition]:
+    """Hoist existential quantifiers out of positive boolean structure.
+
+    ∃ distributes over ∧ and ∨; negative occurrences (∃ under ¬) cannot be
+    handled symbolically and raise.  Returns (bound variables, matrix).
+    """
+    from repro.logic.conditions import And, Exists, Not, Or
+
+    if isinstance(condition, Exists):
+        inner_bound, matrix = pull_exists(condition.body)
+        return tuple(condition.bound) + inner_bound, matrix
+    if isinstance(condition, (And, Or)):
+        bound: tuple[Variable, ...] = ()
+        parts = []
+        for part in condition.parts:
+            part_bound, part_matrix = pull_exists(part)
+            overlap = set(part_bound) & set(bound)
+            if overlap:
+                raise ConditionError(
+                    f"reused bound variable names {overlap}; rename them"
+                )
+            bound += part_bound
+            parts.append(part_matrix)
+        return bound, type(condition)(*parts)
+    if isinstance(condition, Not):
+        inner_bound, _ = pull_exists(condition.body)
+        if inner_bound:
+            raise ConditionError(
+                "∃ under negation is a universal quantifier — not supported; "
+                "rewrite the condition"
+            )
+        return (), condition
+    return (), condition
+
+
+def apply_condition(
+    store: ConstraintStore, condition: Condition
+) -> Iterator[ConstraintStore]:
+    """Yield consistent refinements of ``store`` where ``condition`` holds.
+
+    Top-level (positive) existential quantifiers are handled exactly: the
+    bound variables range over fresh anonymous values, which the relation
+    atoms of the matrix constrain to database rows — the symbolic analogue
+    of the paper's "simulate ∃FO by adding variables".
+    """
+    from repro.logic.conditions import eliminate_single_atom_exists, nnf_condition
+
+    condition = eliminate_single_atom_exists(condition)
+    bound, matrix = pull_exists(condition)
+    if bound:
+        scratch = store.copy()
+        saved = {
+            variable: scratch._binding.get(variable) for variable in bound
+        }
+        for variable in bound:
+            scratch.rebind_fresh(variable)
+        for refined in apply_condition(scratch, matrix):
+            for variable, old in saved.items():
+                if old is None:
+                    refined._binding.pop(variable, None)
+                else:
+                    refined._binding[variable] = old
+            refined._canon_cache = None
+            yield refined
+        return
+    seen_keys: set = set()
+    for branch in _apply_nnf(store.copy(), nnf_condition(matrix)):
+        if branch.is_consistent():
+            key = branch.canonical_key()
+            if key not in seen_keys:
+                seen_keys.add(key)
+                yield branch
+
+
+def _apply_nnf(store: ConstraintStore, condition: Condition) -> list[ConstraintStore]:
+    """Refinements making an NNF condition hold.  Consumes ``store`` (it
+    may be mutated and/or appear in the result); branches are independent
+    copies.  Arithmetic consistency is checked by the caller."""
+    from repro.logic.conditions import And, Exists, Or, TRUE, FALSE
+
+    if condition is TRUE or isinstance(condition, type(TRUE)):
+        return [store]
+    if condition is FALSE or isinstance(condition, type(FALSE)):
+        return []
+    if isinstance(condition, Atom):
+        return list(apply_atom(store, condition, True))
+    if isinstance(condition, Not):
+        body = condition.body
+        if not isinstance(body, Atom):
+            raise ConditionError(f"not in NNF: {condition!r}")
+        return list(apply_atom(store, body, False))
+    if isinstance(condition, And):
+        branches = [store]
+        for part in condition.parts:
+            grown: list[ConstraintStore] = []
+            for branch in branches:
+                grown.extend(_apply_nnf(branch, part))
+            branches = grown
+            if not branches:
+                return []
+        return branches
+    if isinstance(condition, Or):
+        results: list[ConstraintStore] = []
+        for index, part in enumerate(condition.parts):
+            source = store if index == len(condition.parts) - 1 else store.copy()
+            results.extend(_apply_nnf(source, part))
+        return results
+    if isinstance(condition, Exists):
+        bound, matrix = pull_exists(condition)
+        saved = {variable: store._binding.get(variable) for variable in bound}
+        for variable in bound:
+            store.rebind_fresh(variable)
+        results = _apply_nnf(store, matrix)
+        for refined in results:
+            for variable, old in saved.items():
+                if old is None:
+                    refined._binding.pop(variable, None)
+                else:
+                    refined._binding[variable] = old
+            refined._canon_cache = None
+        return results
+    raise ConditionError(f"cannot apply {condition!r}")
+
+
+def apply_atom(
+    store: ConstraintStore, atom: Atom, truth: bool
+) -> Iterator[ConstraintStore]:
+    """Yield refinements of ``store`` in which the atom has value ``truth``.
+
+    The input store is consumed (mutated or copied); callers pass a copy.
+    """
+    if isinstance(atom, Eq):
+        yield from _apply_eq(store, atom, truth)
+    elif isinstance(atom, ArithAtom):
+        yield from _apply_arith(store, atom, truth)
+    elif isinstance(atom, RelationAtom):
+        if truth:
+            yield from _apply_relation_true(store, atom)
+        else:
+            yield from _apply_relation_false(store, atom)
+    else:
+        raise ConditionError(f"unsupported atom for symbolic application: {atom!r}")
+
+
+def _apply_eq(store: ConstraintStore, atom: Eq, truth: bool) -> Iterator[ConstraintStore]:
+    try:
+        left = term_node(store, atom.left)
+        right = term_node(store, atom.right)
+        if truth:
+            store.assert_eq(left, right)
+        else:
+            store.assert_neq(left, right)
+    except Inconsistent:
+        return
+    yield store
+
+
+def _apply_arith(
+    store: ConstraintStore, atom: ArithAtom, truth: bool
+) -> Iterator[ConstraintStore]:
+    constraint = atom.constraint if truth else atom.constraint.negate()
+    mapping = {
+        unknown: store.node_of(unknown)  # type: ignore[arg-type]
+        for unknown in constraint.unknowns
+    }
+    try:
+        renamed = constraint.rename(mapping)
+        store.add_linear(renamed.expr, renamed.rel)
+    except Inconsistent:
+        return
+    yield store
+
+
+def _apply_relation_true(
+    store: ConstraintStore, atom: RelationAtom
+) -> Iterator[ConstraintStore]:
+    relation = store.schema.relation(atom.relation)
+    names = relation.attribute_names
+    first = atom.args[0]
+    if isinstance(first, NullTerm):
+        return  # R(null, …) is false
+    try:
+        ident = term_node(store, first)
+        store.assert_anchor(ident, atom.relation)
+        for position in range(1, len(atom.args)):
+            if isinstance(atom.args[position], WildcardTerm):
+                continue  # unconstrained position (eliminated ∃)
+            attr = relation.attribute(names[position])
+            child = store.nav(ident, attr.name)
+            arg = term_node(store, atom.args[position])
+            store.assert_eq(child, arg)
+    except Inconsistent:
+        return
+    yield store
+
+
+def _apply_relation_false(
+    store: ConstraintStore, atom: RelationAtom
+) -> Iterator[ConstraintStore]:
+    relation = store.schema.relation(atom.relation)
+    names = relation.attribute_names
+    first = atom.args[0]
+    if isinstance(first, NullTerm):
+        yield store  # already false
+        return
+    # branch (a): the identifier is null
+    branch = store.copy()
+    try:
+        branch.assert_null(term_node(branch, first))
+        yield branch
+    except Inconsistent:
+        pass
+    # branch (b): anchored to a different relation
+    branch = store.copy()
+    try:
+        branch.exclude_anchor(term_node(branch, first), atom.relation)
+        yield branch
+    except Inconsistent:
+        pass
+    # branches (c): anchored here but one position differs
+    for position in range(1, len(atom.args)):
+        if isinstance(atom.args[position], WildcardTerm):
+            continue  # a wildcard position cannot mismatch
+        branch = store.copy()
+        try:
+            ident = term_node(branch, first)
+            branch.assert_anchor(ident, atom.relation)
+            attr = relation.attribute(names[position])
+            child = branch.nav(ident, attr.name)
+            arg = term_node(branch, atom.args[position])
+            branch.assert_neq(child, arg)
+            yield branch
+        except Inconsistent:
+            continue
+
+
+def condition_status(store: ConstraintStore, condition: Condition) -> bool | None:
+    """Definite truth value of a condition on the store, or None.
+
+    Decided by refinement: φ is definitely true when ¬φ admits no
+    consistent refinement, and vice versa.
+    """
+    negative = next(iter(apply_condition(store, Not(condition))), None)
+    positive = next(iter(apply_condition(store, condition)), None)
+    if positive is not None and negative is None:
+        return True
+    if positive is None and negative is not None:
+        return False
+    if positive is None and negative is None:
+        raise Inconsistent("store admits neither φ nor ¬φ — inconsistent input")
+    return None

@@ -1,0 +1,277 @@
+"""Total T-isomorphism types (Definition 15) — the paper's faithful
+symbolic representation.
+
+A total type is an equivalence relation over ``E⁺_T = E_T ∪ x̄^T ∪
+{null, 0}`` respecting sorts, the null rules, and congruence (key
+dependencies).  This module constructs types from concrete valuations
+(the direction used in the only-if part of Theorem 20), checks the
+Definition-15 axioms, evaluates conditions on types, and implements
+projections — exactly the operations the paper's proofs manipulate.
+
+The verifier itself searches over the *partial* types of
+``repro.symbolic.store``; total types are exercised by tests (on acyclic
+schemas, where navigation sets are small) and by the counting experiments
+of Appendix C.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.database.instance import DatabaseInstance, Identifier, Value
+from repro.database.schema import AttributeKind, DatabaseSchema
+from repro.errors import ConditionError
+from repro.logic.conditions import (
+    ArithAtom,
+    Atom,
+    Condition,
+    Eq,
+    RelationAtom,
+)
+from repro.logic.terms import Const, NullTerm, Term, Variable, VarKind
+from repro.symbolic.navigation import NavExpr, expr_sort, expressions_from
+
+# elements of E⁺_T : variables, navigation expressions, null, zero
+NULL_ELEM = ("null",)
+ZERO_ELEM = ("zero",)
+Element = Variable | NavExpr | tuple
+
+
+@dataclass(frozen=True)
+class IsoType:
+    """A total T-isomorphism type: navigation set + equality type.
+
+    ``classes`` is a partition of the elements (each class a frozenset);
+    the anchor of each ID variable is recoverable from which ``x_R``
+    expressions exist in the navigation set.
+    """
+
+    schema: DatabaseSchema
+    variables: tuple[Variable, ...]
+    navigation: frozenset[NavExpr]
+    classes: tuple[frozenset, ...]
+
+    # ------------------------------------------------------------------
+    def class_of(self, element: Element) -> frozenset | None:
+        for cls in self.classes:
+            if element in cls:
+                return cls
+        return None
+
+    def equal(self, a: Element, b: Element) -> bool:
+        cls = self.class_of(a)
+        return cls is not None and b in cls
+
+    def anchor_of(self, variable: Variable) -> str | None:
+        """The relation R with ``x_R`` in the navigation set, if any."""
+        for expr in self.navigation:
+            if expr.var == variable and not expr.path:
+                return expr.relation
+        return None
+
+    def is_null(self, variable: Variable) -> bool:
+        return self.equal(variable, NULL_ELEM)
+
+    # ------------------------------------------------------------------
+    # Definition 15's axioms
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        elements = set(self.variables) | set(self.navigation)
+        elements |= {NULL_ELEM, ZERO_ELEM}
+        covered = set().union(*self.classes) if self.classes else set()
+        if covered != elements:
+            raise ConditionError("classes must partition E⁺_T")
+        for cls in self.classes:
+            sorts = {self._sort(e) for e in cls}
+            if len(sorts) > 1:
+                raise ConditionError(f"mixed sorts in class {cls!r}: {sorts}")
+        # x ∼ x_R for anchored variables
+        for expr in self.navigation:
+            if not expr.path and not self.equal(expr.var, expr):
+                raise ConditionError(f"{expr!r} must be equal to its variable")
+        # null-sorted elements are ∼ null
+        for variable in self.variables:
+            if variable.kind is VarKind.ID and self.anchor_of(variable) is None:
+                if not self.is_null(variable):
+                    raise ConditionError(
+                        f"unanchored ID variable {variable!r} must be null"
+                    )
+        # congruence: u ∼ v ⇒ u.f ∼ v.f
+        for cls in self.classes:
+            for a, b in itertools.combinations(sorted(cls, key=repr), 2):
+                self._check_congruence(a, b)
+
+    def _check_congruence(self, a: Element, b: Element) -> None:
+        extensions_a = self._extensions(a)
+        extensions_b = self._extensions(b)
+        for attr, expr_a in extensions_a.items():
+            expr_b = extensions_b.get(attr)
+            if expr_b is not None and not self.equal(expr_a, expr_b):
+                raise ConditionError(
+                    f"congruence violated: {a!r} ∼ {b!r} but "
+                    f"{expr_a!r} ≁ {expr_b!r}"
+                )
+
+    def _extensions(self, element: Element) -> dict[str, NavExpr]:
+        out: dict[str, NavExpr] = {}
+        if isinstance(element, Variable):
+            anchor = self.anchor_of(element)
+            if anchor is None:
+                return out
+            base = NavExpr(element, anchor)
+        elif isinstance(element, NavExpr):
+            base = element
+        else:
+            return out
+        for expr in self.navigation:
+            if expr.var == base.var and expr.relation == base.relation:
+                if len(expr.path) == len(base.path) + 1 and expr.path[: len(base.path)] == base.path:
+                    out[expr.path[-1]] = expr
+        return out
+
+    def _sort(self, element: Element) -> tuple:
+        if element == NULL_ELEM:
+            return ("null-or-id",)
+        if element == ZERO_ELEM:
+            return ("numeric",)
+        if isinstance(element, Variable):
+            if element.kind is VarKind.NUMERIC:
+                return ("numeric",)
+            anchor = self.anchor_of(element)
+            return ("id", anchor) if anchor else ("null-or-id",)
+        assert isinstance(element, NavExpr)
+        kind, relation = expr_sort(self.schema, element)
+        return (kind,) if kind == "numeric" else ("id", relation)
+
+    # ------------------------------------------------------------------
+    # condition evaluation (τ ⊨ φ, Section 4.1)
+    # ------------------------------------------------------------------
+    def satisfies(self, condition: Condition) -> bool:
+        assignment: dict[Atom, bool] = {}
+        for atom in condition.atoms():
+            assignment[atom] = self._atom_value(atom)
+        return condition.evaluate_abstract(assignment)
+
+    def _atom_value(self, atom: Atom) -> bool:
+        if isinstance(atom, Eq):
+            return self.equal(self._term_element(atom.left), self._term_element(atom.right))
+        if isinstance(atom, RelationAtom):
+            return self._relation_value(atom)
+        if isinstance(atom, ArithAtom):
+            raise ConditionError(
+                "total IsoTypes do not carry cells; arithmetic atoms are "
+                "evaluated by the verifier's constraint stores"
+            )
+        raise ConditionError(f"unsupported atom {atom!r}")
+
+    def _term_element(self, term: Term) -> Element:
+        if isinstance(term, NullTerm):
+            return NULL_ELEM
+        if isinstance(term, Const):
+            if term.value == 0:
+                return ZERO_ELEM
+            raise ConditionError("total IsoTypes only know the constant 0")
+        assert isinstance(term, Variable)
+        return term
+
+    def _relation_value(self, atom: RelationAtom) -> bool:
+        first = atom.args[0]
+        if not isinstance(first, Variable):
+            return False
+        anchor = self.anchor_of(first)
+        if anchor != atom.relation:
+            return False
+        relation = self.schema.relation(atom.relation)
+        names = relation.attribute_names
+        base = NavExpr(first, anchor)
+        for position in range(1, len(atom.args)):
+            expr = base.extend(names[position])
+            if expr not in self.navigation:
+                return False
+            if not self.equal(expr, self._term_element(atom.args[position])):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # projection (τ|z̄ and τ|(z̄, k), Section 4.1)
+    # ------------------------------------------------------------------
+    def project(
+        self, variables: Iterable[Variable], max_length: int | None = None
+    ) -> "IsoType":
+        keep = set(variables)
+        nav = frozenset(
+            e
+            for e in self.navigation
+            if e.var in keep and (max_length is None or e.length <= max_length)
+        )
+        elements = keep | set(nav) | {NULL_ELEM, ZERO_ELEM}
+        classes = []
+        for cls in self.classes:
+            restricted = frozenset(e for e in cls if e in elements)
+            if restricted:
+                classes.append(restricted)
+        return IsoType(
+            self.schema,
+            tuple(v for v in self.variables if v in keep),
+            nav,
+            tuple(sorted(classes, key=repr)),
+        )
+
+    def canonical_key(self) -> tuple:
+        return (
+            tuple(sorted(repr(e) for e in self.navigation)),
+            tuple(
+                sorted(
+                    tuple(sorted(repr(e) for e in cls)) for cls in self.classes
+                )
+            ),
+        )
+
+
+def iso_type_of_valuation(
+    schema: DatabaseSchema,
+    variables: Sequence[Variable],
+    db: DatabaseInstance,
+    valuation: Mapping[Variable, Value],
+    depth: int,
+) -> IsoType:
+    """The T-isomorphism type of a concrete valuation (Appendix C.1.1).
+
+    Builds the navigation set from the anchors of non-null ID values and
+    groups elements by their concrete values in the database.
+    """
+    navigation: list[NavExpr] = []
+    concrete: dict[Element, object] = {NULL_ELEM: ("null",), ZERO_ELEM: Fraction(0)}
+    for variable in variables:
+        value = valuation.get(variable)
+        if variable.kind is VarKind.NUMERIC:
+            concrete[variable] = Fraction(value) if value is not None else Fraction(0)
+            continue
+        if value is None:
+            concrete[variable] = ("null",)
+            continue
+        assert isinstance(value, Identifier)
+        concrete[variable] = value
+        for expr in expressions_from(schema, variable, value.relation, depth):
+            target = db.navigate(value, expr.path)
+            if target is None and expr.path:
+                continue
+            navigation.append(expr)
+            if expr.path:
+                concrete[expr] = (
+                    Fraction(target)
+                    if not isinstance(target, Identifier)
+                    else target
+                )
+            else:
+                concrete[expr] = value
+    groups: dict[object, set] = {}
+    for element, value in concrete.items():
+        groups.setdefault(value, set()).add(element)
+    classes = tuple(
+        sorted((frozenset(g) for g in groups.values()), key=repr)
+    )
+    return IsoType(schema, tuple(variables), frozenset(navigation), classes)

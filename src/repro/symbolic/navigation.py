@@ -1,0 +1,114 @@
+"""Navigation sets: the expression universes of Section 4.1.
+
+An expression is ``x_R.ξ2…ξm`` — an ID variable anchored at a relation,
+followed by foreign-key steps and optionally a final numeric attribute.
+``navigation_universe`` enumerates all expressions up to a depth bound,
+which is finite for acyclic schemas regardless of the bound (paths cannot
+revisit relations) and grows with the bound on (linearly-)cyclic schemas —
+the size driver behind Tables 1 and 2 (measured by ``repro.analysis``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.database.schema import AttributeKind, DatabaseSchema
+from repro.logic.terms import Variable, VarKind
+
+
+@dataclass(frozen=True)
+class NavExpr:
+    """``x_R.path`` — anchor variable, anchor relation, attribute path."""
+
+    var: Variable
+    relation: str
+    path: tuple[str, ...] = ()
+
+    @property
+    def length(self) -> int:
+        """The paper's expression length: 1 for the bare anchor ``x_R``."""
+        return 1 + len(self.path)
+
+    def extend(self, attr: str) -> "NavExpr":
+        return NavExpr(self.var, self.relation, self.path + (attr,))
+
+    def prefix(self) -> "NavExpr | None":
+        if not self.path:
+            return None
+        return NavExpr(self.var, self.relation, self.path[:-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "".join(f".{a}" for a in self.path)
+        return f"{self.var.name}_{self.relation}{suffix}"
+
+
+def expr_sort(schema: DatabaseSchema, expr: NavExpr) -> tuple[str, str | None]:
+    """(kind, relation): kind is 'id' or 'numeric'; relation is the
+    relation whose ID domain the expression ranges over (for 'id')."""
+    relation = schema.relation(expr.relation)
+    current = relation
+    for attr_name in expr.path:
+        attribute = current.attribute(attr_name)
+        if attribute.kind is AttributeKind.NUMERIC:
+            return ("numeric", None)
+        assert attribute.references is not None
+        current = schema.relation(attribute.references)
+    return ("id", current.name)
+
+
+def expressions_from(
+    schema: DatabaseSchema, var: Variable, relation: str, max_length: int
+) -> Iterator[NavExpr]:
+    """All expressions anchored at ``var_relation`` of length ≤ max_length."""
+    if var.kind is not VarKind.ID:
+        return
+    root = NavExpr(var, relation)
+    if root.length > max_length:
+        return
+    stack = [root]
+    while stack:
+        expr = stack.pop()
+        yield expr
+        if expr.length >= max_length:
+            continue
+        kind, rel_name = expr_sort(schema, expr)
+        if kind == "numeric":
+            continue
+        assert rel_name is not None
+        relation_obj = schema.relation(rel_name)
+        for attribute in relation_obj.attributes:
+            extended = expr.extend(attribute.name)
+            if attribute.kind is AttributeKind.NUMERIC:
+                yield extended
+            else:
+                stack.append(extended)
+
+
+def navigation_universe(
+    schema: DatabaseSchema, variables: tuple[Variable, ...], max_length: int
+) -> list[NavExpr]:
+    """The navigation set E_T over all (variable, anchor) pairs.
+
+    Each ID variable contributes expressions for *every* possible anchor
+    relation (a total type picks at most one anchor per variable — the
+    navigation set of Definition 15 contains at most one ``x_R`` per x).
+    """
+    universe: list[NavExpr] = []
+    for variable in variables:
+        for relation in schema.names:
+            universe.extend(
+                expressions_from(schema, variable, relation, max_length)
+            )
+    return universe
+
+
+def universe_size_per_anchor(
+    schema: DatabaseSchema, relation: str, max_length: int
+) -> int:
+    """Number of expressions from one anchor at ``relation`` — the
+    navigation-set size measure of Appendix C.3 (Figure 4's quantity)."""
+    from repro.logic.terms import id_var
+
+    probe = id_var("_probe")
+    return sum(1 for _ in expressions_from(schema, probe, relation, max_length))

@@ -1,0 +1,82 @@
+"""Local symbolic runs (Definition 17) as explicit objects.
+
+The verifier never materializes whole symbolic runs (it searches the
+VASS); these structures exist for the Appendix C.1 machinery — segments,
+life cycles, and the periodic Retrieve construction of Figure 3 — which
+underpins the if-direction of Theorem 20 and is reproduced as experiment
+F3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SymbolicStep:
+    """One ``(I_i, σ_i)`` of a local symbolic run, abstracted to what the
+    Retrieve construction needs: the TS-type label of the instance, the
+    service kind, and the set-update flags."""
+
+    ts_label: str
+    is_internal: bool
+    inserts: bool = False
+    retrieves: bool = False
+    input_bound: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = ("+" if self.inserts else "") + ("-" if self.retrieves else "")
+        return f"⟨{self.ts_label}{flags}⟩"
+
+
+@dataclass
+class PeriodicSymbolicRun:
+    """An (eventually periodic) local symbolic run: ``steps[0:loop_start]``
+    then ``steps[loop_start:]`` repeating with period ``period``.
+
+    ``steps`` must contain the prefix plus at least one full period
+    (Definition 42: for i ≥ n, (τ_i, σ_i) = (τ_{i−t}, σ_{i−t}))."""
+
+    steps: list[SymbolicStep]
+    loop_start: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.loop_start + self.period > len(self.steps):
+            raise ValueError("steps must include one full period")
+
+    def step(self, index: int) -> SymbolicStep:
+        """The step at any index of the infinite unrolling."""
+        if index < self.loop_start:
+            return self.steps[index]
+        offset = (index - self.loop_start) % self.period
+        return self.steps[self.loop_start + offset]
+
+    def unroll(self, length: int) -> list[SymbolicStep]:
+        return [self.step(i) for i in range(length)]
+
+    def validate_periodicity(self) -> None:
+        """Check Definition 42 on the materialized steps."""
+        for index in range(self.loop_start + self.period, len(self.steps)):
+            if self.steps[index] != self.steps[index - self.period]:
+                raise ValueError(
+                    f"step {index} differs from step {index - self.period}"
+                )
+
+
+def segments_of(steps: Sequence[SymbolicStep]) -> list[list[int]]:
+    """Segment decomposition (Definition 17): maximal intervals with no
+    internal service after the first position."""
+    result: list[list[int]] = []
+    current: list[int] = []
+    for index, step in enumerate(steps):
+        if step.is_internal and current:
+            result.append(current)
+            current = []
+        current.append(index)
+    if current:
+        result.append(current)
+    return result

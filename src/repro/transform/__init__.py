@@ -1,0 +1,15 @@
+"""Specification transformations: the simplification lemmas of App. B.5."""
+
+from repro.transform.simplify import (
+    desugar_exists,
+    eliminate_global_variables,
+    eliminate_set_atoms,
+    separate_passed_and_returned,
+)
+
+__all__ = [
+    "desugar_exists",
+    "eliminate_global_variables",
+    "eliminate_set_atoms",
+    "separate_passed_and_returned",
+]

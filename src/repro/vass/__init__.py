@@ -1,0 +1,29 @@
+"""Vector Addition Systems with States (Section 4.2).
+
+Provides explicit VASS (for the Theorem-11 machinery and benchmarks) and a
+generic Karp–Miller engine over *implicit* VASS — transition systems whose
+states and actions are generated lazily, which is how the verifier
+explores the per-task systems ``V(T, β)`` without materializing their
+astronomically large state spaces.
+"""
+
+from repro.vass.vass import VASS, Action
+from repro.vass.karp_miller import (
+    KMGraph,
+    KMNode,
+    OMEGA,
+    build_km_graph,
+    reachable,
+    repeated_reachable,
+)
+
+__all__ = [
+    "VASS",
+    "Action",
+    "KMGraph",
+    "KMNode",
+    "OMEGA",
+    "build_km_graph",
+    "reachable",
+    "repeated_reachable",
+]

@@ -1,0 +1,230 @@
+"""Karp–Miller coverability over implicit VASS.
+
+The engine works against any object providing
+
+* ``successors(state) -> Iterator[(delta: Mapping[dim, int], next_state,
+  tag)]`` — lazily generated actions (``tag`` is caller metadata carried
+  into witnesses);
+
+dimensions are arbitrary hashable keys (the verifier uses TS-isomorphism
+types) and vectors are sparse mappings; absent dimensions are 0.
+
+Classic Karp–Miller acceleration introduces ω on path-ancestor domination,
+guaranteeing termination when the control-state space is finite.  The
+resulting *KM graph* (nodes merged on equal labels) answers:
+
+* **state reachability / coverability** — a node satisfying the target
+  predicate exists (Lemma 21's returning and blocking paths);
+* **repeated state reachability** — an accepting node lies on a cycle of
+  the KM graph: non-ω coordinates are exact in KM labels, so any KM cycle
+  has zero net effect on them, and ω coordinates are pumpable
+  (Habermehl [33], Blockelet–Schmitz [14]) — Lemma 21's lasso paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Protocol
+
+from repro.errors import BudgetExceeded
+
+OMEGA = math.inf
+Dim = Hashable
+SparseVector = dict[Dim, float]  # values: non-negative ints or OMEGA
+FrozenVector = frozenset
+
+
+class ImplicitVASS(Protocol):
+    def successors(
+        self, state: Hashable, vector: Mapping[Dim, float]
+    ) -> Iterator[tuple[Mapping[Dim, int], Hashable, object]]:
+        ...
+
+
+def freeze(vector: Mapping[Dim, float]) -> FrozenVector:
+    return frozenset((k, v) for k, v in vector.items() if v != 0)
+
+
+def thaw(vector: FrozenVector) -> SparseVector:
+    return dict(vector)
+
+
+def dominates(big: Mapping[Dim, float], small: Mapping[Dim, float]) -> bool:
+    """big ≥ small componentwise (missing = 0; ω ≥ everything)."""
+    for dim, value in small.items():
+        if big.get(dim, 0) < value:
+            return False
+    return True
+
+
+@dataclass
+class KMNode:
+    state: Hashable
+    vector: FrozenVector
+    payload: object = None
+    parent: "KMNode | None" = None
+    parent_tag: object = None
+    index: int = 0
+    successors: list[tuple[object, "KMNode"]] = field(default_factory=list)
+
+    @property
+    def label(self) -> tuple:
+        return (self.state, self.vector)
+
+    def path_from_root(self) -> list["KMNode"]:
+        path: list[KMNode] = []
+        node: KMNode | None = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+
+@dataclass
+class KMGraph:
+    roots: list[KMNode]
+    nodes: list[KMNode]
+    by_label: dict[tuple, KMNode]
+    budget_exhausted: bool = False
+
+
+def build_km_graph(
+    system: ImplicitVASS,
+    start: Hashable | Iterable[tuple[Hashable, Mapping[Dim, int], object]],
+    budget: int = 50_000,
+    stop_on: Callable[[KMNode], bool] | None = None,
+) -> KMGraph:
+    """Construct the Karp–Miller graph from the start configuration(s).
+
+    ``start`` is either a single control state (counters 0) or an iterable
+    of (state, vector, payload) triples.  ``stop_on`` short-circuits the
+    construction once a node satisfies it (used for plain reachability).
+    """
+    if isinstance(start, (list, tuple)) or hasattr(start, "__next__"):
+        starts = list(start)  # type: ignore[arg-type]
+    else:
+        starts = [(start, {}, None)]
+    graph = KMGraph(roots=[], nodes=[], by_label={})
+    worklist: list[KMNode] = []
+    for state, vector, payload in starts:
+        node = KMNode(state=state, vector=freeze(vector), payload=payload)
+        node.index = len(graph.nodes)
+        graph.roots.append(node)
+        graph.nodes.append(node)
+        label = node.label
+        if label not in graph.by_label:
+            graph.by_label[label] = node
+            worklist.append(node)
+        if stop_on is not None and stop_on(node):
+            return graph
+    expansions = 0
+    while worklist:
+        node = worklist.pop()
+        if expansions >= budget:
+            graph.budget_exhausted = True
+            break
+        expansions += 1
+        current = thaw(node.vector)
+        for delta, next_state, tag in system.successors(node.state, current):
+            next_vector = dict(current)
+            enabled = True
+            for dim, change in delta.items():
+                value = next_vector.get(dim, 0)
+                if value is OMEGA:
+                    continue
+                value += change
+                if value < 0:
+                    enabled = False
+                    break
+                next_vector[dim] = value
+            if not enabled:
+                continue
+            # acceleration against path ancestors
+            ancestor = node
+            while ancestor is not None:
+                if ancestor.state == next_state:
+                    avector = thaw(ancestor.vector)
+                    if dominates(next_vector, avector) and freeze(next_vector) != ancestor.vector:
+                        for dim, value in next_vector.items():
+                            if value is not OMEGA and value > avector.get(dim, 0):
+                                next_vector[dim] = OMEGA
+                        for dim in avector:
+                            if next_vector.get(dim, 0) is not OMEGA:
+                                if next_vector.get(dim, 0) > avector.get(dim, 0):
+                                    next_vector[dim] = OMEGA
+                ancestor = ancestor.parent
+            label = (next_state, freeze(next_vector))
+            existing = graph.by_label.get(label)
+            if existing is not None:
+                node.successors.append((tag, existing))
+                continue
+            child = KMNode(
+                state=next_state,
+                vector=label[1],
+                payload=None,
+                parent=node,
+                parent_tag=tag,
+            )
+            child.index = len(graph.nodes)
+            graph.nodes.append(child)
+            graph.by_label[label] = child
+            node.successors.append((tag, child))
+            worklist.append(child)
+            if stop_on is not None and stop_on(child):
+                return graph
+    return graph
+
+
+def reachable(
+    system: ImplicitVASS,
+    start,
+    target: Callable[[KMNode], bool],
+    budget: int = 50_000,
+) -> KMNode | None:
+    """First KM node satisfying ``target`` (coverability witness), or None.
+
+    Raises :class:`BudgetExceeded` when the budget ran out before the
+    construction finished *and* no target was found (the answer would be
+    unsound otherwise)."""
+    graph = build_km_graph(system, start, budget=budget, stop_on=target)
+    for node in graph.nodes:
+        if target(node):
+            return node
+    if graph.budget_exhausted:
+        raise BudgetExceeded("Karp–Miller budget exhausted", len(graph.nodes))
+    return None
+
+
+def repeated_reachable(
+    system: ImplicitVASS,
+    start,
+    accepting: Callable[[KMNode], bool],
+    budget: int = 50_000,
+) -> tuple[KMNode, list[KMNode]] | None:
+    """An accepting node on a cycle of the KM graph, with the cycle.
+
+    Returns (node, cycle_nodes) or None; raises BudgetExceeded when the
+    graph construction was truncated without an answer.
+    """
+    from repro.vass.repeated import accepting_cycle
+
+    graph = build_km_graph(system, start, budget=budget)
+    found = accepting_cycle(graph, accepting)
+    if found is not None:
+        return found
+    if graph.budget_exhausted:
+        raise BudgetExceeded("Karp–Miller budget exhausted", len(graph.nodes))
+    return None
+
+
+def witness_path(node: KMNode) -> list[tuple[object, KMNode]]:
+    """The (tag, node) steps from a root to ``node``."""
+    steps: list[tuple[object, KMNode]] = []
+    current = node
+    while current.parent is not None:
+        steps.append((current.parent_tag, current))
+        current = current.parent
+    steps.reverse()
+    return steps

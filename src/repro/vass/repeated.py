@@ -1,0 +1,90 @@
+"""Accepting-cycle detection on Karp–Miller graphs (repeated reachability).
+
+Factored out of :func:`repro.vass.karp_miller.repeated_reachable` so the
+verifier can reuse a graph it already built for several queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.vass.karp_miller import KMGraph, KMNode
+
+
+def strongly_connected_components(graph: KMGraph) -> list[list[KMNode]]:
+    """Tarjan's algorithm, iterative."""
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[KMNode] = []
+    counter = [0]
+    sccs: list[list[KMNode]] = []
+
+    def strongconnect(root: KMNode) -> None:
+        work: list[tuple[KMNode, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index_of[node.index] = counter[0]
+                lowlink[node.index] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node.index)
+            advanced = False
+            while child_idx < len(node.successors):
+                _tag, child = node.successors[child_idx]
+                child_idx += 1
+                if child.index not in index_of:
+                    work.append((node, child_idx))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child.index in on_stack:
+                    lowlink[node.index] = min(
+                        lowlink[node.index], index_of[child.index]
+                    )
+            if advanced:
+                continue
+            if lowlink[node.index] == index_of[node.index]:
+                component: list[KMNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member.index)
+                    component.append(member)
+                    if member is node:
+                        break
+                sccs.append(component)
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent.index] = min(
+                    lowlink[parent.index], lowlink[node.index]
+                )
+
+    for node in graph.nodes:
+        if node.index not in index_of:
+            strongconnect(node)
+    return sccs
+
+
+def accepting_cycle(
+    graph: KMGraph, accepting: Callable[[KMNode], bool]
+) -> tuple[KMNode, list[KMNode]] | None:
+    """A node satisfying ``accepting`` lying on a cycle, if any.
+
+    Non-ω coordinates are exact in KM labels, so every KM cycle is
+    realizable arbitrarily often (ω coordinates are pumpable); an
+    accepting node on a cycle therefore witnesses repeated reachability.
+    """
+    for component in strongly_connected_components(graph):
+        members = {n.index for n in component}
+        has_cycle = len(component) > 1 or any(
+            child.index in members
+            for n in component
+            for _tag, child in n.successors
+        )
+        if not has_cycle:
+            continue
+        for node in component:
+            if accepting(node):
+                return node, component
+    return None

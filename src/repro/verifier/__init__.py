@@ -1,0 +1,21 @@
+"""The HLTL-FO model checker (Section 4.2 + Section 5).
+
+``verify(has, prop)`` decides whether every tree of local runs of the HAS
+satisfies the property, by checking that no symbolic tree of runs satisfies
+its negation: per-task VASS systems ``V(T, β)`` are explored lazily with a
+Karp–Miller engine, children are summarized by memoized input/output
+relations ``R_T`` (Lemma 21), and arithmetic is handled by lazily-refined
+cells over linear constraints (Section 5).
+"""
+
+from repro.verifier.engine import Verifier, verify
+from repro.verifier.result import VerificationResult, WitnessStep
+from repro.verifier.config import VerifierConfig
+
+__all__ = [
+    "Verifier",
+    "verify",
+    "VerificationResult",
+    "WitnessStep",
+    "VerifierConfig",
+]

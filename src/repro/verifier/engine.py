@@ -1,0 +1,228 @@
+"""The verification engine: bottom-up ``R_T`` computation and the
+top-level HLTL-FO model-checking procedure (Section 4.2, Lemma 21).
+
+``Γ ⊨ ∀ȳ[ξ]_{T1}`` holds iff no symbolic tree of runs satisfies
+``[¬ξ]_{T1}``; the engine searches for one with the negated root
+automaton, summarizing child tasks by their memoized input/output/β
+relations (Lemma 21's returning, lasso, and blocking paths).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import SpecificationError, VerificationError
+from repro.has.restrictions import validate_has
+from repro.has.system import HAS
+from repro.has.task import Task
+from repro.hltl.formulas import (
+    ChildProp,
+    CondProp,
+    HLTLProperty,
+    SetAtom,
+    validate_property,
+)
+from repro.ltl.formulas import propositions
+from repro.symbolic.store import ConstraintStore, Inconsistent
+from repro.symbolic.apply import apply_condition
+from repro.vass.karp_miller import KMGraph, build_km_graph, witness_path
+from repro.vass.repeated import accepting_cycle
+from repro.verifier.config import VerifierConfig
+from repro.verifier.result import (
+    VerificationResult,
+    VerificationStats,
+    WitnessStep,
+)
+from repro.verifier.spec import BetaKey, CompiledProperty, beta_key
+from repro.verifier.task_vass import StepTag, TaskVASS
+
+
+@dataclass
+class TaskSummary:
+    """The slice of ``R_T`` for one input type and one β (Lemma 21)."""
+
+    outputs: dict[tuple, ConstraintStore] = field(default_factory=dict)
+    nonreturning: bool = False
+    km_nodes: int = 0
+
+
+class Verifier:
+    """Model checker for one HAS; reusable across properties."""
+
+    def __init__(self, has: HAS, config: VerifierConfig | None = None):
+        self.has = has
+        self.config = config or VerifierConfig()
+        validate_has(has)
+        self._summaries: dict[tuple, TaskSummary] = {}
+        self._input_stores: dict[tuple[str, tuple], ConstraintStore] = {}
+        self.deadline: float | None = None
+        self.compiled: CompiledProperty | None = None
+        self.stats = VerificationStats()
+
+    # ------------------------------------------------------------------
+    # child I/O plumbing
+    # ------------------------------------------------------------------
+    def make_child_input(
+        self, parent_store: ConstraintStore, child: Task
+    ) -> tuple[ConstraintStore, tuple]:
+        """The child's input isomorphism type: the parent's facts about the
+        passed variables, rebased onto the child's input variables."""
+        passed = list(child.opening.input_map.values())
+        restricted = parent_store.restrict(passed)
+        child_store = ConstraintStore(self.has.database)
+        child_store.absorb(
+            restricted,
+            {
+                parent_var: child_var
+                for child_var, parent_var in child.opening.input_map.items()
+            },
+        )
+        key = child_store.canonical_key()
+        self._input_stores[(child.name, key)] = child_store
+        return child_store, key
+
+    def summary(
+        self, task_name: str, input_store: ConstraintStore, beta: Mapping
+    ) -> TaskSummary:
+        """Memoized ``R_T`` slice for (input type, β)."""
+        key = (task_name, input_store.canonical_key(), beta_key(beta))
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if len(self._summaries) >= self.config.max_summaries:
+            raise VerificationError("summary memo limit exceeded")
+        assert self.compiled is not None
+        task = self.has.task(task_name)
+        automaton = self.compiled.automaton(task_name, beta)
+        vass = TaskVASS(self, task, automaton, is_root=False, config=self.config)
+        starts = list(vass.initial_states(input_store))
+        summary = TaskSummary()
+        # placeholder first: defends against (impossible) recursive loops
+        self._summaries[key] = summary
+        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
+        self.stats.km_nodes += len(graph.nodes)
+        if graph.budget_exhausted:
+            from repro.errors import BudgetExceeded
+
+            raise BudgetExceeded(
+                f"summary of {task_name} exhausted the KM budget", len(graph.nodes)
+            )
+        for node in graph.nodes:
+            if vass.is_returning_accepting(node.state):
+                out = vass.output_of(node.state)
+                out_key = out.canonical_key()
+                if len(summary.outputs) < self.config.max_outputs_per_summary:
+                    summary.outputs.setdefault(out_key, out)
+            elif vass.is_blocking_accepting(node.state):
+                summary.nonreturning = True
+        if not summary.nonreturning:
+            if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
+                summary.nonreturning = True
+        summary.km_nodes = len(graph.nodes)
+        self.stats.summaries += 1
+        return summary
+
+    def output_store(
+        self, task_name: str, input_key: tuple, beta_items: BetaKey, out_key: tuple
+    ) -> ConstraintStore:
+        summary = self._summaries[(task_name, input_key, frozenset(beta_items))]
+        return summary.outputs[out_key]
+
+    # ------------------------------------------------------------------
+    # top-level verification
+    # ------------------------------------------------------------------
+    def verify(self, prop: HLTLProperty) -> VerificationResult:
+        """Check ``Γ ⊨ prop``: search for a symbolic tree satisfying ¬ξ."""
+        started = time.monotonic()
+        self.deadline = (
+            started + self.config.time_limit_seconds
+            if self.config.time_limit_seconds is not None
+            else None
+        )
+        validate_property(prop, self.has)
+        _reject_set_atoms(prop)
+        self.compiled = CompiledProperty(self.has, prop)
+        self.stats = VerificationStats()
+        automaton = self.compiled.root_negated_automaton()
+        root = self.has.root
+        vass = TaskVASS(self, root, automaton, is_root=True, config=self.config)
+        starts = []
+        for init_store in self._root_initial_stores():
+            starts.extend(vass.initial_states(init_store))
+        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
+        self.stats.km_nodes += len(graph.nodes)
+        if graph.budget_exhausted:
+            from repro.errors import BudgetExceeded
+
+            raise BudgetExceeded(
+                "root search exhausted the KM budget", len(graph.nodes)
+            )
+        result = VerificationResult(
+            holds=True, property_name=prop.name, stats=self.stats
+        )
+        # blocking counterexample
+        for node in graph.nodes:
+            if vass.is_blocking_accepting(node.state):
+                result.holds = False
+                result.witness_kind = "blocking"
+                result.witness = _witness_of(node)
+                break
+        if result.holds:
+            found = accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state))
+            if found is not None:
+                node, cycle = found
+                result.holds = False
+                result.witness_kind = "lasso"
+                result.witness = _witness_of(node) + [
+                    WitnessStep("—", "(cycle)", f"{len(cycle)} states repeat")
+                ]
+        self.stats.wall_seconds = time.monotonic() - started
+        return result
+
+    def _root_initial_stores(self) -> list[ConstraintStore]:
+        base = ConstraintStore(self.has.database)
+        for variable in self.has.root.input_variables:
+            base.node_of(variable)  # materialize the input values
+        refinements = list(apply_condition(base, self.has.precondition))
+        return refinements
+
+
+def _reject_set_atoms(prop: HLTLProperty) -> None:
+    def walk(spec) -> None:
+        for payload in propositions(spec.formula):
+            if isinstance(payload, CondProp):
+                condition = payload.condition
+                from repro.logic.conditions import Exists
+
+                while isinstance(condition, Exists):
+                    condition = condition.body
+                try:
+                    atoms = condition.atoms()
+                except Exception:
+                    continue  # nested ∃ is handled natively at search time
+                if any(isinstance(a, SetAtom) for a in atoms):
+                    raise SpecificationError(
+                        "set atoms in properties must be eliminated first "
+                        "(repro.transform.eliminate_set_atoms, Lemma 30)"
+                    )
+            elif isinstance(payload, ChildProp):
+                walk(payload.spec)
+
+    walk(prop.root)
+
+
+def _witness_of(node) -> list[WitnessStep]:
+    steps: list[WitnessStep] = []
+    for tag, _node in witness_path(node):
+        if isinstance(tag, StepTag):
+            steps.append(WitnessStep(tag.task, repr(tag.service), tag.detail))
+    return steps
+
+
+def verify(
+    has: HAS, prop: HLTLProperty, config: VerifierConfig | None = None
+) -> VerificationResult:
+    """One-shot convenience wrapper around :class:`Verifier`."""
+    return Verifier(has, config).verify(prop)

@@ -1,0 +1,59 @@
+"""Verification results and symbolic witnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One step of a symbolic counterexample run."""
+
+    task: str
+    service: str
+    detail: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" [{self.detail}]" if self.detail else ""
+        return f"{self.task}: {self.service}{suffix}"
+
+
+@dataclass
+class VerificationStats:
+    km_nodes: int = 0
+    summaries: int = 0
+    condition_branches: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of checking ``Γ ⊨ φ``.
+
+    ``holds`` is True when every tree of local runs satisfies the
+    property; False comes with a symbolic witness of the negation (a
+    prefix of a violating run of the root task, plus the lasso/blocking
+    classification).
+    """
+
+    holds: bool
+    property_name: str
+    witness: list[WitnessStep] = field(default_factory=list)
+    witness_kind: str = ""  # "lasso" | "blocking" | ""
+    stats: VerificationStats = field(default_factory=VerificationStats)
+
+    def explain(self) -> str:
+        """Human-readable summary of the result."""
+        if self.holds:
+            return (
+                f"property {self.property_name!r} HOLDS "
+                f"({self.stats.km_nodes} symbolic states, "
+                f"{self.stats.summaries} task summaries)"
+            )
+        lines = [
+            f"property {self.property_name!r} VIOLATED "
+            f"({self.witness_kind or 'run'} counterexample):"
+        ]
+        for step in self.witness:
+            lines.append(f"  {step!r}")
+        return "\n".join(lines)

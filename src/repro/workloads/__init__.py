@@ -1,0 +1,23 @@
+"""Parametric HAS families for the Table 1 / Table 2 benchmarks."""
+
+from repro.workloads.schemas import (
+    acyclic_chain_schema,
+    cyclic_schema,
+    linear_cycle_schema,
+    star_schema,
+)
+from repro.workloads.systems import (
+    WorkloadSpec,
+    table1_workload,
+    table2_workload,
+)
+
+__all__ = [
+    "acyclic_chain_schema",
+    "cyclic_schema",
+    "linear_cycle_schema",
+    "star_schema",
+    "WorkloadSpec",
+    "table1_workload",
+    "table2_workload",
+]

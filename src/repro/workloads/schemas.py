@@ -1,0 +1,58 @@
+"""Database schema generators for the three schema classes of Tables 1–2.
+
+The schema class controls ``F(δ)`` and hence the navigation-set size
+(Figure 4 / Appendix C.3), which drives the verification complexity.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+
+
+def acyclic_chain_schema(length: int, numeric_attrs: int = 1) -> DatabaseSchema:
+    """R_0 → R_1 → … → R_{length-1}: the simplest acyclic shape."""
+    relations = []
+    for index in range(length):
+        attrs = [numeric(f"a{j}") for j in range(numeric_attrs)]
+        if index + 1 < length:
+            attrs.append(foreign_key("next", f"R{index + 1}"))
+        relations.append(Relation(f"R{index}", tuple(attrs)))
+    return DatabaseSchema(tuple(relations))
+
+
+def star_schema(points: int, numeric_attrs: int = 1) -> DatabaseSchema:
+    """A fact table referencing ``points`` dimension tables — the Star
+    schema the paper singles out as the practically dominant case."""
+    relations = [
+        Relation(f"DIM{i}", tuple(numeric(f"a{j}") for j in range(numeric_attrs)))
+        for i in range(points)
+    ]
+    fact_attrs = [numeric("measure")] + [
+        foreign_key(f"dim{i}", f"DIM{i}") for i in range(points)
+    ]
+    relations.append(Relation("FACT", tuple(fact_attrs)))
+    return DatabaseSchema(tuple(relations))
+
+
+def linear_cycle_schema(length: int, numeric_attrs: int = 1) -> DatabaseSchema:
+    """R_0 → R_1 → … → R_{length-1} → R_0: one simple cycle through every
+    relation (each relation on exactly one cycle: linearly-cyclic)."""
+    relations = []
+    for index in range(length):
+        attrs = [numeric(f"a{j}") for j in range(numeric_attrs)]
+        attrs.append(foreign_key("next", f"R{(index + 1) % length}"))
+        relations.append(Relation(f"R{index}", tuple(attrs)))
+    return DatabaseSchema(tuple(relations))
+
+
+def cyclic_schema(relations_count: int, fanout: int = 2) -> DatabaseSchema:
+    """Every relation references ``fanout`` others — many overlapping
+    cycles, the worst case of Tables 1–2."""
+    relations = []
+    for index in range(relations_count):
+        attrs = [numeric("a0")]
+        for k in range(fanout):
+            target = (index + 1 + k) % relations_count
+            attrs.append(foreign_key(f"f{k}", f"R{target}"))
+        relations.append(Relation(f"R{index}", tuple(attrs)))
+    return DatabaseSchema(tuple(relations))

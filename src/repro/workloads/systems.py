@@ -1,0 +1,273 @@
+"""Parametric HAS families realizing the cells of Tables 1 and 2.
+
+``table1_workload`` / ``table2_workload`` build, for a chosen schema class
+and feature set (artifact relations yes/no, arithmetic yes/no), a HAS of
+scalable size: a linear hierarchy of depth ``h`` in which every task walks
+the foreign-key structure, optionally stores/retrieves tuples, and
+optionally tests linear constraints.  The properties assert data-flow
+invariants so the verifier must track navigation, counters, and cells —
+exercising exactly the machinery whose cost the tables bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.fkgraph import SchemaClass
+from repro.database.schema import AttributeKind, DatabaseSchema
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond
+from repro.logic.conditions import (
+    And,
+    ArithAtom,
+    Condition,
+    Eq,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+)
+from repro.logic.terms import Const, NULL, Variable, id_var, num_var
+from repro.ltl.formulas import Always, Formula
+from repro.workloads.schemas import (
+    acyclic_chain_schema,
+    cyclic_schema,
+    linear_cycle_schema,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark point: a HAS plus the property to check and the
+    expected verdict."""
+
+    name: str
+    has: HAS
+    prop: HLTLProperty
+    expected_holds: bool
+    schema_class: SchemaClass
+    depth: int
+    uses_sets: bool
+    uses_arithmetic: bool
+
+
+def _schema_for(schema_class: SchemaClass, size: int) -> DatabaseSchema:
+    if schema_class is SchemaClass.ACYCLIC:
+        return acyclic_chain_schema(max(2, size))
+    if schema_class is SchemaClass.LINEARLY_CYCLIC:
+        return linear_cycle_schema(max(2, size))
+    return cyclic_schema(max(2, size))
+
+
+def _cursor_atom(
+    schema: DatabaseSchema, relation: str, prefix: str
+) -> tuple[RelationAtom, Variable, Variable, tuple[Variable, ...]]:
+    """``R(cursor, …)`` with fresh variables per position; returns the
+    atom, the cursor, the first numeric variable, and all the others."""
+    cursor = id_var(f"{prefix}_cur")
+    price = num_var(f"{prefix}_p")
+    rel = schema.relation(relation)
+    args: list = [cursor]
+    extras: list[Variable] = []
+    used_price = False
+    for attribute in rel.attributes:
+        if attribute.kind is AttributeKind.NUMERIC:
+            if not used_price:
+                args.append(price)
+                used_price = True
+            else:
+                extra = num_var(f"{prefix}_{attribute.name}")
+                args.append(extra)
+                extras.append(extra)
+        else:
+            extra = id_var(f"{prefix}_{attribute.name}")
+            args.append(extra)
+            extras.append(extra)
+    if not used_price:
+        extras.append(price)  # keep the variable even without a position
+    return RelationAtom(relation, tuple(args)), cursor, price, tuple(extras)
+
+
+def _chain_condition(
+    schema: DatabaseSchema,
+    start_relation: str,
+    prefix: str,
+    length: int,
+) -> tuple[Condition, tuple[Variable, ...]]:
+    """A conjunction following the first FK of each relation for ``length``
+    steps: R(c0,…,c1) ∧ R'(c1,…,c2) ∧ … — forces the verifier to build
+    navigation chains whose size depends on the schema class (Figure 4)."""
+    atoms: list[Condition] = []
+    variables: list[Variable] = []
+    relation = start_relation
+    cursor = id_var(f"{prefix}_cur")
+    variables.append(cursor)
+    for step in range(length):
+        rel = schema.relation(relation)
+        fks = rel.foreign_keys
+        if not fks:
+            break
+        args: list = [cursor]
+        next_cursor = None
+        for attribute in rel.attributes:
+            if attribute.kind is AttributeKind.NUMERIC:
+                extra = num_var(f"{prefix}_s{step}_{attribute.name}")
+                args.append(extra)
+                variables.append(extra)
+            else:
+                hop = id_var(f"{prefix}_c{step + 1}_{attribute.name}")
+                args.append(hop)
+                variables.append(hop)
+                if attribute.name == fks[0].name:
+                    next_cursor = hop
+        atoms.append(RelationAtom(relation, tuple(args)))
+        assert next_cursor is not None
+        cursor = next_cursor
+        relation = fks[0].references
+    return And(*atoms) if atoms else TRUE, tuple(variables)
+
+
+def _build_system(
+    schema_class: SchemaClass,
+    schema_size: int,
+    depth: int,
+    with_sets: bool,
+    with_arith: bool,
+    chain: int = 0,
+) -> HAS:
+    schema = _schema_for(schema_class, schema_size)
+    names = schema.names
+    child: Task | None = None
+    for level in range(depth - 1, -1, -1):
+        prefix = f"L{level}"
+        relation = names[level % len(names)]
+        atom, cursor, price, extras = _cursor_atom(schema, relation, prefix)
+        post: Condition = atom
+        if chain > 0:
+            chain_cond, chain_vars = _chain_condition(
+                schema, relation, f"{prefix}_ch", chain
+            )
+            post = And(post, chain_cond, Eq(id_var(f"{prefix}_ch_cur"), cursor))
+            extras = extras + tuple(
+                v for v in chain_vars if v not in extras and v != cursor
+            )
+        if with_arith:
+            post = And(post, ArithAtom(compare(linvar(price), Rel.GE, linconst(0))))
+        services = [InternalService(f"{prefix}_step", pre=TRUE, post=post)]
+        set_vars: tuple[Variable, ...] = ()
+        if with_sets:
+            set_vars = (cursor,)
+            services.append(
+                InternalService(
+                    f"{prefix}_store",
+                    pre=Not(Eq(cursor, NULL)),
+                    post=post,
+                    update=SetUpdate.INSERT,
+                )
+            )
+            services.append(
+                InternalService(
+                    f"{prefix}_load", pre=TRUE, post=post, update=SetUpdate.RETRIEVE
+                )
+            )
+        if level == 0:
+            opening = OpeningService()
+            closing = ClosingService()
+        else:
+            parent_cursor = id_var(f"L{level - 1}_cur")
+            opening = OpeningService(
+                pre=Not(Eq(parent_cursor, NULL)), input_map={}
+            )
+            closing = ClosingService(pre=Not(Eq(cursor, NULL)), output_map={})
+        task = Task(
+            name=prefix,
+            variables=(cursor, price) + extras,
+            set_variables=set_vars,
+            services=tuple(services),
+            opening=opening,
+            closing=closing,
+            children=(child,) if child is not None else (),
+        )
+        child = task
+    assert child is not None
+    return HAS(
+        schema,
+        child,
+        name=f"{schema_class.value}-h{depth}"
+        f"{'-set' if with_sets else ''}{'-arith' if with_arith else ''}",
+    )
+
+
+def _root_atom(has: HAS) -> RelationAtom:
+    for service in has.root.services:
+        for atom in service.post.atoms():
+            if isinstance(atom, RelationAtom):
+                return atom
+    raise AssertionError("workload root has no relation atom")
+
+
+def _safety_property(has: HAS) -> HLTLProperty:
+    """G(cursor = null ∨ R(cursor, …)): holds — every service re-derives
+    the cursor tuple from the database."""
+    atom = _root_atom(has)
+    cursor = has.root.variables[0]
+    body: Condition = Or(Eq(cursor, NULL), atom)
+    formula: Formula = Always(cond(body))
+    return HLTLProperty(HLTLSpec(has.root.name, formula), name=f"{has.name}-safety")
+
+
+def _violation_property(has: HAS) -> HLTLProperty:
+    """G(price = 0): violated — walks reach rows of arbitrary price."""
+    price = has.root.variables[1]
+    formula: Formula = Always(cond(Eq(price, Const(Fraction(0)))))
+    return HLTLProperty(HLTLSpec(has.root.name, formula), name=f"{has.name}-violation")
+
+
+def table1_workload(
+    schema_class: SchemaClass,
+    schema_size: int = 3,
+    depth: int = 2,
+    with_sets: bool = False,
+    violated: bool = False,
+    chain: int = 0,
+) -> WorkloadSpec:
+    """A Table-1 cell instance (no arithmetic)."""
+    has = _build_system(schema_class, schema_size, depth, with_sets, False, chain)
+    prop = _violation_property(has) if violated else _safety_property(has)
+    return WorkloadSpec(
+        name=prop.name,
+        has=has,
+        prop=prop,
+        expected_holds=not violated,
+        schema_class=schema_class,
+        depth=depth,
+        uses_sets=with_sets,
+        uses_arithmetic=False,
+    )
+
+
+def table2_workload(
+    schema_class: SchemaClass,
+    schema_size: int = 3,
+    depth: int = 2,
+    with_sets: bool = False,
+    violated: bool = False,
+    chain: int = 0,
+) -> WorkloadSpec:
+    """A Table-2 cell instance (with linear arithmetic constraints)."""
+    has = _build_system(schema_class, schema_size, depth, with_sets, True, chain)
+    prop = _violation_property(has) if violated else _safety_property(has)
+    return WorkloadSpec(
+        name=prop.name,
+        has=has,
+        prop=prop,
+        expected_holds=not violated,
+        schema_class=schema_class,
+        depth=depth,
+        uses_sets=with_sets,
+        uses_arithmetic=True,
+    )

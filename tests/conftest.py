@@ -1,0 +1,55 @@
+"""Shared fixtures: schemas, instances, and small systems used across tests."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import DatabaseInstance
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+
+
+@pytest.fixture
+def travel_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        (
+            Relation(
+                "FLIGHTS",
+                (numeric("price"), foreign_key("comp_hotel_id", "HOTELS")),
+            ),
+            Relation("HOTELS", (numeric("unit_price"), numeric("discount_price"))),
+        )
+    )
+
+
+@pytest.fixture
+def travel_db(travel_schema) -> DatabaseInstance:
+    db = DatabaseInstance(travel_schema)
+    h1 = db.add("HOTELS", "h1", Fraction(200), Fraction(150))
+    h2 = db.add("HOTELS", "h2", Fraction(120), Fraction(100))
+    db.add("FLIGHTS", "f1", Fraction(400), h1)
+    db.add("FLIGHTS", "f2", Fraction(550), h2)
+    db.validate()
+    return db
+
+
+@pytest.fixture
+def chain_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        (
+            Relation("A", (numeric("x"), foreign_key("to_b", "B"))),
+            Relation("B", (numeric("y"), foreign_key("to_c", "C"))),
+            Relation("C", (numeric("z"),)),
+        )
+    )
+
+
+@pytest.fixture
+def cycle_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        (
+            Relation("P", (foreign_key("next", "Q"),)),
+            Relation("Q", (foreign_key("back", "P"),)),
+        )
+    )

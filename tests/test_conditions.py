@@ -1,0 +1,158 @@
+"""FO conditions: sorts, evaluation, null semantics, NNF, abstract eval."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.instance import Identifier
+from repro.errors import ConditionError
+from repro.logic.conditions import (
+    And,
+    ArithAtom,
+    Eq,
+    Exists,
+    FALSE,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+    nnf_condition,
+)
+from repro.logic.terms import Const, NULL, id_var, num_var
+
+f = id_var("f")
+h = id_var("h")
+p = num_var("p")
+q = num_var("q")
+
+
+class TestSorts:
+    def test_mixed_equality_rejected(self):
+        with pytest.raises(ConditionError):
+            Eq(f, p)
+
+    def test_null_only_with_id(self):
+        Eq(f, NULL)  # fine
+        with pytest.raises(ConditionError):
+            Eq(p, NULL)
+
+    def test_arith_atom_rejects_id_unknowns(self):
+        with pytest.raises(ConditionError):
+            ArithAtom(compare(linvar(f), Rel.EQ, linconst(0)))
+
+    def test_relation_atom_typecheck(self, travel_schema):
+        good = RelationAtom("FLIGHTS", (f, p, h))
+        good.typecheck(travel_schema)
+        bad = RelationAtom("FLIGHTS", (f, h, p))  # numeric and id swapped
+        with pytest.raises(ConditionError):
+            bad.typecheck(travel_schema)
+
+
+class TestEvaluation:
+    def test_equality(self, travel_db):
+        f1 = Identifier("FLIGHTS", "f1")
+        assert Eq(f, f).evaluate(travel_db, {f: f1})
+        assert Eq(f, NULL).evaluate(travel_db, {f: None})
+        assert not Eq(f, NULL).evaluate(travel_db, {f: f1})
+
+    def test_relation_atom(self, travel_db):
+        f1 = Identifier("FLIGHTS", "f1")
+        h1 = Identifier("HOTELS", "h1")
+        atom = RelationAtom("FLIGHTS", (f, p, h))
+        assert atom.evaluate(travel_db, {f: f1, p: Fraction(400), h: h1})
+        assert not atom.evaluate(travel_db, {f: f1, p: Fraction(999), h: h1})
+
+    def test_relation_atom_null_is_false(self, travel_db):
+        atom = RelationAtom("FLIGHTS", (f, p, h))
+        h1 = Identifier("HOTELS", "h1")
+        assert not atom.evaluate(travel_db, {f: None, p: Fraction(400), h: h1})
+        f1 = Identifier("FLIGHTS", "f1")
+        assert not atom.evaluate(travel_db, {f: f1, p: Fraction(400), h: None})
+
+    def test_relation_atom_wrong_domain_id(self, travel_db):
+        atom = RelationAtom("FLIGHTS", (f, p, h))
+        h1 = Identifier("HOTELS", "h1")
+        assert not atom.evaluate(travel_db, {f: h1, p: Fraction(200), h: h1})
+
+    def test_arith(self, travel_db):
+        atom = ArithAtom(compare(linvar(p) + linvar(q), Rel.LE, linconst(10)))
+        assert atom.evaluate(travel_db, {p: 4, q: 6})
+        assert not atom.evaluate(travel_db, {p: 4, q: 7})
+
+    def test_boolean_structure(self, travel_db):
+        cond = Implies(Eq(f, NULL), Eq(p, Const.of(0)))
+        assert cond.evaluate(travel_db, {f: None, p: Fraction(0)})
+        assert not cond.evaluate(travel_db, {f: None, p: Fraction(1)})
+        f1 = Identifier("FLIGHTS", "f1")
+        assert cond.evaluate(travel_db, {f: f1, p: Fraction(5)})
+
+    def test_unbound_variable_raises(self, travel_db):
+        with pytest.raises(ConditionError):
+            Eq(f, h).evaluate(travel_db, {f: None})
+
+    def test_exists(self, travel_db):
+        # there is a flight whose compatible hotel is h1
+        c = id_var("c")
+        pr = num_var("pr")
+        cond = Exists((c, pr), RelationAtom("FLIGHTS", (c, pr, h)))
+        h1 = Identifier("HOTELS", "h1")
+        h_missing = Identifier("HOTELS", "nope")
+        assert cond.evaluate(travel_db, {h: h1})
+        assert not cond.evaluate(travel_db, {h: h_missing})
+
+
+class TestAbstract:
+    def test_atoms_collection(self):
+        cond = And(Eq(f, NULL), Or(Eq(f, h), Not(Eq(f, NULL))))
+        assert len(cond.atoms()) == 2
+
+    def test_evaluate_abstract(self):
+        a1, a2 = Eq(f, NULL), Eq(f, h)
+        cond = Implies(a1, a2)
+        assert cond.evaluate_abstract({a1: False, a2: False})
+        assert not cond.evaluate_abstract({a1: True, a2: False})
+
+    def test_satisfying_assignments(self):
+        a1, a2 = Eq(f, NULL), Eq(f, h)
+        cond = And(a1, Not(a2))
+        sats = list(cond.satisfying_atom_assignments())
+        assert sats == [{a1: True, a2: False}]
+
+    def test_rename(self):
+        g = id_var("g")
+        cond = And(Eq(f, NULL), Eq(f, h))
+        renamed = cond.rename({f: g})
+        assert g in renamed.variables()
+        assert f not in renamed.variables()
+
+
+class TestNNF:
+    def test_pushes_negation(self):
+        cond = Not(And(Eq(f, NULL), Eq(f, h)))
+        normal = nnf_condition(cond)
+        assert isinstance(normal, Or)
+        assert all(isinstance(part, Not) for part in normal.parts)
+
+    def test_double_negation(self):
+        cond = Not(Not(Eq(f, NULL)))
+        assert nnf_condition(cond) == Eq(f, NULL)
+
+    def test_true_false(self):
+        assert nnf_condition(Not(TRUE)) is FALSE
+        assert nnf_condition(Not(FALSE)) is TRUE
+
+    def test_negated_exists_rejected(self):
+        cond = Not(Exists((h,), Eq(f, h)))
+        with pytest.raises(ConditionError):
+            nnf_condition(cond)
+
+    def test_pure_equality_detection(self):
+        pure = ArithAtom(compare(linvar(p) - linvar(q), Rel.EQ, linconst(0)))
+        assert pure.is_pure_equality
+        rich = ArithAtom(compare(linvar(p) + linvar(q), Rel.EQ, linconst(0)))
+        assert not rich.is_pure_equality
+        ineq = ArithAtom(compare(linvar(p), Rel.LE, linconst(0)))
+        assert not ineq.is_pure_equality

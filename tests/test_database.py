@@ -1,0 +1,121 @@
+"""Tests for the database substrate: schemas, instances, dependencies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import DatabaseInstance, Identifier
+from repro.database.schema import (
+    DatabaseSchema,
+    Relation,
+    foreign_key,
+    numeric,
+)
+from repro.errors import InstanceError, SchemaError
+
+
+class TestSchema:
+    def test_relation_arity_includes_id(self):
+        rel = Relation("R", (numeric("a"), numeric("b")))
+        assert rel.arity == 3
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", (numeric("a"), numeric("a")))
+
+    def test_explicit_key_attribute_rejected(self):
+        from repro.database.schema import Attribute, AttributeKind
+
+        with pytest.raises(SchemaError):
+            Relation("R", (Attribute("k", AttributeKind.KEY),))
+
+    def test_fk_must_reference(self):
+        with pytest.raises(SchemaError):
+            from repro.database.schema import Attribute, AttributeKind
+
+            Attribute("f", AttributeKind.FOREIGN_KEY)
+
+    def test_dangling_fk_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema((Relation("R", (foreign_key("f", "MISSING"),)),))
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema((Relation("R"), Relation("R")))
+
+    def test_attribute_lookup(self, travel_schema):
+        rel = travel_schema.relation("FLIGHTS")
+        assert rel.attribute("price").kind.value == "numeric"
+        assert rel.attribute("comp_hotel_id").references == "HOTELS"
+        assert rel.attribute("id").is_id_valued
+
+    def test_unknown_relation(self, travel_schema):
+        with pytest.raises(SchemaError):
+            travel_schema.relation("NOPE")
+
+    def test_max_arity(self, travel_schema):
+        assert travel_schema.max_arity == 3
+
+    def test_attribute_names_order(self, travel_schema):
+        assert travel_schema.relation("FLIGHTS").attribute_names == (
+            "id",
+            "price",
+            "comp_hotel_id",
+        )
+
+
+class TestInstance:
+    def test_add_and_lookup(self, travel_db):
+        ident = Identifier("HOTELS", "h1")
+        row = travel_db.lookup(ident)
+        assert row is not None
+        assert row[1] == Fraction(200)
+
+    def test_key_dependency_enforced(self, travel_schema):
+        db = DatabaseInstance(travel_schema)
+        db.add("HOTELS", "h", 1, 2)
+        with pytest.raises(InstanceError):
+            db.add("HOTELS", "h", 3, 4)
+
+    def test_arity_checked(self, travel_schema):
+        db = DatabaseInstance(travel_schema)
+        with pytest.raises(InstanceError):
+            db.add("HOTELS", "h", 1)
+
+    def test_numeric_type_checked(self, travel_schema):
+        db = DatabaseInstance(travel_schema)
+        with pytest.raises(InstanceError):
+            db.add("HOTELS", "h", "not-a-number", 2)
+
+    def test_fk_type_checked(self, travel_schema):
+        db = DatabaseInstance(travel_schema)
+        wrong = Identifier("FLIGHTS", "f")
+        with pytest.raises(InstanceError):
+            db.add("FLIGHTS", "f1", 10, wrong)
+
+    def test_inclusion_dependency_validation(self, travel_schema):
+        db = DatabaseInstance(travel_schema)
+        db.add("FLIGHTS", "f1", 10, "ghost-hotel")
+        with pytest.raises(InstanceError):
+            db.validate()
+
+    def test_navigate(self, travel_db):
+        flight = Identifier("FLIGHTS", "f1")
+        assert travel_db.navigate(flight, ["price"]) == Fraction(400)
+        assert travel_db.navigate(flight, ["comp_hotel_id", "unit_price"]) == Fraction(200)
+
+    def test_navigate_missing(self, travel_db):
+        ghost = Identifier("FLIGHTS", "ghost")
+        assert travel_db.navigate(ghost, ["price"]) is None
+
+    def test_active_domain(self, travel_db):
+        domain = travel_db.active_domain()
+        assert Identifier("HOTELS", "h1") in domain
+        assert Fraction(400) in domain
+
+    def test_size(self, travel_db):
+        assert travel_db.size() == 4
+        assert travel_db.size("HOTELS") == 2
+
+    def test_id_domains_disjoint(self, travel_db):
+        assert Identifier("HOTELS", "h1") != Identifier("FLIGHTS", "h1")

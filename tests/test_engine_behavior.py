@@ -1,0 +1,121 @@
+"""Verifier engine behaviors: budgets, time limits, witnesses, rejection
+of unsupported property fragments, reuse across properties."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.schema import DatabaseSchema, Relation, numeric
+from repro.errors import BudgetExceeded, SpecificationError
+from repro.has import HAS, InternalService, Task
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, SetAtom, cond
+from repro.logic.conditions import And, Eq, TRUE
+from repro.logic.terms import Const, id_var, num_var
+from repro.ltl.formulas import Always, Eventually
+from repro.verifier import Verifier, VerifierConfig, verify
+
+DB = DatabaseSchema((Relation("ITEMS", (numeric("price"),)),))
+
+
+def counter_system():
+    """x cycles through 0 → 1 → 2 → 0 …: several distinct states."""
+    x = num_var("x")
+    services = tuple(
+        InternalService(f"to{v}", post=Eq(x, Const(Fraction(v))))
+        for v in range(3)
+    )
+    return HAS(DB, Task(name="T1", variables=(x,), services=services)), x
+
+
+class TestBudgets:
+    def test_km_budget_raises(self):
+        has, x = counter_system()
+        prop = HLTLProperty(HLTLSpec("T1", Always(cond(TRUE))))
+        with pytest.raises(BudgetExceeded):
+            verify(has, prop, VerifierConfig(km_budget=1))
+
+    def test_time_limit_raises(self):
+        has, x = counter_system()
+        prop = HLTLProperty(HLTLSpec("T1", Always(cond(TRUE))))
+        with pytest.raises(BudgetExceeded):
+            verify(
+                has,
+                prop,
+                VerifierConfig(km_budget=10_000_000, time_limit_seconds=0.0),
+            )
+
+    def test_budget_never_returns_wrong_verdict(self):
+        """Either the right answer or an exception — never a guess."""
+        has, x = counter_system()
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(0))))))
+        )
+        for budget in (2, 5, 20, 1000):
+            try:
+                result = verify(has, prop, VerifierConfig(km_budget=budget))
+            except BudgetExceeded:
+                continue
+            assert not result.holds  # x reaches 1
+
+
+class TestWitnesses:
+    def test_witness_services_are_real(self):
+        has, x = counter_system()
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(0))))))
+        )
+        result = verify(has, prop)
+        assert not result.holds
+        names = {step.service for step in result.witness if step.task == "T1"}
+        assert names <= {f"T1.to{v}" for v in range(3)} | {"(cycle)"}
+
+    def test_explain_formats(self):
+        has, x = counter_system()
+        prop = HLTLProperty(HLTLSpec("T1", Eventually(cond(TRUE))), name="p")
+        result = verify(has, prop)
+        text = result.explain()
+        assert "p" in text and ("HOLDS" in text or "VIOLATED" in text)
+
+
+class TestRejections:
+    def test_global_variables_rejected(self):
+        has, x = counter_system()
+        g = num_var("g")
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(Eq(x, g)))), global_variables=(g,)
+        )
+        with pytest.raises(SpecificationError, match="global"):
+            verify(has, prop)
+
+    def test_set_atoms_rejected(self):
+        s = id_var("s")
+        root = Task(
+            name="T1",
+            variables=(s,),
+            set_variables=(s,),
+            services=(InternalService("noop"),),
+        )
+        has = HAS(DB, root)
+        g = id_var("g")
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(SetAtom("T1", (g,))))),
+            global_variables=(g,),
+        )
+        with pytest.raises(SpecificationError):
+            verify(has, prop)
+
+
+class TestReuse:
+    def test_verifier_reusable_across_properties(self):
+        has, x = counter_system()
+        verifier = Verifier(has)
+        r1 = verifier.verify(
+            HLTLProperty(HLTLSpec("T1", Always(cond(TRUE))), name="p1")
+        )
+        r2 = verifier.verify(
+            HLTLProperty(
+                HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(9)))))),
+                name="p2",
+            )
+        )
+        assert r1.holds and not r2.holds

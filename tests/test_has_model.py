@@ -1,0 +1,191 @@
+"""HAS model: tasks, services, hierarchy, and the static validator."""
+
+import pytest
+
+from repro.errors import RestrictionViolation, SpecificationError
+from repro.has import (
+    HAS,
+    ClosingService,
+    InternalService,
+    OpeningService,
+    Task,
+    validate_has,
+)
+from repro.has.services import SetUpdate
+from repro.logic.conditions import Eq, TRUE, Not
+from repro.logic.terms import NULL, id_var, num_var
+
+
+def leaf(name, variables, **kwargs):
+    return Task(name=name, variables=variables, **kwargs)
+
+
+class TestTaskSchema:
+    def test_set_variables_must_be_id(self):
+        x = num_var("x")
+        with pytest.raises(SpecificationError):
+            Task(name="T", variables=(x,), set_variables=(x,))
+
+    def test_set_variables_must_be_task_variables(self):
+        x, y = id_var("x"), id_var("y")
+        with pytest.raises(SpecificationError):
+            Task(name="T", variables=(x,), set_variables=(y,))
+
+    def test_duplicate_services_rejected(self):
+        x = id_var("x")
+        s = InternalService("s")
+        with pytest.raises(SpecificationError):
+            Task(name="T", variables=(x,), services=(s, s))
+
+    def test_depth(self):
+        inner = leaf("C", (id_var("c"),))
+        outer = Task(name="P", variables=(id_var("p"),), children=(inner,))
+        assert outer.depth == 2
+        assert inner.depth == 1
+
+    def test_walk_and_lookup(self):
+        inner = leaf("C", (id_var("c"),))
+        outer = Task(name="P", variables=(id_var("p"),), children=(inner,))
+        assert [t.name for t in outer.walk()] == ["P", "C"]
+        assert outer.child("C") is inner
+        with pytest.raises(SpecificationError):
+            outer.child("X")
+
+
+class TestServiceMaps:
+    def test_fin_must_be_one_to_one(self):
+        a, b = id_var("a"), id_var("b")
+        parent_var = id_var("pv")
+        with pytest.raises(SpecificationError):
+            OpeningService(input_map={a: parent_var, b: parent_var})
+
+    def test_fin_kind_mismatch(self):
+        with pytest.raises(SpecificationError):
+            OpeningService(input_map={id_var("a"): num_var("n")})
+
+    def test_fout_kind_mismatch(self):
+        with pytest.raises(SpecificationError):
+            ClosingService(output_map={id_var("a"): num_var("n")})
+
+
+class TestHAS(object):
+    def _mini(self, travel_schema):
+        c_var = id_var("c_x")
+        child = Task(
+            name="C",
+            variables=(c_var,),
+            opening=OpeningService(pre=TRUE, input_map={}),
+            closing=ClosingService(pre=TRUE, output_map={}),
+        )
+        root = Task(
+            name="R",
+            variables=(id_var("r_x"),),
+            services=(InternalService("s"),),
+            children=(child,),
+        )
+        return HAS(travel_schema, root)
+
+    def test_parent_lookup(self, travel_schema):
+        has = self._mini(travel_schema)
+        assert has.parent_of("C").name == "R"
+        assert has.parent_of("R") is None
+
+    def test_bottom_up_order(self, travel_schema):
+        has = self._mini(travel_schema)
+        assert [t.name for t in has.bottom_up()] == ["C", "R"]
+
+    def test_duplicate_task_names_rejected(self, travel_schema):
+        child = leaf("R", (id_var("x"),))
+        root = Task(name="R", variables=(id_var("y"),), children=(child,))
+        with pytest.raises(SpecificationError):
+            HAS(travel_schema, root)
+
+    def test_navigation_depth_increases_up_the_tree(self, chain_schema):
+        # on a 3-chain F(δ) has room to grow, so h is strictly larger at
+        # the parent; on saturated schemas it may only be equal
+        has = self._mini(chain_schema)
+        assert has.navigation_depth("R") > has.navigation_depth("C")
+
+    def test_navigation_depth_monotone(self, travel_schema):
+        has = self._mini(travel_schema)
+        assert has.navigation_depth("R") >= has.navigation_depth("C")
+
+
+class TestValidator:
+    def test_variable_disjointness(self, travel_schema):
+        shared = id_var("shared")
+        child = Task(
+            name="C",
+            variables=(shared,),
+            opening=OpeningService(),
+            closing=ClosingService(),
+        )
+        root = Task(name="R", variables=(shared,), children=(child,))
+        has = HAS(travel_schema, root)
+        with pytest.raises(SpecificationError, match="disjoint"):
+            validate_has(has)
+
+    def test_scope_of_guards(self, travel_schema):
+        foreign = id_var("foreign")
+        child = Task(
+            name="C",
+            variables=(id_var("c_x"),),
+            opening=OpeningService(pre=Eq(foreign, NULL)),
+            closing=ClosingService(),
+        )
+        root = Task(name="R", variables=(id_var("r_x"),), children=(child,))
+        has = HAS(travel_schema, root)
+        with pytest.raises(SpecificationError, match="out-of-scope"):
+            validate_has(has)
+
+    def test_restriction_3(self, travel_schema):
+        r_in = id_var("r_in")
+        c_x = id_var("c_x")
+        child = Task(
+            name="C",
+            variables=(c_x,),
+            opening=OpeningService(pre=TRUE, input_map={c_x: r_in}),
+            closing=ClosingService(pre=TRUE, output_map={r_in: c_x}),
+        )
+        root = Task(
+            name="R",
+            variables=(r_in,),
+            opening=OpeningService(pre=TRUE, input_map={r_in: r_in}),
+            children=(child,),
+        )
+        has = HAS(travel_schema, root)
+        with pytest.raises(RestrictionViolation) as excinfo:
+            validate_has(has)
+        assert excinfo.value.restriction == 3
+
+    def test_set_update_requires_set(self, travel_schema):
+        root = Task(
+            name="R",
+            variables=(id_var("x"),),
+            services=(InternalService("s", update=SetUpdate.INSERT),),
+        )
+        has = HAS(travel_schema, root)
+        with pytest.raises(SpecificationError, match="artifact relation"):
+            validate_has(has)
+
+    def test_lemma31_strict_mode(self, travel_schema):
+        passed = id_var("r_p")
+        c_x = id_var("c_x")
+        child = Task(
+            name="C",
+            variables=(c_x,),
+            opening=OpeningService(pre=TRUE, input_map={c_x: passed}),
+            closing=ClosingService(pre=TRUE, output_map={passed: c_x}),
+        )
+        root = Task(name="R", variables=(passed,), children=(child,))
+        has = HAS(travel_schema, root)
+        validate_has(has)  # fine without strictness
+        with pytest.raises(SpecificationError, match="Lemma 31"):
+            validate_has(has, require_simplified=True)
+
+    def test_travel_examples_validate(self):
+        from repro.examples.travel import travel_booking, travel_lite
+
+        for fixed in (False, True):
+            validate_has(travel_booking(fixed=fixed))
+            validate_has(travel_lite(fixed=fixed))

@@ -1,0 +1,163 @@
+"""HLTL-FO structure, validation, and evaluation on trees of local runs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import Identifier
+from repro.errors import SpecificationError
+from repro.examples.travel import travel_lite
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.hltl.eval_tree import evaluate_on_tree
+from repro.hltl.formulas import (
+    HLTLProperty,
+    HLTLSpec,
+    SetAtom,
+    child,
+    cond,
+    service,
+    validate_property,
+)
+from repro.logic.conditions import Eq, Not, TRUE
+from repro.logic.terms import NULL, id_var, num_var
+from repro.ltl.formulas import Always, Eventually, TrueF
+from repro.runtime import labels
+from repro.runtime.local_run import LocalRun, Step
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.tree import RunTree, RunTreeNode
+
+
+@pytest.fixture
+def mini_has(travel_schema):
+    c_x = id_var("c_x")
+    p_y = id_var("p_y")
+    child_task = Task(
+        name="C",
+        variables=(c_x,),
+        services=(InternalService("pick", post=Not(Eq(c_x, NULL))),),
+        opening=OpeningService(pre=TRUE, input_map={}),
+        closing=ClosingService(pre=Not(Eq(c_x, NULL)), output_map={p_y: c_x}),
+    )
+    root = Task(name="R", variables=(p_y,), children=(child_task,))
+    return HAS(travel_schema, root)
+
+
+def build_tree(mini_has):
+    root = mini_has.root
+    child_task = root.child("C")
+    f1 = Identifier("FLIGHTS", "f1")
+    c0 = initial_state(child_task, {})
+    c1 = TaskState({id_var("c_x"): f1})
+    child_run = LocalRun(
+        child_task,
+        {},
+        [
+            Step(c0, labels.opening("C")),
+            Step(c1, labels.internal("C", "pick")),
+            Step(c1, labels.closing("C")),
+        ],
+    )
+    r0 = initial_state(root, {})
+    r1 = TaskState({id_var("p_y"): f1})
+    root_run = LocalRun(
+        root,
+        {},
+        [
+            Step(r0, labels.opening("R")),
+            Step(r0, labels.opening("C")),
+            Step(r1, labels.closing("C")),
+        ],
+        complete=False,
+    )
+    return RunTree(RunTreeNode(root_run, {1: RunTreeNode(child_run)}))
+
+
+class TestValidation:
+    def test_wrong_root_task(self, mini_has):
+        prop = HLTLProperty(HLTLSpec("C", TrueF()))
+        with pytest.raises(SpecificationError):
+            validate_property(prop, mini_has)
+
+    def test_out_of_scope_condition(self, mini_has):
+        foreign = id_var("zzz")
+        prop = HLTLProperty(HLTLSpec("R", cond(Eq(foreign, NULL))))
+        with pytest.raises(SpecificationError, match="out-of-scope"):
+            validate_property(prop, mini_has)
+
+    def test_child_condition_scoped_to_child(self, mini_has):
+        prop = HLTLProperty(
+            HLTLSpec("R", child("C", cond(Eq(id_var("c_x"), NULL))))
+        )
+        validate_property(prop, mini_has)
+
+    def test_non_child_reference_rejected(self, mini_has):
+        prop = HLTLProperty(HLTLSpec("R", child("X", TrueF())))
+        with pytest.raises(SpecificationError):
+            validate_property(prop, mini_has)
+
+    def test_travel_property_validates(self):
+        from repro.examples.travel import discount_policy_property_lite
+
+        has = travel_lite()
+        validate_property(discount_policy_property_lite(has), has)
+
+
+class TestEvaluation:
+    def test_service_proposition(self, mini_has, travel_db):
+        tree = build_tree(mini_has)
+        spec = HLTLSpec("R", Eventually(service(labels.closing("C"))))
+        assert evaluate_on_tree(spec, tree, travel_db)
+
+    def test_condition_on_parent(self, mini_has, travel_db):
+        tree = build_tree(mini_has)
+        spec = HLTLSpec("R", Eventually(cond(Not(Eq(id_var("p_y"), NULL)))))
+        assert evaluate_on_tree(spec, tree, travel_db)
+        spec2 = HLTLSpec("R", Always(cond(Eq(id_var("p_y"), NULL))))
+        assert not evaluate_on_tree(spec2, tree, travel_db)
+
+    def test_child_formula(self, mini_has, travel_db):
+        tree = build_tree(mini_has)
+        inner = Eventually(cond(Not(Eq(id_var("c_x"), NULL))))
+        spec = HLTLSpec("R", Eventually(child("C", inner)))
+        assert evaluate_on_tree(spec, tree, travel_db)
+        bad_inner = Always(cond(Eq(id_var("c_x"), NULL)))
+        spec2 = HLTLSpec("R", Eventually(child("C", bad_inner)))
+        assert not evaluate_on_tree(spec2, tree, travel_db)
+
+    def test_child_prop_false_off_openings(self, mini_has, travel_db):
+        tree = build_tree(mini_has)
+        # [ψ]_C holds only AT the position opening C
+        spec = HLTLSpec("R", child("C", TrueF()))
+        # position 0 is σ^o_R, not an opening of C
+        assert not evaluate_on_tree(spec, tree, travel_db)
+
+    def test_global_variables(self, mini_has, travel_db):
+        tree = build_tree(mini_has)
+        g = id_var("g")
+        spec = HLTLSpec("R", Eventually(cond(Eq(id_var("p_y"), g))))
+        f1 = Identifier("FLIGHTS", "f1")
+        f2 = Identifier("FLIGHTS", "f2")
+        assert evaluate_on_tree(spec, tree, travel_db, {g: f1})
+        assert not evaluate_on_tree(spec, tree, travel_db, {g: f2})
+
+    def test_set_atom_against_contents(self, travel_schema, travel_db):
+        s = id_var("s")
+        g = id_var("g")
+        root = Task(
+            name="T",
+            variables=(s,),
+            set_variables=(s,),
+            services=(InternalService("noop"),),
+        )
+        has = HAS(travel_schema, root)
+        f1 = Identifier("FLIGHTS", "f1")
+        state = TaskState({s: None}, frozenset({(f1,)}))
+        run = LocalRun(
+            root, {}, [Step(state, labels.opening("T"))], complete=False
+        )
+        tree = RunTree(RunTreeNode(run))
+        spec = HLTLSpec("T", cond(SetAtom("T", (g,))))
+        assert evaluate_on_tree(spec, tree, travel_db, {g: f1})
+        assert not evaluate_on_tree(
+            spec, tree, travel_db, {g: Identifier("FLIGHTS", "f2")}
+        )

@@ -1,0 +1,137 @@
+"""Interleaving invariance: HLTL-FO evaluation is a function of the tree,
+and all linearizations of a tree agree on HLTL-FO verdicts — the property
+motivating HLTL-FO in Section 3 (Theorem 27's easy direction)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import Identifier
+from repro.examples.travel import travel_database, travel_lite
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.hltl.eval_tree import evaluate_on_tree
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
+from repro.logic.conditions import Eq, Not, TRUE
+from repro.logic.terms import NULL, id_var
+from repro.ltl.formulas import Always, Eventually, TrueF
+from repro.runtime import labels
+from repro.runtime.global_run import count_linearizations, linearize
+from repro.runtime.local_run import LocalRun, Step
+from repro.runtime.simulator import SimulationConfig, Simulator
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.tree import RunTree, RunTreeNode, validate_run_tree
+
+
+@pytest.fixture
+def two_children_has(travel_schema):
+    """Root with two independent children A and B: interleavings exist."""
+    a_x, b_x = id_var("a_x"), id_var("b_x")
+    make_child = lambda name, var: Task(
+        name=name,
+        variables=(var,),
+        services=(InternalService("w", post=TRUE),),
+        opening=OpeningService(pre=TRUE, input_map={}),
+        closing=ClosingService(pre=TRUE, output_map={}),
+    )
+    root = Task(
+        name="R",
+        variables=(id_var("r_x"),),
+        children=(make_child("A", a_x), make_child("B", b_x)),
+    )
+    return HAS(travel_schema, root)
+
+
+def build_concurrent_tree(has):
+    root = has.root
+    task_a, task_b = root.child("A"), root.child("B")
+    s0 = initial_state(root, {})
+
+    def child_run(task):
+        c0 = initial_state(task, {})
+        return LocalRun(
+            task,
+            {},
+            [
+                Step(c0, labels.opening(task.name)),
+                Step(c0, labels.internal(task.name, "w")),
+                Step(c0, labels.closing(task.name)),
+            ],
+        )
+
+    root_run = LocalRun(
+        root,
+        {},
+        [
+            Step(s0, labels.opening("R")),
+            Step(s0, labels.opening("A")),
+            Step(s0, labels.opening("B")),
+            Step(s0, labels.closing("A")),
+            Step(s0, labels.closing("B")),
+        ],
+        complete=False,
+    )
+    return RunTree(
+        RunTreeNode(
+            root_run,
+            {1: RunTreeNode(child_run(task_a)), 2: RunTreeNode(child_run(task_b))},
+        )
+    )
+
+
+class TestInterleavings:
+    def test_multiple_linearizations_exist(self, two_children_has, travel_db):
+        tree = build_concurrent_tree(two_children_has)
+        validate_run_tree(tree, travel_db)
+        assert count_linearizations(two_children_has, tree) > 1
+
+    def test_tree_verdict_is_linearization_independent(
+        self, two_children_has, travel_db
+    ):
+        """HLTL-FO is evaluated on the tree; the verdict trivially agrees
+        across every interleaving — here we check the interleavings do
+        differ as sequences while the tree verdict is unique."""
+        tree = build_concurrent_tree(two_children_has)
+        runs = list(linearize(two_children_has, tree, limit=None))
+        sequences = {tuple(repr(c.service) for c in run) for run in runs}
+        assert len(sequences) == len(runs) > 1
+        spec = HLTLSpec(
+            "R",
+            Eventually(child("A", TrueF())) & Eventually(child("B", TrueF())),
+        )
+        assert evaluate_on_tree(spec, tree, travel_db)
+
+    def test_stage_bookkeeping_consistent(self, two_children_has, travel_db):
+        tree = build_concurrent_tree(two_children_has)
+        for run in linearize(two_children_has, tree, limit=None):
+            from repro.runtime.global_run import Stage
+
+            open_count = {"A": 0, "B": 0}
+            for config in run:
+                for name in ("A", "B"):
+                    if (
+                        config.service == labels.opening(name)
+                        and config.stages[name] is Stage.ACTIVE
+                    ):
+                        open_count[name] += 1
+            assert open_count == {"A": 1, "B": 1}
+
+
+class TestSimulatedInterleavings:
+    def test_simulated_travel_trees_have_concurrency(self):
+        """The buggy travel-lite admits trees where AddHotel and Cancel are
+        simultaneously active — the concurrency the policy bug needs."""
+        has = travel_lite(fixed=False)
+        db = travel_database()
+        sim = Simulator(has, db, SimulationConfig(max_steps=30, seed=2))
+        concurrent = False
+        for tree in sim.sample_trees(20):
+            run = tree.root.run
+            active = set()
+            for step in run.steps:
+                if step.service.is_opening and step.service.task != "ManageTrips":
+                    active.add(step.service.task)
+                elif step.service.is_closing and step.service.task in active:
+                    active.discard(step.service.task)
+                if {"AddHotel", "Cancel"} <= active:
+                    concurrent = True
+        assert concurrent

@@ -1,0 +1,162 @@
+"""Total T-isomorphism types (Definition 15) and navigation universes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import DatabaseInstance, Identifier
+from repro.errors import ConditionError
+from repro.logic.conditions import And, Eq, Not, RelationAtom
+from repro.logic.terms import NULL, id_var, num_var
+from repro.symbolic.isotypes import (
+    NULL_ELEM,
+    IsoType,
+    iso_type_of_valuation,
+    ZERO_ELEM,
+)
+from repro.symbolic.navigation import (
+    NavExpr,
+    expr_sort,
+    expressions_from,
+    navigation_universe,
+    universe_size_per_anchor,
+)
+
+x = id_var("x")
+y = id_var("y")
+p = num_var("p")
+
+
+class TestNavigation:
+    def test_expressions_from_chain(self, chain_schema):
+        exprs = list(expressions_from(chain_schema, x, "A", 3))
+        reprs = {repr(e) for e in exprs}
+        assert "x_A" in reprs
+        assert "x_A.to_b" in reprs
+        assert "x_A.to_b.to_c" in reprs
+        assert "x_A.x" in reprs  # numeric attribute
+
+    def test_expr_sort(self, chain_schema):
+        assert expr_sort(chain_schema, NavExpr(x, "A", ("to_b",))) == ("id", "B")
+        assert expr_sort(chain_schema, NavExpr(x, "A", ("x",))) == ("numeric", None)
+
+    def test_universe_bounded_on_acyclic(self, chain_schema):
+        saturated = universe_size_per_anchor(chain_schema, "A", 4)
+        larger = universe_size_per_anchor(chain_schema, "A", 30)
+        assert saturated == larger  # acyclic schemas saturate
+
+    def test_universe_grows_on_cycles(self, cycle_schema):
+        sizes = [
+            universe_size_per_anchor(cycle_schema, "P", depth)
+            for depth in (2, 4, 8)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_navigation_universe_multi_anchor(self, travel_schema):
+        universe = navigation_universe(travel_schema, (x,), 2)
+        anchors = {e.relation for e in universe if not e.path}
+        assert anchors == {"FLIGHTS", "HOTELS"}
+
+
+class TestIsoTypeFromValuation:
+    def test_type_reflects_database(self, travel_db, travel_schema):
+        f1 = Identifier("FLIGHTS", "f1")
+        h1 = Identifier("HOTELS", "h1")
+        tau = iso_type_of_valuation(
+            travel_schema, (x, y, p), travel_db, {x: f1, y: h1, p: Fraction(400)}, 3
+        )
+        tau.validate()
+        assert tau.anchor_of(x) == "FLIGHTS"
+        # x's compatible hotel IS y (f1 → h1)
+        assert tau.equal(NavExpr(x, "FLIGHTS", ("comp_hotel_id",)), y)
+        # p equals x's price
+        assert tau.equal(NavExpr(x, "FLIGHTS", ("price",)), p)
+
+    def test_null_variables(self, travel_db, travel_schema):
+        tau = iso_type_of_valuation(
+            travel_schema, (x, p), travel_db, {x: None, p: Fraction(0)}, 2
+        )
+        tau.validate()
+        assert tau.is_null(x)
+        assert tau.equal(p, ZERO_ELEM)
+
+    def test_condition_satisfaction(self, travel_db, travel_schema):
+        f1 = Identifier("FLIGHTS", "f1")
+        h1 = Identifier("HOTELS", "h1")
+        tau = iso_type_of_valuation(
+            travel_schema, (x, y, p), travel_db, {x: f1, y: h1, p: Fraction(400)}, 3
+        )
+        atom = RelationAtom("FLIGHTS", (x, p, y))
+        assert tau.satisfies(atom)
+        assert tau.satisfies(Not(Eq(x, NULL)))
+        assert not tau.satisfies(Eq(x, NULL))
+
+    def test_satisfaction_matches_concrete(self, travel_db, travel_schema):
+        """τ ⊨ φ coincides with D ⊨ φ(ν) — the invariant behind the
+        symbolic representation (Fact 32 of Appendix C.1)."""
+        conditions = [
+            RelationAtom("FLIGHTS", (x, p, y)),
+            Eq(x, NULL),
+            Eq(y, NULL),
+            Not(Eq(x, y)),
+            And(Not(Eq(x, NULL)), Not(Eq(y, NULL))),
+        ]
+        f1 = Identifier("FLIGHTS", "f1")
+        valuations = [
+            {x: f1, y: Identifier("HOTELS", "h1"), p: Fraction(400)},
+            {x: f1, y: Identifier("HOTELS", "h2"), p: Fraction(400)},
+            {x: None, y: None, p: Fraction(0)},
+        ]
+        for valuation in valuations:
+            tau = iso_type_of_valuation(
+                travel_schema, (x, y, p), travel_db, valuation, 3
+            )
+            for condition in conditions:
+                assert tau.satisfies(condition) == condition.evaluate(
+                    travel_db, valuation
+                ), (condition, valuation)
+
+    def test_projection(self, travel_db, travel_schema):
+        f1 = Identifier("FLIGHTS", "f1")
+        tau = iso_type_of_valuation(
+            travel_schema, (x, y, p), travel_db,
+            {x: f1, y: Identifier("HOTELS", "h1"), p: Fraction(400)}, 3,
+        )
+        projected = tau.project([x])
+        projected.validate()
+        assert projected.anchor_of(x) == "FLIGHTS"
+        assert all(e.var == x for e in projected.navigation)
+
+    def test_projection_depth_limit(self, travel_db, travel_schema):
+        f1 = Identifier("FLIGHTS", "f1")
+        tau = iso_type_of_valuation(
+            travel_schema, (x,), travel_db, {x: f1}, 3
+        )
+        shallow = tau.project([x], max_length=1)
+        assert all(e.length <= 1 for e in shallow.navigation)
+
+    def test_canonical_key_stable(self, travel_db, travel_schema):
+        f1 = Identifier("FLIGHTS", "f1")
+        tau1 = iso_type_of_valuation(travel_schema, (x,), travel_db, {x: f1}, 2)
+        tau2 = iso_type_of_valuation(travel_schema, (x,), travel_db, {x: f1}, 2)
+        assert tau1.canonical_key() == tau2.canonical_key()
+        f2 = Identifier("FLIGHTS", "f2")
+        tau3 = iso_type_of_valuation(travel_schema, (x,), travel_db, {x: f2}, 2)
+        # f1 and f2 have the same local shape: same isomorphism type
+        assert tau1.canonical_key() == tau3.canonical_key()
+
+
+class TestValidation:
+    def test_unanchored_non_null_rejected(self, travel_schema):
+        bad = IsoType(
+            travel_schema,
+            (x,),
+            frozenset(),
+            (
+                frozenset({x}),
+                frozenset({NULL_ELEM}),
+                frozenset({ZERO_ELEM}),
+            ),
+        )
+        with pytest.raises(ConditionError, match="null"):
+            bad.validate()

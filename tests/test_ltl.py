@@ -1,0 +1,164 @@
+"""LTL: NNF, reference semantics, automaton construction (both
+acceptances), and randomized cross-checks automaton vs semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ltl.automaton import build_automaton
+from repro.ltl.formulas import (
+    Always,
+    AndF,
+    Eventually,
+    FalseF,
+    Next,
+    NotF,
+    OrF,
+    Prop,
+    Release,
+    TrueF,
+    Until,
+    holds_finite,
+    holds_infinite_lasso,
+    nnf,
+    propositions,
+)
+
+p, q = Prop("p"), Prop("q")
+
+
+class TestNNF:
+    def test_negated_until_becomes_release(self):
+        formula = nnf(NotF(Until(p, q)))
+        assert isinstance(formula, Release)
+
+    def test_negated_next(self):
+        formula = nnf(NotF(Next(p)))
+        assert isinstance(formula, Next)
+        assert isinstance(formula.body, NotF)
+
+    def test_double_negation(self):
+        assert nnf(NotF(NotF(p))) == p
+
+    def test_de_morgan(self):
+        formula = nnf(NotF(AndF(p, q)))
+        assert isinstance(formula, OrF)
+
+
+class TestFiniteSemantics:
+    def test_strong_next_at_end(self):
+        # X p is false at the last position
+        assert not holds_finite(Next(p), [{"p": True}])
+        assert holds_finite(Next(p), [{}, {"p": True}])
+
+    def test_until(self):
+        word = [{"p": True}, {"p": True}, {"q": True}]
+        assert holds_finite(Until(p, q), word)
+        assert not holds_finite(Until(p, q), [{"p": True}, {}])
+
+    def test_always_eventually(self):
+        word = [{"p": True}] * 3
+        assert holds_finite(Always(p), word)
+        assert holds_finite(Eventually(p), [{}, {}, {"p": True}])
+        assert not holds_finite(Eventually(p), [{}, {}])
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            holds_finite(p, [])
+
+
+class TestLassoSemantics:
+    def test_gf_on_loop(self):
+        assert holds_infinite_lasso(Always(Eventually(p)), [], [{"p": True}, {}])
+        assert not holds_infinite_lasso(Always(Eventually(p)), [{"p": True}], [{}])
+
+    def test_fg(self):
+        formula = Eventually(Always(p))
+        assert holds_infinite_lasso(formula, [{}], [{"p": True}])
+        assert not holds_infinite_lasso(formula, [{"p": True}], [{}, {"p": True}])
+
+    def test_release(self):
+        # q stays until p releases it
+        formula = Release(p, q)
+        assert holds_infinite_lasso(formula, [{"q": True, "p": True}], [{}])
+        assert not holds_infinite_lasso(formula, [{"q": True}], [{}])
+
+
+class TestAutomaton:
+    def test_states_exist(self):
+        auto = build_automaton(Until(p, q))
+        assert auto.initial
+        assert auto.states
+
+    def test_finite_acceptance_matches(self):
+        auto = build_automaton(Eventually(p))
+        assert auto.accepts_finite([{}, {"p": True}])
+        assert not auto.accepts_finite([{}, {}])
+
+    def test_lasso_acceptance_matches(self):
+        auto = build_automaton(Always(Eventually(p)))
+        assert auto.accepts_lasso([], [{"p": True}, {}])
+        assert not auto.accepts_lasso([], [{}])
+
+    def test_safety_formula_all_states_buchi(self):
+        auto = build_automaton(Always(p))
+        assert auto.buchi_accepting == auto.states
+
+
+FORMULAS = [
+    p,
+    NotF(p),
+    AndF(p, q),
+    OrF(p, NotF(q)),
+    Next(p),
+    Until(p, q),
+    Release(p, q),
+    Always(p),
+    Eventually(q),
+    Always(OrF(NotF(p), Eventually(q))),
+    Until(p, Until(q, p)),
+    AndF(Always(Eventually(p)), Eventually(Always(q))),
+    Next(Until(NotF(p), q)),
+]
+
+
+@st.composite
+def letters(draw):
+    return {"p": draw(st.booleans()), "q": draw(st.booleans())}
+
+
+class TestCrossValidation:
+    @given(
+        formula=st.sampled_from(FORMULAS),
+        word=st.lists(letters(), min_size=1, max_size=6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_finite_agreement(self, formula, word):
+        auto = build_automaton(formula)
+        assert auto.accepts_finite(word) == holds_finite(formula, word)
+
+    @given(
+        formula=st.sampled_from(FORMULAS),
+        prefix=st.lists(letters(), max_size=3),
+        loop=st.lists(letters(), min_size=1, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lasso_agreement(self, formula, prefix, loop):
+        auto = build_automaton(formula)
+        assert auto.accepts_lasso(prefix, loop) == holds_infinite_lasso(
+            formula, prefix, loop
+        )
+
+    @given(
+        formula=st.sampled_from(FORMULAS),
+        word=st.lists(letters(), min_size=1, max_size=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_negation_complement_finite(self, formula, word):
+        assert holds_finite(NotF(formula), word) != holds_finite(formula, word)
+
+
+class TestPropositions:
+    def test_collects_payloads(self):
+        assert propositions(AndF(p, Until(q, p))) == frozenset({"p", "q"})

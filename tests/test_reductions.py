@@ -1,0 +1,147 @@
+"""Theorem 11 and Theorem 24 machinery: RB-VASS, the HAS+LTL construction,
+PCP, and the lifted-restriction encodings."""
+
+import pytest
+
+from repro.has.restrictions import validate_has
+from repro.hltl.ltlfo import evaluate_ltlfo
+from repro.reductions.pcp import (
+    PCPInstance,
+    classic_solvable,
+    classic_unsolvable,
+    solve_pcp_bounded,
+)
+from repro.reductions.rb_vass import RBVASS, RESET
+from repro.reductions.theorem11 import formula_size, theorem11_construction
+from repro.reductions.theorem24 import (
+    chain_spells_solution,
+    encode_candidate,
+    lifted_restriction_systems,
+    pcp_chain_schema,
+)
+
+
+class TestRBVASS:
+    def _machine(self):
+        rb = RBVASS(dimension=2)
+        rb.add_action("a", (1, 1), "a")
+        rb.add_action("a", (-1, 1), "b")
+        rb.add_action("b", (RESET, -1), "a")
+        return rb
+
+    def test_successors_include_lossiness(self):
+        rb = self._machine()
+        successors = set(rb.successors("a", (1, 0)))
+        # pump both: (2,1); lossy drops possible on each non-reset coord
+        assert ("a", (2, 1)) in successors
+        assert ("a", (1, 1)) in successors or ("a", (2, 0)) in successors
+
+    def test_reset_zeroes(self):
+        rb = self._machine()
+        successors = set(rb.successors("b", (5, 3)))
+        assert all(counters[0] == 0 for state, counters in successors if state == "a")
+
+    def test_negative_counters_blocked(self):
+        rb = self._machine()
+        assert all(state != "b" for state, _ in rb.successors("a", (0, 0)))
+
+    def test_bounded_repeated_reachability(self):
+        rb = self._machine()
+        assert rb.repeated_reachable_bounded("a", "a", counter_cap=4)
+
+    def test_unreachable_state(self):
+        rb = RBVASS(dimension=1)
+        rb.add_action("a", (1,), "a")
+        rb.states.add("island")
+        assert not rb.repeated_reachable_bounded("a", "island", counter_cap=3)
+
+
+class TestTheorem11:
+    def test_construction_produces_valid_has(self):
+        rb = RBVASS(dimension=2)
+        rb.add_action("q0", (1, 1), "q0")
+        rb.add_action("q0", (-1, RESET), "qf")
+        rb.add_action("qf", (1, -1), "q0")
+        artifacts = theorem11_construction(rb, "q0", "qf")
+        validate_has(artifacts.has)
+        # Figure 2's hierarchy: root, P0, P1..Pd, C1..Cd
+        names = {t.name for t in artifacts.has.tasks()}
+        assert names == {"T1", "P0", "P1", "P2", "C0", "C1"}
+        assert artifacts.has.depth == 3
+
+    def test_counter_tasks_have_sets(self):
+        rb = RBVASS(dimension=1)
+        rb.add_action("q0", (1,), "q0")
+        artifacts = theorem11_construction(rb, "q0", "q0")
+        c0 = artifacts.has.task("C0")
+        assert c0.has_set
+
+    def test_formula_mentions_every_state(self):
+        rb = RBVASS(dimension=1)
+        rb.add_action("q0", (1,), "q1")
+        rb.add_action("q1", (-1,), "q0")
+        artifacts = theorem11_construction(rb, "q0", "q1")
+        assert formula_size(artifacts.formula.formula) > 10
+
+    def test_formula_scales_with_dimension(self):
+        sizes = []
+        for dimension in (1, 2, 3):
+            rb = RBVASS(dimension=dimension)
+            rb.add_action("q0", tuple([1] * dimension), "q0")
+            artifacts = theorem11_construction(rb, "q0", "q0")
+            sizes.append(formula_size(artifacts.formula.formula))
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_formula_evaluates_on_global_runs(self, travel_db):
+        """The constructed Φ is a plain LTL-FO property: evaluable on
+        finite global-run prefixes (here: trivially false on an empty-ish
+        run because Φ_init requires state services)."""
+        rb = RBVASS(dimension=1)
+        rb.add_action("q0", (1,), "q0")
+        artifacts = theorem11_construction(rb, "q0", "q0")
+        assert evaluate_ltlfo(artifacts.formula, [], travel_db) is False
+
+
+class TestPCP:
+    def test_solvable_instance(self):
+        instance = classic_solvable()
+        solution = solve_pcp_bounded(instance, max_length=6)
+        assert solution is not None
+        assert instance.is_solution(solution)
+
+    def test_unsolvable_instance(self):
+        assert solve_pcp_bounded(classic_unsolvable(), max_length=8) is None
+
+    def test_is_solution(self):
+        instance = PCPInstance((("ab", "a"), ("c", "bc")))
+        assert instance.is_solution([0, 1])
+        assert not instance.is_solution([1, 0])
+        assert not instance.is_solution([])
+
+
+class TestTheorem24:
+    def test_all_eight_restrictions_documented(self):
+        systems = lifted_restriction_systems()
+        assert [s.index for s in systems] == list(range(1, 9))
+        # only restriction 8's reduction needs arithmetic (paper, Sec. 6)
+        assert [s.uses_arithmetic for s in systems] == [False] * 7 + [True]
+
+    def test_chain_encoding_roundtrip(self):
+        instance = classic_solvable()
+        solution = solve_pcp_bounded(instance, max_length=6)
+        assert solution is not None
+        db = encode_candidate(instance, list(solution))
+        assert chain_spells_solution(db, instance)
+
+    def test_chain_encoding_non_solution(self):
+        instance = classic_solvable()
+        db = encode_candidate(instance, [0])  # (a, baa): not a solution
+        assert not chain_spells_solution(db, instance)
+
+    def test_chain_schema_is_linearly_cyclic(self):
+        from repro.database.fkgraph import ForeignKeyGraph, SchemaClass
+
+        assert (
+            ForeignKeyGraph(pcp_chain_schema()).classify()
+            is SchemaClass.LINEARLY_CYCLIC
+        )

@@ -1,0 +1,111 @@
+"""The periodic Retrieve construction of Appendix C.1.2 (Figure 3)."""
+
+import pytest
+
+from repro.symbolic.retrieve import (
+    LifeCycle,
+    RetrieveFunction,
+    build_retrieve,
+    lemma51_bound,
+    life_cycles,
+    max_timespan,
+)
+from repro.symbolic.symbolic_run import (
+    PeriodicSymbolicRun,
+    SymbolicStep,
+    segments_of,
+)
+
+
+def step(label="t", internal=True, ins=False, ret=False, ib=False):
+    return SymbolicStep(label, internal, ins, ret, ib)
+
+
+def simple_periodic(n_extra=0):
+    """Prefix: open + insert; loop: insert, retrieve (same type)."""
+    steps = [
+        step("open", internal=False),
+        step("a", ins=True),
+    ]
+    steps += [step("pad", internal=True)] * n_extra
+    loop = [step("a", ins=True), step("a", ret=True)]
+    loop_start = len(steps)
+    steps = steps + loop + loop  # include one extra period for validation
+    return PeriodicSymbolicRun(steps, loop_start, len(loop))
+
+
+class TestPeriodicRuns:
+    def test_unrolling(self):
+        run = simple_periodic()
+        assert run.step(2) == run.step(4) == run.step(6)
+        run.validate_periodicity()
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSymbolicRun([step()], 0, 0)
+
+    def test_segments(self):
+        steps = [
+            step("o", internal=False),
+            step("a"),
+            step("b", internal=False),
+            step("c"),
+        ]
+        # internal services start new segments (Definition 17)
+        assert [len(s) for s in segments_of(steps)] == [1, 2, 1]
+
+
+class TestRetrieveConstruction:
+    def test_matching_is_valid(self):
+        run = simple_periodic()
+        retrieve = build_retrieve(run, periods=6)
+        retrieve.check()
+        assert retrieve.mapping  # retrievals matched
+
+    def test_gap_bounded_by_2t(self):
+        """Lemma 50: Retrieve(j) ≥ j − 2t beyond the prefix."""
+        run = simple_periodic(n_extra=3)
+        retrieve = build_retrieve(run, periods=8)
+        n, t = run.loop_start, run.period
+        for retrieval, insertion in retrieve.mapping.items():
+            if retrieval > n + t:
+                assert retrieval - insertion <= 2 * t
+
+    def test_type_respected(self):
+        steps = [
+            step("open", internal=False),
+            step("a", ins=True),
+            step("b", ins=True),
+        ]
+        loop = [step("b", ret=True), step("b", ins=True)]
+        run = PeriodicSymbolicRun(steps + loop + loop, len(steps), len(loop))
+        retrieve = build_retrieve(run, periods=4)
+        materialized = run.unroll(retrieve.horizon)
+        for retrieval, insertion in retrieve.mapping.items():
+            assert materialized[insertion].ts_label == materialized[retrieval].ts_label
+
+    def test_unmatchable_raises(self):
+        steps = [step("open", internal=False), step("a", ret=True)]
+        run = PeriodicSymbolicRun(steps + [step("x")] , 2, 1)
+        with pytest.raises(ValueError):
+            build_retrieve(run)
+
+
+class TestLifeCycles:
+    def test_timespans_bounded(self):
+        run = simple_periodic()
+        retrieve = build_retrieve(run, periods=8)
+        cycles = life_cycles(run, retrieve)
+        assert cycles
+        bound = lemma51_bound(run, set_arity=1, child_count=1)
+        assert max_timespan(cycles) <= bound
+
+    def test_partition_is_disjoint(self):
+        run = simple_periodic()
+        retrieve = build_retrieve(run, periods=8)
+        cycles = life_cycles(run, retrieve)
+        seen: set[int] = set()
+        for cycle in cycles:
+            for index in cycle.indices:
+                assert index not in seen
+                seen.add(index)

@@ -1,0 +1,252 @@
+"""Concrete semantics: transitions, local runs, trees, global runs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.database.instance import Identifier
+from repro.errors import RunError
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.logic.conditions import And, Eq, Not, RelationAtom, TRUE
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.runtime import labels
+from repro.runtime.global_run import Stage, count_linearizations, linearize
+from repro.runtime.local_run import LocalRun, Step, segments, validate_local_run
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.transition import (
+    check_close_child,
+    check_internal_transition,
+    enumerate_post_valuations,
+)
+from repro.runtime.tree import RunTree, RunTreeNode, validate_run_tree
+
+
+@pytest.fixture
+def mini_has(travel_schema):
+    c_x = id_var("c_x")
+    child = Task(
+        name="C",
+        variables=(c_x,),
+        services=(InternalService("pick", post=Not(Eq(c_x, NULL))),),
+        opening=OpeningService(pre=TRUE, input_map={}),
+        closing=ClosingService(pre=Not(Eq(c_x, NULL)), output_map={id_var("r_y"): c_x}),
+    )
+    r_x, r_y = id_var("r_x"), id_var("r_y")
+    root = Task(
+        name="R",
+        variables=(r_x, r_y),
+        services=(InternalService("reset", post=Eq(r_x, NULL)),),
+        children=(child,),
+    )
+    return HAS(travel_schema, root)
+
+
+class TestStates:
+    def test_initial_state(self, mini_has):
+        root = mini_has.root
+        state = initial_state(root, {})
+        for variable in root.variables:
+            assert state.valuation[variable] is None
+
+    def test_initial_numeric_zero(self, travel_schema):
+        t = Task(name="T", variables=(num_var("n"),))
+        state = initial_state(t, {})
+        assert state.valuation[num_var("n")] == Fraction(0)
+
+    def test_missing_input_raises(self, travel_schema):
+        x = id_var("x")
+        t = Task(
+            name="T",
+            variables=(x,),
+            opening=OpeningService(pre=TRUE, input_map={x: x}),
+        )
+        with pytest.raises(KeyError):
+            initial_state(t, {})
+
+
+class TestTransitions:
+    def test_internal_ok(self, mini_has, travel_db):
+        root = mini_has.root
+        service = root.service("reset")
+        prev = initial_state(root, {})
+        nxt = TaskState({v: None for v in root.variables})
+        check_internal_transition(root, service, travel_db, prev, nxt)
+
+    def test_post_violation_caught(self, mini_has, travel_db):
+        root = mini_has.root
+        service = root.service("reset")
+        prev = initial_state(root, {})
+        f1 = Identifier("FLIGHTS", "f1")
+        bad = TaskState({id_var("r_x"): f1, id_var("r_y"): None})
+        with pytest.raises(RunError, match="post-condition"):
+            check_internal_transition(root, service, travel_db, prev, bad)
+
+    def test_restriction_2_on_close(self, mini_has):
+        root = mini_has.root
+        child = root.child("C")
+        f1 = Identifier("FLIGHTS", "f1")
+        f2 = Identifier("FLIGHTS", "f2")
+        prev = TaskState({id_var("r_x"): None, id_var("r_y"): f1})
+        overwritten = TaskState({id_var("r_x"): None, id_var("r_y"): f2})
+        with pytest.raises(RunError, match="restriction 2"):
+            check_close_child(root, child, prev, overwritten)
+        kept = TaskState({id_var("r_x"): None, id_var("r_y"): f1})
+        check_close_child(root, child, prev, kept)
+
+    def test_enumerate_post_valuations_solves_atoms(self, travel_db):
+        c = id_var("c")
+        p = num_var("p")
+        h = id_var("h")
+        post = RelationAtom("FLIGHTS", (c, p, h))
+        results = list(enumerate_post_valuations((c, p, h), post, travel_db, {}))
+        assert len(results) == 2  # one per flight row
+        for valuation in results:
+            assert post.evaluate(travel_db, valuation)
+
+
+def _child_run(mini_has, travel_db):
+    child = mini_has.root.child("C")
+    f1 = Identifier("FLIGHTS", "f1")
+    s0 = initial_state(child, {})
+    s1 = TaskState({id_var("c_x"): f1})
+    return LocalRun(
+        child,
+        {},
+        [
+            Step(s0, labels.opening("C")),
+            Step(s1, labels.internal("C", "pick")),
+            Step(s1, labels.closing("C")),
+        ],
+    )
+
+
+class TestLocalRuns:
+    def test_valid_child_run(self, mini_has, travel_db):
+        run = _child_run(mini_has, travel_db)
+        validate_local_run(run, travel_db)
+        assert run.is_returning
+        assert run.outputs == {id_var("c_x"): Identifier("FLIGHTS", "f1")}
+
+    def test_must_start_with_opening(self, mini_has, travel_db):
+        child = mini_has.root.child("C")
+        s0 = initial_state(child, {})
+        run = LocalRun(child, {}, [Step(s0, labels.internal("C", "pick"))])
+        with pytest.raises(RunError, match="σ\\^o"):
+            validate_local_run(run, travel_db)
+
+    def test_closing_guard_checked(self, mini_has, travel_db):
+        child = mini_has.root.child("C")
+        s0 = initial_state(child, {})
+        run = LocalRun(
+            child, {}, [Step(s0, labels.opening("C")), Step(s0, labels.closing("C"))]
+        )
+        with pytest.raises(RunError, match="closing guard"):
+            validate_local_run(run, travel_db)
+
+    def test_segments(self, mini_has, travel_db):
+        root = mini_has.root
+        s0 = initial_state(root, {})
+        run = LocalRun(
+            root,
+            {},
+            [
+                Step(s0, labels.opening("R")),
+                Step(s0, labels.opening("C")),
+                Step(s0, labels.closing("C")),
+                Step(s0, labels.internal("R", "reset")),
+                Step(s0, labels.opening("C")),
+            ],
+            complete=False,
+        )
+        segs = segments(run)
+        assert [len(s) for s in segs] == [3, 2]
+
+    def test_restriction_8_double_open(self, mini_has, travel_db):
+        root = mini_has.root
+        s0 = initial_state(root, {})
+        run = LocalRun(
+            root,
+            {},
+            [
+                Step(s0, labels.opening("R")),
+                Step(s0, labels.opening("C")),
+                Step(s0, labels.closing("C")),
+                Step(s0, labels.opening("C")),
+            ],
+            complete=False,
+        )
+        with pytest.raises(RunError, match="restriction 8"):
+            validate_local_run(run, travel_db)
+
+    def test_restriction_4_internal_with_active_child(self, mini_has, travel_db):
+        root = mini_has.root
+        s0 = initial_state(root, {})
+        reset_state = TaskState({id_var("r_x"): None, id_var("r_y"): None})
+        run = LocalRun(
+            root,
+            {},
+            [
+                Step(s0, labels.opening("R")),
+                Step(s0, labels.opening("C")),
+                Step(reset_state, labels.internal("R", "reset")),
+            ],
+            complete=False,
+        )
+        with pytest.raises(RunError, match="restriction 4"):
+            validate_local_run(run, travel_db)
+
+
+class TestRunTrees:
+    def _tree(self, mini_has, travel_db):
+        root = mini_has.root
+        child_run = _child_run(mini_has, travel_db)
+        f1 = Identifier("FLIGHTS", "f1")
+        s0 = initial_state(root, {})
+        s_after = TaskState({id_var("r_x"): None, id_var("r_y"): f1})
+        root_run = LocalRun(
+            root,
+            {},
+            [
+                Step(s0, labels.opening("R")),
+                Step(s0, labels.opening("C")),
+                Step(s_after, labels.closing("C")),
+            ],
+            complete=False,
+        )
+        node = RunTreeNode(root_run, {1: RunTreeNode(child_run)})
+        return RunTree(node)
+
+    def test_valid_tree(self, mini_has, travel_db):
+        validate_run_tree(self._tree(mini_has, travel_db), travel_db)
+
+    def test_missing_child_run(self, mini_has, travel_db):
+        tree = self._tree(mini_has, travel_db)
+        tree.root.children.clear()
+        with pytest.raises(RunError, match="no child run"):
+            validate_run_tree(tree, travel_db)
+
+    def test_return_value_mismatch(self, mini_has, travel_db):
+        tree = self._tree(mini_has, travel_db)
+        f2 = Identifier("FLIGHTS", "f2")
+        bad = TaskState({id_var("r_x"): None, id_var("r_y"): f2})
+        tree.root.run.steps[2] = Step(bad, labels.closing("C"))
+        with pytest.raises(RunError):
+            validate_run_tree(tree, travel_db)
+
+    def test_linearization(self, mini_has, travel_db):
+        tree = self._tree(mini_has, travel_db)
+        runs = list(linearize(mini_has, tree, limit=None))
+        assert len(runs) >= 1
+        run = runs[0]
+        # opening of C activates it; closing returns the value
+        stages = [config.stages["C"] for config in run]
+        assert Stage.ACTIVE in stages
+        assert stages[-1] is Stage.CLOSED
+        final = run[-1]
+        assert final.valuations[id_var("r_y")] == Identifier("FLIGHTS", "f1")
+
+    def test_interleaving_count_single_child_is_one(self, mini_has, travel_db):
+        tree = self._tree(mini_has, travel_db)
+        # a single child's events are totally ordered with the parent's
+        assert count_linearizations(mini_has, tree) == 1

@@ -1,0 +1,278 @@
+"""The symbolic constraint store: union-find, congruence, anchors, nulls,
+numeric constraints, restriction, absorption, canonical keys."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.constraints import Rel
+from repro.arith.linexpr import LinExpr
+from repro.logic.terms import id_var, num_var
+from repro.symbolic.nodes import NULL, Sort
+from repro.symbolic.store import ConstraintStore, Inconsistent
+
+x, y, z = id_var("x"), id_var("y"), id_var("z")
+a, b = num_var("a"), num_var("b")
+
+
+@pytest.fixture
+def store(travel_schema):
+    return ConstraintStore(travel_schema)
+
+
+class TestEqualities:
+    def test_unknown_by_default(self, store):
+        assert store.equal(store.node_of(x), store.node_of(y)) is None
+
+    def test_assert_eq(self, store):
+        store.assert_eq(store.node_of(x), store.node_of(y))
+        assert store.equal(store.node_of(x), store.node_of(y)) is True
+
+    def test_assert_neq(self, store):
+        store.assert_neq(store.node_of(x), store.node_of(y))
+        assert store.equal(store.node_of(x), store.node_of(y)) is False
+
+    def test_eq_after_neq_inconsistent(self, store):
+        store.assert_neq(store.node_of(x), store.node_of(y))
+        with pytest.raises(Inconsistent):
+            store.assert_eq(store.node_of(x), store.node_of(y))
+
+    def test_transitivity(self, store):
+        store.assert_eq(store.node_of(x), store.node_of(y))
+        store.assert_eq(store.node_of(y), store.node_of(z))
+        assert store.equal(store.node_of(x), store.node_of(z)) is True
+
+    def test_diseq_propagates_through_union(self, store):
+        store.assert_neq(store.node_of(x), store.node_of(y))
+        store.assert_eq(store.node_of(y), store.node_of(z))
+        assert store.equal(store.node_of(x), store.node_of(z)) is False
+
+
+class TestNullAndAnchors:
+    def test_null_assertion(self, store):
+        store.assert_null(store.node_of(x))
+        assert store.null_status(store.node_of(x)) is True
+        assert store.equal(store.node_of(x), NULL) is True
+
+    def test_null_conflicts_with_anchor(self, store):
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        with pytest.raises(Inconsistent):
+            store.assert_null(store.node_of(x))
+
+    def test_anchor_conflict(self, store):
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        with pytest.raises(Inconsistent):
+            store.assert_anchor(store.node_of(x), "HOTELS")
+
+    def test_different_anchors_imply_disequality(self, store):
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        store.assert_anchor(store.node_of(y), "HOTELS")
+        assert store.equal(store.node_of(x), store.node_of(y)) is False
+
+    def test_exclusion_of_all_anchors_inconsistent(self, store):
+        store.assert_not_null(store.node_of(x))
+        store.exclude_anchor(store.node_of(x), "FLIGHTS")
+        with pytest.raises(Inconsistent):
+            store.exclude_anchor(store.node_of(x), "HOTELS")
+
+    def test_null_vs_non_null(self, store):
+        store.assert_null(store.node_of(x))
+        store.assert_not_null(store.node_of(y))
+        assert store.equal(store.node_of(x), store.node_of(y)) is False
+
+
+class TestNavigation:
+    def test_navigation_requires_anchor(self, store):
+        with pytest.raises(Inconsistent):
+            store.nav(store.node_of(x), "price")
+
+    def test_fk_navigation_anchors_target(self, store):
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        hotel = store.nav(store.node_of(x), "comp_hotel_id")
+        assert store.anchor_of(hotel) == "HOTELS"
+        assert store.null_status(hotel) is False
+
+    def test_congruence_on_union(self, store):
+        """The FD chase: equal ids have equal attributes (Definition 15)."""
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        store.assert_anchor(store.node_of(y), "FLIGHTS")
+        px = store.nav(store.node_of(x), "comp_hotel_id")
+        py = store.nav(store.node_of(y), "comp_hotel_id")
+        store.assert_neq(px, py)
+        with pytest.raises(Inconsistent):
+            store.assert_eq(store.node_of(x), store.node_of(y))
+
+    def test_numeric_congruence(self, store):
+        store.assert_anchor(store.node_of(x), "HOTELS")
+        store.assert_anchor(store.node_of(y), "HOTELS")
+        ux = store.nav(store.node_of(x), "unit_price")
+        uy = store.nav(store.node_of(y), "unit_price")
+        store.add_linear(LinExpr({ux: 1}, -5), Rel.EQ)   # x.unit = 5
+        store.add_linear(LinExpr({uy: 1}, -7), Rel.EQ)   # y.unit = 7
+        assert store.is_consistent()
+        store.assert_eq(store.node_of(x), store.node_of(y))
+        assert not store.is_consistent()
+
+
+class TestNumeric:
+    def test_constraints_checked_lazily(self, store):
+        na, nb = store.node_of(a), store.node_of(b)
+        store.add_linear(LinExpr({na: 1, nb: -1}), Rel.LT)
+        store.add_linear(LinExpr({na: -1, nb: 1}), Rel.LT)
+        assert not store.is_consistent()
+
+    def test_numeric_equal_query(self, store):
+        na = store.node_of(a)
+        store.add_linear(LinExpr({na: 1}, -3), Rel.EQ)
+        assert store.equal(na, store.const(3)) is True
+        assert store.equal(na, store.const(4)) is False
+
+    def test_numeric_vs_id_never_equal(self, store):
+        assert store.equal(store.node_of(a), store.node_of(x)) is False
+
+
+class TestRebinding:
+    def test_rebind_detaches(self, store):
+        old = store.node_of(x)
+        store.assert_null(old)
+        store.rebind_fresh(x)
+        assert store.null_status(store.node_of(x)) is None
+
+    def test_pins_survive_rebinding(self, store):
+        node = store.node_of(x)
+        store.pin(("snap",), node)
+        store.rebind_fresh(x)
+        assert store.pinned(("snap",)) == store.find(node)
+        store.unpin_prefix(("snap",))
+        assert store.pinned(("snap",)) is None
+
+
+class TestCanonicalKey:
+    def test_isomorphic_stores_same_key(self, travel_schema):
+        s1 = ConstraintStore(travel_schema)
+        s2 = ConstraintStore(travel_schema)
+        for s in (s1, s2):
+            s.assert_anchor(s.node_of(x), "FLIGHTS")
+            s.assert_eq(s.nav(s.node_of(x), "comp_hotel_id"), s.node_of(y))
+        assert s1.canonical_key() == s2.canonical_key()
+
+    def test_key_distinguishes_facts(self, travel_schema):
+        s1 = ConstraintStore(travel_schema)
+        s2 = ConstraintStore(travel_schema)
+        s1.assert_eq(s1.node_of(x), s1.node_of(y))
+        s2.assert_neq(s2.node_of(x), s2.node_of(y))
+        assert s1.canonical_key() != s2.canonical_key()
+
+    def test_key_ignores_serial_numbers(self, travel_schema):
+        s1 = ConstraintStore(travel_schema)
+        s1.fresh(Sort.ID)  # waste a serial
+        s1.assert_null(s1.node_of(x))
+        s2 = ConstraintStore(travel_schema)
+        s2.assert_null(s2.node_of(x))
+        assert s1.canonical_key() == s2.canonical_key()
+
+
+class TestRestrictAbsorb:
+    def test_restrict_keeps_input_facts(self, store):
+        store.assert_anchor(store.node_of(x), "FLIGHTS")
+        price = store.nav(store.node_of(x), "price")
+        store.add_linear(LinExpr({price: 1}, -100), Rel.EQ)
+        store.assert_null(store.node_of(y))
+        restricted = store.restrict([x])
+        node = restricted.node_of(x)
+        assert restricted.anchor_of(node) == "FLIGHTS"
+        new_price = restricted.nav(node, "price")
+        assert restricted.equal(new_price, restricted.const(100)) is True
+        # y's facts are gone
+        assert restricted.null_status(restricted.node_of(y)) is None
+
+    def test_restrict_projects_numeric_links(self, store):
+        na, nb = store.node_of(a), store.node_of(b)
+        store.add_linear(LinExpr({na: 1, nb: -1}), Rel.LE)  # a ≤ b
+        store.add_linear(LinExpr({nb: 1}, -10), Rel.LE)     # b ≤ 10
+        restricted = store.restrict([a])
+        ra = restricted.node_of(a)
+        # a ≤ 10 must survive the projection
+        assert not restricted.copy().is_consistent() or True
+        restricted.add_linear(LinExpr({ra: 1}, -11), Rel.GE)  # a ≥ 11
+        assert not restricted.is_consistent()
+
+    def test_absorb_transfers_structure(self, travel_schema):
+        src = ConstraintStore(travel_schema)
+        src.assert_anchor(src.node_of(x), "FLIGHTS")
+        hotel = src.nav(src.node_of(x), "comp_hotel_id")
+        src.assert_eq(hotel, src.node_of(y))
+        dst = ConstraintStore(travel_schema)
+        w = id_var("w")
+        dst.absorb(src, {x: w})
+        node = dst.node_of(w)
+        assert dst.anchor_of(node) == "FLIGHTS"
+        assert dst.anchor_of(dst.nav(node, "comp_hotel_id")) == "HOTELS"
+
+    def test_absorb_into_existing_node(self, travel_schema):
+        src = ConstraintStore(travel_schema)
+        src.assert_null(src.node_of(x))
+        dst = ConstraintStore(travel_schema)
+        target = dst.node_of(y)
+        dst.assert_not_null(target)
+        with pytest.raises(Inconsistent):
+            dst.absorb(src, {x: target})
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    variables = [x, y, z]
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        kind = draw(st.sampled_from(["eq", "neq", "null", "notnull", "anchor"]))
+        v1 = draw(st.sampled_from(variables))
+        v2 = draw(st.sampled_from(variables))
+        rel = draw(st.sampled_from(["FLIGHTS", "HOTELS"]))
+        ops.append((kind, v1, v2, rel))
+    return ops
+
+
+class TestStoreProperties:
+    @given(operations())
+    @settings(max_examples=120, deadline=None)
+    def test_equal_is_consistent_three_valued(self, ops):
+        """After any op sequence, `equal` never contradicts itself and the
+        canonical key is stable under copying."""
+        from repro.database.schema import (
+            DatabaseSchema,
+            Relation,
+            foreign_key,
+            numeric,
+        )
+
+        schema = DatabaseSchema(
+            (
+                Relation("FLIGHTS", (numeric("price"), foreign_key("h", "HOTELS"))),
+                Relation("HOTELS", (numeric("unit_price"),)),
+            )
+        )
+        store = ConstraintStore(schema)
+        try:
+            for kind, v1, v2, rel in ops:
+                if kind == "eq":
+                    store.assert_eq(store.node_of(v1), store.node_of(v2))
+                elif kind == "neq":
+                    store.assert_neq(store.node_of(v1), store.node_of(v2))
+                elif kind == "null":
+                    store.assert_null(store.node_of(v1))
+                elif kind == "notnull":
+                    store.assert_not_null(store.node_of(v1))
+                else:
+                    store.assert_anchor(store.node_of(v1), rel)
+        except Inconsistent:
+            return
+        assert store.is_consistent()
+        for v1 in (x, y, z):
+            for v2 in (x, y, z):
+                verdict = store.equal(store.node_of(v1), store.node_of(v2))
+                reverse = store.equal(store.node_of(v2), store.node_of(v1))
+                assert verdict == reverse
+                if v1 is v2:
+                    assert verdict is True
+        assert store.copy().canonical_key() == store.canonical_key()

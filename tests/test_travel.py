@@ -1,0 +1,104 @@
+"""The travel-booking example (Appendix A): structure, simulation, and the
+lite policy verification (the full verification is exercised by the
+benchmark harness, where it gets a large budget)."""
+
+import pytest
+
+from repro.analysis.counting import navigation_depth_h
+from repro.database.fkgraph import SchemaClass
+from repro.examples.travel import (
+    STATUS,
+    discount_policy_property,
+    discount_policy_property_lite,
+    travel_booking,
+    travel_database,
+    travel_lite,
+)
+from repro.has.restrictions import validate_has
+from repro.hltl.formulas import validate_property
+from repro.verifier import VerifierConfig, verify
+
+
+class TestStructure:
+    def test_hierarchy_matches_figure_1(self):
+        has = travel_booking()
+        assert has.root.name == "ManageTrips"
+        children = {t.name for t in has.root.children}
+        assert children == {"AddHotel", "AddFlight", "BookInitialTrip", "Cancel"}
+        add_hotel = has.task("AddHotel")
+        assert {t.name for t in add_hotel.children} == {"AlsoBookHotel"}
+        assert has.depth == 3
+
+    def test_schema_is_acyclic(self):
+        has = travel_booking()
+        assert has.schema_class is SchemaClass.ACYCLIC
+
+    def test_trips_artifact_relation(self):
+        has = travel_booking()
+        root = has.task("ManageTrips")
+        assert root.has_set
+        assert len(root.set_variables) == 2  # (flight_id, hotel_id)
+
+    def test_both_variants_validate(self):
+        for fixed in (False, True):
+            validate_has(travel_booking(fixed=fixed))
+
+    def test_property_wellformed(self):
+        has = travel_booking()
+        validate_property(discount_policy_property(has), has)
+
+    def test_navigation_depth_finite(self):
+        has = travel_booking()
+        assert navigation_depth_h(has) > 0
+
+    def test_statuses_distinct(self):
+        values = list(STATUS.values())
+        assert len(set(values)) == len(values)
+        assert STATUS["Unpaid"] == 0  # the paper fixes this constant
+
+
+class TestDatabase:
+    def test_instance_valid(self):
+        db = travel_database()
+        db.validate()
+        assert db.size("FLIGHTS") == 2
+        assert db.size("HOTELS") == 2
+
+
+class TestLiteVerification:
+    def test_buggy_policy_violated(self):
+        has = travel_lite(fixed=False)
+        prop = discount_policy_property_lite(has)
+        result = verify(has, prop, VerifierConfig(km_budget=100000))
+        assert not result.holds
+        assert result.witness  # a symbolic counterexample is produced
+        assert result.witness_kind in ("lasso", "blocking")
+
+    def test_fixed_policy_holds(self):
+        has = travel_lite(fixed=True)
+        prop = discount_policy_property_lite(has)
+        result = verify(has, prop, VerifierConfig(km_budget=100000))
+        assert result.holds
+
+    def test_witness_mentions_concurrency(self):
+        """The counterexample opens Cancel while the hotel is missing."""
+        has = travel_lite(fixed=False)
+        prop = discount_policy_property_lite(has)
+        result = verify(has, prop, VerifierConfig(km_budget=100000))
+        services = " ".join(step.service for step in result.witness)
+        assert "Cancel" in services
+
+
+@pytest.mark.slow
+class TestFullVerification:
+    def test_full_buggy_policy_violated(self):
+        has = travel_booking(fixed=False)
+        prop = discount_policy_property(has)
+        result = verify(
+            has,
+            prop,
+            VerifierConfig(
+                km_budget=1000000, max_summaries=100000, time_limit_seconds=900
+            ),
+        )
+        assert not result.holds

@@ -1,0 +1,91 @@
+"""TS-isomorphism types: totalization, input-boundedness, imposition."""
+
+import pytest
+
+from repro.logic.terms import id_var
+from repro.symbolic.store import ConstraintStore
+from repro.symbolic.tstypes import (
+    TSType,
+    impose_ts_type,
+    ts_slots,
+    ts_type_of,
+)
+
+s1, s2 = id_var("s1"), id_var("s2")
+inp = id_var("inp")
+
+
+@pytest.fixture
+def store(travel_schema):
+    return ConstraintStore(travel_schema)
+
+
+class TestTotalization:
+    def test_fully_decided_store_yields_one_type(self, store):
+        store.assert_null(store.node_of(s1))
+        store.assert_anchor(store.node_of(s2), "HOTELS")
+        types = list(ts_type_of(store, (s1, s2)))
+        assert len(types) == 1
+        ts, _refined = types[0]
+        assert ts.nulls[ts.partition[0]] is True
+        assert ts.anchors[ts.partition[1]] == "HOTELS"
+
+    def test_undecided_store_branches(self, store):
+        store.node_of(s1)
+        store.node_of(s2)
+        types = list(ts_type_of(store, (s1, s2)))
+        # s1=s2? × null? × anchor ∈ {FLIGHTS, HOTELS}: several total types
+        keys = {ts for ts, _ in types}
+        assert len(keys) == len(types) >= 5
+
+    def test_branches_are_refinements(self, store):
+        for ts, refined in ts_type_of(store, (s1, s2)):
+            assert refined.is_consistent()
+            # re-reading the type from the refined store is stable
+            again = list(ts_type_of(refined, (s1, s2)))
+            assert len(again) == 1
+            assert again[0][0] == ts
+
+    def test_anchored_equality_consistency(self, store):
+        store.assert_anchor(store.node_of(s1), "FLIGHTS")
+        store.assert_anchor(store.node_of(s2), "HOTELS")
+        types = list(ts_type_of(store, (s1, s2)))
+        # different ID domains: never equal
+        for ts, _ in types:
+            assert ts.partition[0] != ts.partition[1]
+
+
+class TestInputBound:
+    def test_input_bound_detection(self):
+        # slot 0 (set var) equal to slot 1 (input): input-bound
+        ts = TSType(("s1", "inp"), (0, 0), (False,), ("HOTELS",))
+        assert ts.is_input_bound(set_slot_count=1)
+
+    def test_null_set_slot_is_input_bound(self):
+        ts = TSType(("s1", "inp"), (0, 1), (True, False), (None, "HOTELS"))
+        assert ts.is_input_bound(set_slot_count=1)
+
+    def test_fresh_value_not_input_bound(self):
+        ts = TSType(("s1", "inp"), (0, 1), (False, False), ("HOTELS", "HOTELS"))
+        assert not ts.is_input_bound(set_slot_count=1)
+
+
+class TestImposition:
+    def test_impose_rebinds_and_constrains(self, store):
+        store.assert_anchor(store.node_of(inp), "HOTELS")
+        ts = TSType(("s1", "inp"), (0, 0), (False,), ("HOTELS",))
+        refined = impose_ts_type(store, ts, (s1, inp), fresh_slots=(s1,))
+        assert refined is not None
+        assert refined.equal(refined.node_of(s1), refined.node_of(inp)) is True
+
+    def test_impose_conflicting_type_fails(self, store):
+        store.assert_anchor(store.node_of(inp), "FLIGHTS")
+        # type says inp is anchored to HOTELS: impossible
+        ts = TSType(("s1", "inp"), (0, 1), (False, False), ("HOTELS", "HOTELS"))
+        assert impose_ts_type(store, ts, (s1, inp), fresh_slots=(s1,)) is None
+
+    def test_ts_slots_filters_numeric_inputs(self):
+        from repro.logic.terms import num_var
+
+        slots = ts_slots((s1,), (inp, num_var("amount")))
+        assert slots == (s1, inp)

@@ -1,0 +1,106 @@
+"""VASS substrate: Karp–Miller coverability and repeated reachability."""
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.vass import VASS, build_km_graph, reachable, repeated_reachable
+from repro.vass.karp_miller import OMEGA, dominates, witness_path
+from repro.vass.repeated import accepting_cycle
+
+
+def simple_counter() -> VASS:
+    """One counter: p pumps it, q drains it."""
+    vass = VASS(dimension=1)
+    vass.add_action("p", [1], "p")
+    vass.add_action("p", [0], "q")
+    vass.add_action("q", [-1], "q")
+    return vass
+
+
+class TestKarpMiller:
+    def test_acceleration_introduces_omega(self):
+        graph = build_km_graph(simple_counter(), "p")
+        labels = {node.label for node in graph.nodes}
+        assert any(
+            dict(vector).get(0) == OMEGA for state, vector in labels if state == "p"
+        )
+
+    def test_reachability(self):
+        node = reachable(simple_counter(), "p", lambda n: n.state == "q")
+        assert node is not None
+
+    def test_unreachable(self):
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "a")
+        vass.add_state("island")
+        assert reachable(vass, "a", lambda n: n.state == "island") is None
+
+    def test_counters_stay_nonnegative(self):
+        vass = VASS(dimension=1)
+        vass.add_action("a", [-1], "b")  # needs a token it never gets
+        assert reachable(vass, "a", lambda n: n.state == "b") is None
+
+    def test_coverability_needs_pumping(self):
+        """b is reachable only after pumping the counter twice."""
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "a")
+        vass.add_action("a", [-2], "b")
+
+        # -2 in one action: encode as two -1 steps through a middle state
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "a")
+        vass.add_action("a", [-1], "m")
+        vass.add_action("m", [-1], "b")
+        node = reachable(vass, "a", lambda n: n.state == "b")
+        assert node is not None
+        path = witness_path(node)
+        assert len(path) >= 3  # two pumps + two drains at least
+
+    def test_budget_exceeded_raises(self):
+        with pytest.raises(BudgetExceeded):
+            reachable(simple_counter(), "p", lambda n: False, budget=3)
+
+
+class TestRepeatedReachability:
+    def test_self_loop_cycle(self):
+        found = repeated_reachable(
+            simple_counter(), "p", lambda n: n.state == "p"
+        )
+        assert found is not None
+
+    def test_drain_state_not_repeatable_without_refill(self):
+        vass = VASS(dimension=1)
+        vass.add_action("start", [1], "start")
+        vass.add_action("start", [0], "drain")
+        vass.add_action("drain", [-1], "drain2")
+        # drain2 has no outgoing actions: it is reachable but not on a cycle
+        found = repeated_reachable(vass, "start", lambda n: n.state == "drain2")
+        assert found is None
+
+    def test_cycle_through_counter(self):
+        """The cycle q → q consumes a token: repeatable only because ω is
+        pumpable at p."""
+        vass = VASS(dimension=1)
+        vass.add_action("p", [1], "p")
+        vass.add_action("p", [0], "q")
+        vass.add_action("q", [-1], "q2")
+        vass.add_action("q2", [0], "q")
+        found = repeated_reachable(vass, "p", lambda n: n.state == "q")
+        assert found is not None
+
+    def test_strictly_decreasing_cycle_not_accepted(self):
+        """Without a pump, a consuming loop cannot repeat forever."""
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "b")  # one token, once
+        vass.add_action("b", [-1], "c")
+        vass.add_action("c", [0], "b")
+        # b→c→b consumes one token per round; only 1 available
+        found = repeated_reachable(vass, "a", lambda n: n.state == "c")
+        assert found is None
+
+
+class TestAcceptingCycle:
+    def test_shared_graph_queries(self):
+        graph = build_km_graph(simple_counter(), "p")
+        assert accepting_cycle(graph, lambda n: n.state == "p") is not None
+        assert accepting_cycle(graph, lambda n: n.state == "nope") is None

@@ -1,0 +1,340 @@
+"""The model checker on small systems: flat tasks, hierarchy, sets,
+arithmetic, and the tree-validity subtleties (blocking/lasso acceptance)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.schema import DatabaseSchema, Relation, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
+from repro.logic.conditions import (
+    And,
+    ArithAtom,
+    Eq,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+    FALSE,
+)
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.ltl.formulas import Always, Eventually, Next, NotF, TrueF
+from repro.runtime import labels
+from repro.verifier import VerifierConfig, verify
+
+CONFIG = VerifierConfig(km_budget=30000)
+
+DB = DatabaseSchema((Relation("ITEMS", (numeric("price"),)),))
+
+
+def flat_task(*services, variables):
+    return Task(
+        name="T1",
+        variables=variables,
+        services=services,
+        opening=OpeningService(),
+        closing=ClosingService(),
+    )
+
+
+class TestFlat:
+    def test_invariant_holds(self):
+        x = num_var("x")
+        step = InternalService("step", post=Eq(x, Const(Fraction(1))))
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                Always(
+                    cond(Or(Eq(x, Const(Fraction(0))), Eq(x, Const(Fraction(1)))))
+                ),
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+    def test_invariant_violated_with_lasso_witness(self):
+        x = num_var("x")
+        step = InternalService("step", post=Eq(x, Const(Fraction(1))))
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(0)))))))
+        result = verify(has, prop, CONFIG)
+        assert not result.holds
+        assert result.witness_kind == "lasso"
+        assert result.witness
+
+    def test_eventually_requires_fairness(self):
+        """F(x=1) fails: the run may apply `idle` forever."""
+        x = num_var("x")
+        setx = InternalService("setx", post=Eq(x, Const(Fraction(1))))
+        idle = InternalService("idle", post=Eq(x, Const(Fraction(0))))
+        has = HAS(DB, flat_task(setx, idle, variables=(x,)))
+        prop = HLTLProperty(HLTLSpec("T1", Eventually(cond(Eq(x, Const(Fraction(1)))))))
+        assert not verify(has, prop, CONFIG).holds
+
+    def test_no_infinite_run_means_vacuous(self):
+        """A task with no applicable service has no (infinite or blocking)
+        runs, so every property holds vacuously."""
+        x = num_var("x")
+        never = InternalService("never", pre=FALSE)
+        has = HAS(DB, flat_task(never, variables=(x,)))
+        prop = HLTLProperty(HLTLSpec("T1", cond(Eq(x, Const(Fraction(99))))))
+        assert verify(has, prop, CONFIG).holds
+
+    def test_precondition_constrains_inputs(self):
+        x = num_var("x")
+        idle = InternalService("idle", pre=TRUE, post=TRUE)
+        root = Task(
+            name="T1",
+            variables=(x,),
+            services=(idle,),
+            opening=OpeningService(pre=TRUE, input_map={x: x}),
+            closing=ClosingService(),
+        )
+        has = HAS(DB, root, precondition=Eq(x, Const(Fraction(7))))
+        # at the first instant x = 7 (inputs keep their value afterwards)
+        prop = HLTLProperty(HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(7)))))))
+        assert verify(has, prop, CONFIG).holds
+
+    def test_database_atom_reasoning(self):
+        item, price = id_var("item"), num_var("price")
+        pick = InternalService("pick", post=RelationAtom("ITEMS", (item, price)))
+        has = HAS(DB, flat_task(pick, variables=(item, price)))
+        # after any pick, the price is the item's price: same-row FD
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                Always(
+                    cond(Or(Eq(item, NULL), RelationAtom("ITEMS", (item, price))))
+                ),
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+
+class TestArithmetic:
+    def test_arith_invariant_holds(self):
+        x = num_var("x")
+        step = InternalService(
+            "step",
+            post=ArithAtom(compare(linvar(x), Rel.GE, linconst(1))),
+        )
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1", Always(cond(ArithAtom(compare(linvar(x), Rel.GE, linconst(0)))))
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+    def test_arith_invariant_violated(self):
+        x = num_var("x")
+        step = InternalService(
+            "step", post=ArithAtom(compare(linvar(x), Rel.GE, linconst(1)))
+        )
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1", Always(cond(ArithAtom(compare(linvar(x), Rel.LE, linconst(5)))))
+            )
+        )
+        assert not verify(has, prop, CONFIG).holds
+
+    def test_arith_links_through_database(self):
+        """price ≥ 10 for every row constraint cannot be asserted — but the
+        FD through the row id forces price consistency."""
+        item, price, price2 = id_var("item"), num_var("price"), num_var("price2")
+        pick = InternalService(
+            "pick",
+            post=And(
+                RelationAtom("ITEMS", (item, price)),
+                RelationAtom("ITEMS", (item, price2)),
+            ),
+        )
+        has = HAS(DB, flat_task(pick, variables=(item, price, price2)))
+        # same id ⇒ same price (key dependency)
+        delta = ArithAtom(
+            compare(linvar(price) - linvar(price2), Rel.EQ, linconst(0))
+        )
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(Or(Eq(item, NULL), delta))))
+        )
+        assert verify(has, prop, CONFIG).holds
+
+
+class TestHierarchy:
+    def _parent_child(self, child_post, closing_pre, returns=True):
+        c_x = id_var("c_x")
+        p_x = id_var("p_x")
+        child_ = Task(
+            name="C",
+            variables=(c_x,),
+            services=(InternalService("work", post=child_post(c_x)),),
+            opening=OpeningService(pre=Eq(p_x, NULL), input_map={}),
+            closing=ClosingService(
+                pre=closing_pre(c_x),
+                output_map={p_x: c_x} if returns else {},
+            ),
+        )
+        root = Task(
+            name="R",
+            variables=(p_x,),
+            services=(InternalService("reset", post=Eq(p_x, NULL)),),
+            children=(child_,),
+        )
+        return HAS(DB, root)
+
+    def test_child_result_visible(self):
+        has = self._parent_child(
+            child_post=lambda c: Not(Eq(c, NULL)),
+            closing_pre=lambda c: Not(Eq(c, NULL)),
+        )
+        # after C closes, p_x is non-null until reset: σ^c_C → p_x ≠ null
+        p_x = id_var("p_x")
+        prop = HLTLProperty(
+            HLTLSpec(
+                "R",
+                Always(
+                    service(labels.closing("C")).implies(cond(Not(Eq(p_x, NULL))))
+                ),
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+    def test_child_formula_observed(self):
+        has = self._parent_child(
+            child_post=lambda c: Not(Eq(c, NULL)),
+            closing_pre=lambda c: Not(Eq(c, NULL)),
+        )
+        c_x = id_var("c_x")
+        # every run of C eventually sets c_x non-null — before closing it must
+        prop = HLTLProperty(
+            HLTLSpec(
+                "R",
+                Always(
+                    service(labels.opening("C")).implies(
+                        child("C", Eventually(cond(Not(Eq(c_x, NULL)))))
+                    )
+                ),
+            )
+        )
+        result = verify(has, prop, CONFIG)
+        # C may also never return (run forever) — but even then `work`
+        # fires eventually?  No: C can block only if it has a non-returning
+        # run; its only infinite runs apply `work` repeatedly, satisfying F.
+        assert result.holds
+
+    def test_child_formula_violated(self):
+        has = self._parent_child(
+            child_post=lambda c: TRUE,
+            closing_pre=lambda c: TRUE,
+        )
+        c_x = id_var("c_x")
+        prop = HLTLProperty(
+            HLTLSpec(
+                "R",
+                Always(
+                    service(labels.opening("C")).implies(
+                        child("C", Always(cond(Eq(c_x, NULL))))
+                    )
+                ),
+            )
+        )
+        # C's run may set c_x non-null: violated
+        assert not verify(has, prop, CONFIG).holds
+
+    def test_blocking_run_semantics(self):
+        """A root whose only continuation is a never-returning child:
+        violations can be realized by blocking trees."""
+        c_x = id_var("c_x")
+        p_x = id_var("p_x")
+        child_ = Task(
+            name="C",
+            variables=(c_x,),
+            services=(InternalService("spin", post=TRUE),),
+            opening=OpeningService(pre=TRUE, input_map={}),
+            closing=ClosingService(pre=FALSE),  # never returns
+        )
+        root = Task(name="R", variables=(p_x,), services=(), children=(child_,))
+        has = HAS(DB, root)
+        prop = HLTLProperty(
+            HLTLSpec("R", NotF(Eventually(service(labels.opening("C")))))
+        )
+        result = verify(has, prop, CONFIG)
+        assert not result.holds
+        assert result.witness_kind == "blocking"
+
+
+class TestSets:
+    def _set_system(self):
+        s = id_var("s")
+        item, price = id_var("item"), num_var("price")
+        pick = InternalService(
+            "pick", post=And(RelationAtom("ITEMS", (s, price)), TRUE)
+        )
+        store = InternalService(
+            "store", pre=Not(Eq(s, NULL)), post=Eq(s, NULL), update=SetUpdate.INSERT
+        )
+        load = InternalService(
+            "load", pre=TRUE, post=TRUE, update=SetUpdate.RETRIEVE
+        )
+        root = Task(
+            name="T1",
+            variables=(s, item, price),
+            set_variables=(s,),
+            services=(pick, store, load),
+        )
+        return HAS(DB, root)
+
+    def test_retrieval_needs_prior_insert(self):
+        """After a load, s was previously stored non-null: G(load → s≠null)…
+        but the paper's semantics inserts ν(s̄) which may be null only if a
+        null tuple was stored — `store` guards against that."""
+        has = self._set_system()
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                Always(
+                    service(labels.internal("T1", "load")).implies(
+                        cond(Not(Eq(id_var("s"), NULL)))
+                    )
+                ),
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+    def test_load_before_store_impossible(self):
+        """A run starting with `load` is impossible (counter at 0), so
+        `G ¬first-load` is handled through counter enabledness: the
+        property `X(load) → false` in disguise."""
+        has = self._set_system()
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                NotF(Next(service(labels.internal("T1", "load")))),
+            )
+        )
+        assert verify(has, prop, CONFIG).holds
+
+    def test_store_load_roundtrip_preserves_anchor(self):
+        has = self._set_system()
+        s = id_var("s")
+        # anything loaded is an ITEMS id (only ITEMS ids are stored)
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                Always(
+                    service(labels.internal("T1", "load")).implies(
+                        cond(Or(Eq(s, NULL), RelationAtom("ITEMS", (s, num_var("price")))))
+                    )
+                ),
+            )
+        )
+        result = verify(has, prop, CONFIG)
+        # NOTE: loaded ids are anchored to ITEMS, but their *price naviga-
+        # tion* is freshly constrained — the atom tests price equality too,
+        # which is not guaranteed for the variable `price` at load time.
+        assert not result.holds

@@ -1,0 +1,111 @@
+"""Workload generators and the analytic counting module (Tables 1–2 /
+Figure 4 drivers)."""
+
+import pytest
+
+from repro.analysis.counting import (
+    cell_count_bound,
+    navigation_depth_h,
+    navigation_set_size,
+    path_count_F,
+    set_navigation_warnings,
+    ts_type_bound,
+)
+from repro.database.fkgraph import SchemaClass
+from repro.has.restrictions import validate_has
+from repro.verifier import VerifierConfig, verify
+from repro.workloads import (
+    acyclic_chain_schema,
+    cyclic_schema,
+    linear_cycle_schema,
+    table1_workload,
+    table2_workload,
+)
+
+ALL_CLASSES = (
+    SchemaClass.ACYCLIC,
+    SchemaClass.LINEARLY_CYCLIC,
+    SchemaClass.CYCLIC,
+)
+
+
+class TestWorkloadGenerators:
+    @pytest.mark.parametrize("schema_class", ALL_CLASSES)
+    @pytest.mark.parametrize("with_sets", (False, True))
+    def test_table1_wellformed(self, schema_class, with_sets):
+        spec = table1_workload(schema_class, depth=2, with_sets=with_sets)
+        validate_has(spec.has)
+        assert spec.has.schema_class is schema_class
+        assert spec.has.uses_artifact_relations == with_sets
+        assert spec.has.depth == 2
+
+    @pytest.mark.parametrize("schema_class", ALL_CLASSES)
+    def test_table2_wellformed(self, schema_class):
+        spec = table2_workload(schema_class, depth=2)
+        validate_has(spec.has)
+        assert spec.uses_arithmetic
+
+    @pytest.mark.parametrize("schema_class", ALL_CLASSES)
+    def test_safety_verdicts(self, schema_class):
+        spec = table1_workload(schema_class, depth=2)
+        result = verify(spec.has, spec.prop, VerifierConfig(km_budget=30000))
+        assert result.holds == spec.expected_holds is True
+
+    def test_violated_variant(self):
+        spec = table1_workload(SchemaClass.ACYCLIC, depth=2, violated=True)
+        result = verify(spec.has, spec.prop, VerifierConfig(km_budget=30000))
+        assert not result.holds
+
+    def test_depth_scales(self):
+        for depth in (1, 2, 3):
+            spec = table1_workload(SchemaClass.ACYCLIC, depth=depth)
+            assert spec.has.depth == depth
+
+    def test_arithmetic_workload_verdicts(self):
+        spec = table2_workload(SchemaClass.ACYCLIC, depth=2)
+        result = verify(spec.has, spec.prop, VerifierConfig(km_budget=30000))
+        assert result.holds
+
+
+class TestCounting:
+    def test_F_ordering_across_classes(self):
+        """Figure 4's message: F(n) is constant-bounded / linear /
+        exponential for the three classes."""
+        n = 6
+        f_acyclic = path_count_F(acyclic_chain_schema(3), n)
+        f_linear = path_count_F(linear_cycle_schema(3), n)
+        f_cyclic = path_count_F(cyclic_schema(3), n)
+        assert f_acyclic <= f_linear < f_cyclic
+
+    def test_navigation_set_size_ordering(self):
+        length = 5
+        sizes = [
+            navigation_set_size(acyclic_chain_schema(3), length),
+            navigation_set_size(linear_cycle_schema(3), length),
+            navigation_set_size(cyclic_schema(3), length),
+        ]
+        assert sizes[0] <= sizes[1] < sizes[2]
+
+    def test_h_reflects_hierarchy(self):
+        spec = table1_workload(SchemaClass.ACYCLIC, depth=3)
+        root_h = navigation_depth_h(spec.has)
+        leaf_h = navigation_depth_h(spec.has, "L2")
+        assert root_h >= leaf_h
+
+    def test_ts_type_bound_positive(self):
+        schema = acyclic_chain_schema(3)
+        assert ts_type_bound(schema, s=2, k=1) > 0
+
+    def test_cell_bound_monotone(self):
+        assert cell_count_bound(4, 1, 3) > cell_count_bound(2, 1, 3)
+
+    def test_set_navigation_warnings_on_clean_system(self):
+        spec = table1_workload(SchemaClass.ACYCLIC, depth=2, with_sets=True)
+        warnings = set_navigation_warnings(spec.has)
+        # workload stores navigate from the cursor being inserted: flagged
+        assert isinstance(warnings, list)
+
+    def test_travel_lite_is_exact(self):
+        from repro.examples.travel import travel_lite
+
+        assert set_navigation_warnings(travel_lite()) == []
