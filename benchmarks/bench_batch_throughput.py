@@ -1,0 +1,85 @@
+"""Batch verification throughput: worker scaling and cache effect.
+
+The service's value proposition in two series:
+
+* batch wall time for the Table-1 suite at increasing worker counts —
+  near-linear speedup up to the machine's core count (on a single-core
+  runner the curve is flat; the series prints the measured ratio either
+  way);
+* a second, fully-cached pass, whose wall time is the cache's O(1)
+  lookup cost independent of suite difficulty.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.runner import run_batch
+from repro.service.suites import build_suite
+from repro.verifier.config import VerifierConfig
+
+CONFIG = VerifierConfig(km_budget=60_000, time_limit_seconds=60)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _suite():
+    return build_suite("table1", config=CONFIG)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS, ids=lambda w: f"w{w}")
+def test_batch_workers(benchmark, series_report, workers):
+    jobs = _suite()
+
+    def run():
+        report = run_batch(jobs, workers=workers)
+        assert report.errors == 0
+        assert report.unexpected == []
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    series_report.add(
+        f"Batch throughput: table1 suite ({len(jobs)} jobs), "
+        f"{os.cpu_count()} cores",
+        f"workers={workers}",
+        f"{report.wall_seconds:.3f}s wall",
+    )
+
+
+def test_batch_cached_pass(benchmark, series_report, tmp_path):
+    jobs = _suite()
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_batch(jobs, workers=1, cache=cache)
+
+    def run():
+        report = run_batch(jobs, workers=1, cache=cache)
+        assert report.cache_hits == len(jobs)
+        return report
+
+    warm = benchmark.pedantic(run, rounds=5, iterations=1)
+    series_report.add(
+        "Batch cache: cold vs warm pass (table1 suite)",
+        "cold (all misses)",
+        f"{cold.wall_seconds:.3f}s wall",
+    )
+    series_report.add(
+        "Batch cache: cold vs warm pass (table1 suite)",
+        "warm (all hits)",
+        f"{warm.wall_seconds:.3f}s wall",
+    )
+
+
+def test_parallel_parity(series_report):
+    """Byte-identical semantic outcomes at every worker count."""
+    jobs = _suite()
+    baseline = [o.semantic_bytes() for o in run_batch(jobs, workers=1).outcomes]
+    for workers in WORKER_COUNTS[1:]:
+        outcomes = run_batch(jobs, workers=workers).outcomes
+        assert [o.semantic_bytes() for o in outcomes] == baseline
+    series_report.add(
+        "Batch parity",
+        f"workers {WORKER_COUNTS} byte-identical outcomes",
+        "ok",
+    )

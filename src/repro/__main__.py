@@ -1,0 +1,7 @@
+"""``python -m repro`` — the batch verification service CLI."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

@@ -83,6 +83,10 @@ class OpeningService:
                     f"f_in maps {child_var!r} to {parent_var!r} of different kind"
                 )
 
+    def __reduce__(self):
+        # MappingProxyType does not pickle; rebuild from a plain dict
+        return (type(self), (self.pre, dict(self.input_map)))
+
     @property
     def input_variables(self) -> tuple[Variable, ...]:
         """``x̄^{Tc}_in`` — the domain of f_in."""
@@ -110,6 +114,10 @@ class ClosingService:
                 raise SpecificationError(
                     f"f_out maps {parent_var!r} to {child_var!r} of different kind"
                 )
+
+    def __reduce__(self):
+        # MappingProxyType does not pickle; rebuild from a plain dict
+        return (type(self), (self.pre, dict(self.output_map)))
 
     @property
     def returned_parent_variables(self) -> tuple[Variable, ...]:

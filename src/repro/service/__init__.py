@@ -1,0 +1,26 @@
+"""Batch verification service.
+
+A job-oriented layer over the model checker: verification *jobs*
+(system + property + budgets) with content-addressed keys, an
+in-memory / on-disk result cache, a multiprocess job pool, batch
+orchestration with structured reports, and named job suites built from
+the Table 1 / Table 2 workload families and the travel example.
+
+Drivable from the command line via ``python -m repro``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobOutcome, VerificationJob, job_from_spec
+from repro.service.runner import BatchReport, run_batch
+from repro.service.suites import build_suite, suite_names
+
+__all__ = [
+    "BatchReport",
+    "JobOutcome",
+    "ResultCache",
+    "VerificationJob",
+    "build_suite",
+    "job_from_spec",
+    "run_batch",
+    "suite_names",
+]

@@ -1,0 +1,105 @@
+"""Content-addressed result cache (in-memory + optional on-disk JSON).
+
+Keys are the SHA-256 content hashes of :class:`VerificationJob`; values
+are :class:`JobOutcome` dicts.  The disk layer stores one JSON file per
+key under a cache directory (two-level fan-out to keep directories
+small), written atomically via rename, so concurrent batch runs — and
+repeated CLI invocations — share results safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.service.jobs import JobOutcome
+
+
+class ResultCache:
+    """Two-tier cache: a dict in front of an optional JSON directory."""
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> JobOutcome | None:
+        """The cached outcome for ``key``, marked as a cache hit.
+
+        Anything that cannot be decoded into a well-formed outcome —
+        truncated file, foreign JSON shape, hand-edited garbage — is a
+        miss, never an exception.
+        """
+        data = self._memory.get(key)
+        if data is None and self.directory is not None:
+            try:
+                data = json.loads(self._path_for(key).read_text())
+            except (OSError, ValueError):
+                data = None
+        if data is not None:
+            try:
+                outcome = JobOutcome.from_dict(data)
+            except (KeyError, TypeError, AttributeError, ValueError):
+                self._memory.pop(key, None)
+            else:
+                self._memory[key] = data
+                self.hits += 1
+                outcome.cache_hit = True
+                return outcome
+        self.misses += 1
+        return None
+
+    def put(self, key: str, outcome: JobOutcome) -> None:
+        """Store an outcome; cache provenance is stripped before storage."""
+        data = outcome.to_dict()
+        data["cache_hit"] = False
+        self._memory[key] = data
+        if self.directory is None:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
+        )
+        try:
+            with handle:
+                json.dump(data, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*/*.json"))
+        return len(keys)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*/*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

@@ -1,0 +1,236 @@
+"""The ``python -m repro`` command line.
+
+Three subcommands drive the batch verification service:
+
+* ``verify`` — one system + property (a built-in example or a job JSON
+  file), printed as a full verdict with witness;
+* ``suite`` — a named job suite through the batch runner, with workers,
+  result cache, and JSONL export;
+* ``bench`` — the same suite at several worker counts, reporting batch
+  wall time and speedup (cache disabled so every run does the work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.service.cache import ResultCache
+from repro.service.jobs import STATUS_HOLDS, STATUS_VIOLATED, VerificationJob
+from repro.service.pool import execute_job
+from repro.service.runner import run_batch
+from repro.service.suites import build_suite, suite_names
+from repro.verifier.config import VerifierConfig
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _example_job(name: str, config: VerifierConfig) -> VerificationJob:
+    from repro.examples.travel import (
+        discount_policy_property,
+        discount_policy_property_lite,
+        travel_booking,
+        travel_lite,
+    )
+
+    builders = {
+        "travel-lite": (travel_lite, False, discount_policy_property_lite),
+        "travel-lite-fixed": (travel_lite, True, discount_policy_property_lite),
+        "travel": (travel_booking, False, discount_policy_property),
+        "travel-fixed": (travel_booking, True, discount_policy_property),
+    }
+    try:
+        build, fixed, property_of = builders[name]
+    except KeyError:
+        known = ", ".join(sorted(builders))
+        raise SystemExit(
+            f"unknown target {name!r}: expected a job JSON file or one of {known}"
+        ) from None
+    has = build(fixed)
+    return VerificationJob(has=has, prop=property_of(has), config=config)
+
+
+def _config_from_args(args: argparse.Namespace) -> VerifierConfig:
+    return VerifierConfig(
+        km_budget=args.km_budget,
+        time_limit_seconds=args.time_limit,
+    )
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--km-budget",
+        type=int,
+        default=60_000,
+        help="Karp–Miller node budget per task summary (default 60000)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=120.0,
+        help="per-job wall-clock limit in seconds (default 120)",
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the result cache entirely",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    target = args.target
+    if Path(target).suffix == ".json" and Path(target).exists():
+        try:
+            payload = json.loads(Path(target).read_text())
+            job = VerificationJob.from_payload(payload).with_config(config)
+        except (ValueError, KeyError, TypeError, ReproError) as exc:
+            raise SystemExit(f"{target}: not a valid job file ({exc})") from None
+    else:
+        job = _example_job(target, config)
+    print(f"verifying {job.name}  (key {job.key()[:16]}…)")
+    outcome = execute_job(job)
+    print(outcome.one_line())
+    for step in outcome.witness:
+        print(f"    {step}")
+    if outcome.error:
+        print(f"  {outcome.error}")
+    if args.dump_job:
+        Path(args.dump_job).write_text(json.dumps(job.payload(), sort_keys=True))
+        print(f"job payload written to {args.dump_job}")
+    if outcome.status == STATUS_HOLDS:
+        return 0
+    if outcome.status == STATUS_VIOLATED:
+        return 2
+    return 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    try:
+        jobs = build_suite(args.name, quick=args.quick, config=config)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    cache = _cache_from_args(args)
+    print(
+        f"suite {args.name!r}: {len(jobs)} jobs, workers={args.workers}, "
+        f"cache={'off' if cache is None else args.cache_dir}"
+    )
+    on_outcome = None
+    if args.verbose:
+        on_outcome = lambda outcome: print(  # noqa: E731
+            f"  done: {outcome.one_line()}", flush=True
+        )
+    report = run_batch(jobs, workers=args.workers, cache=cache, on_outcome=on_outcome)
+    print(report.format_report())
+    if args.jsonl:
+        report.to_jsonl(args.jsonl)
+        print(f"per-job JSONL written to {args.jsonl}")
+    if report.errors or report.unexpected:
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    try:
+        jobs = build_suite(args.name, quick=args.quick, config=config)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    workers_list = [int(w) for w in args.workers_list.split(",")]
+    print(f"bench suite {args.name!r}: {len(jobs)} jobs at workers={workers_list}")
+    baseline = None
+    for workers in workers_list:
+        report = run_batch(jobs, workers=workers, cache=None)
+        if baseline is None:
+            baseline = report.wall_seconds
+        speedup = baseline / report.wall_seconds if report.wall_seconds else 0.0
+        print(
+            f"  workers={workers:<3d} wall {report.wall_seconds:8.3f}s  "
+            f"speedup ×{speedup:.2f}  "
+            f"({report.violations} violated, {report.budget_exceeded} over budget)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Batch verification service for Hierarchical Artifact Systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify one system + property")
+    verify.add_argument(
+        "target",
+        help="built-in example (travel-lite, travel-lite-fixed, travel, "
+        "travel-fixed) or a job JSON file",
+    )
+    verify.add_argument(
+        "--dump-job",
+        metavar="PATH",
+        help="also write the job's serialized payload to PATH",
+    )
+    _add_budget_arguments(verify)
+    verify.set_defaults(func=_cmd_verify)
+
+    suite = sub.add_parser("suite", help="run a named job suite")
+    suite.add_argument(
+        "name",
+        nargs="?",
+        default="quick",
+        help=f"suite name: {', '.join(suite_names())} (default: quick)",
+    )
+    suite.add_argument("--workers", type=int, default=1, help="process pool size")
+    suite.add_argument(
+        "--quick", action="store_true", help="trim the suite to its fastest jobs"
+    )
+    suite.add_argument("--jsonl", metavar="PATH", help="export per-job JSONL report")
+    suite.add_argument(
+        "--verbose", action="store_true", help="print each job as it finishes"
+    )
+    _add_cache_arguments(suite)
+    _add_budget_arguments(suite)
+    suite.set_defaults(func=_cmd_suite)
+
+    bench = sub.add_parser(
+        "bench", help="run a suite at several worker counts and report speedup"
+    )
+    bench.add_argument("name", nargs="?", default="table1", help="suite name")
+    bench.add_argument(
+        "--workers-list",
+        default="1,2,4",
+        help="comma-separated worker counts (default 1,2,4)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="trim the suite to its fastest jobs"
+    )
+    _add_budget_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

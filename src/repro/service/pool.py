@@ -1,0 +1,124 @@
+"""Multiprocess job execution.
+
+Jobs cross the process boundary in their canonical serialized form (not
+pickled model objects), so workers rebuild the HAS and property from
+plain JSON and return plain :class:`JobOutcome` dicts.  Budget and time
+limits are enforced *inside* the verifier (``VerifierConfig.km_budget``
+/ ``time_limit_seconds`` → :class:`~repro.errors.BudgetExceeded`), and a
+worker converts them — and any other specification error — into a
+structured outcome instead of poisoning the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import BudgetExceeded
+from repro.service.jobs import (
+    JobOutcome,
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_ERROR,
+    VerificationJob,
+)
+
+
+def execute_payload(payload: dict) -> dict:
+    """Run one serialized job to a serialized outcome (worker entry point;
+    module-level so it pickles under the spawn start method).
+
+    Nothing short of interpreter death escapes as an exception: budget
+    exhaustion, malformed payloads, and unexpected verifier errors all
+    come back as structured outcomes so one job can never poison a batch.
+    """
+    started = time.monotonic()
+    name = str(payload.get("name", "?")) if isinstance(payload, dict) else "?"
+    key = str(payload.get("key", "")) if isinstance(payload, dict) else ""
+    expected = payload.get("expected_holds") if isinstance(payload, dict) else None
+    try:
+        from repro.verifier.engine import Verifier
+
+        job = VerificationJob.from_payload(payload)
+        name, key, expected = job.name, job.key(), job.expected_holds
+        result = Verifier(job.has, job.config).verify(job.prop)
+    except BudgetExceeded as exc:
+        outcome = JobOutcome(
+            name=name,
+            key=key,
+            status=STATUS_BUDGET_EXCEEDED,
+            km_nodes=exc.states_explored,
+            wall_seconds=time.monotonic() - started,
+            error=str(exc),
+            expected_holds=expected,
+        )
+    except Exception as exc:  # noqa: BLE001 — converted to a structured outcome
+        outcome = JobOutcome(
+            name=name,
+            key=key,
+            status=STATUS_ERROR,
+            wall_seconds=time.monotonic() - started,
+            error=f"{type(exc).__name__}: {exc}",
+            expected_holds=expected,
+        )
+    else:
+        outcome = JobOutcome.from_result(
+            job, result, wall_seconds=time.monotonic() - started
+        )
+    return outcome.to_dict()
+
+
+def execute_job(job: VerificationJob) -> JobOutcome:
+    """In-process execution of one job (the ``workers=1`` path)."""
+    return JobOutcome.from_dict(execute_payload(job.payload()))
+
+
+def run_payloads(
+    payloads: Sequence[dict],
+    workers: int = 1,
+    on_outcome: Callable[[int, dict], None] | None = None,
+) -> list[dict]:
+    """Fan serialized jobs across a process pool; results in input order.
+
+    ``on_outcome(index, outcome_dict)`` fires as each job finishes (out of
+    order under parallelism) — the CLI uses it for live progress.
+    """
+    if workers <= 1 or len(payloads) <= 1:
+        results = []
+        for index, payload in enumerate(payloads):
+            outcome = execute_payload(payload)
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+            results.append(outcome)
+        return results
+
+    results: list[dict | None] = [None] * len(payloads)
+    max_workers = min(workers, len(payloads))
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        pending = {
+            executor.submit(execute_payload, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                outcome = future.result()
+                results[index] = outcome
+                if on_outcome is not None:
+                    on_outcome(index, outcome)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def run_jobs(
+    jobs: Iterable[VerificationJob],
+    workers: int = 1,
+    on_outcome: Callable[[int, dict], None] | None = None,
+) -> list[JobOutcome]:
+    """Convenience wrapper: jobs in, outcomes (input order) out."""
+    payloads = [job.payload() for job in jobs]
+    return [
+        JobOutcome.from_dict(data)
+        for data in run_payloads(payloads, workers=workers, on_outcome=on_outcome)
+    ]

@@ -1,0 +1,197 @@
+"""Batch orchestration: cache lookup → parallel execution → report.
+
+``run_batch`` is the service's main API: it resolves each job's content
+key against the cache, fans the misses across the worker pool, stores
+fresh results back, and returns a :class:`BatchReport` with per-job
+outcomes (in job order), merged search statistics, and JSONL export.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    JobOutcome,
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_ERROR,
+    STATUS_VIOLATED,
+    VerificationJob,
+)
+from repro.service.pool import run_payloads
+from repro.verifier.result import VerificationStats
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, in the order jobs were given."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_VIOLATED)
+
+    @property
+    def budget_exceeded(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_BUDGET_EXCEEDED)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == STATUS_ERROR)
+
+    @property
+    def unexpected(self) -> list[JobOutcome]:
+        """Jobs whose verdict contradicts their declared expectation."""
+        return [o for o in self.outcomes if o.as_expected is False]
+
+    def merged_stats(self) -> VerificationStats:
+        """Search statistics summed across the batch."""
+        stats = VerificationStats()
+        for outcome in self.outcomes:
+            stats.merge(
+                VerificationStats(
+                    km_nodes=outcome.km_nodes,
+                    summaries=outcome.summaries,
+                    wall_seconds=outcome.wall_seconds,
+                )
+            )
+        return stats
+
+    # ------------------------------------------------------------------
+    # rendering / export
+    # ------------------------------------------------------------------
+    def format_report(self) -> str:
+        lines = [outcome.one_line() for outcome in self.outcomes]
+        stats = self.merged_stats()
+        lines.append("-" * 72)
+        lines.append(
+            f"{self.total} jobs, {self.cache_hits} cache hits, "
+            f"{self.violations} violated, {self.budget_exceeded} budget-exceeded, "
+            f"{self.errors} errors"
+        )
+        lines.append(
+            f"workers={self.workers}  batch wall {self.wall_seconds:.3f}s  "
+            f"job wall Σ {stats.wall_seconds:.3f}s  "
+            f"km nodes Σ {stats.km_nodes}  summaries Σ {stats.summaries}"
+        )
+        if self.unexpected:
+            lines.append(
+                "UNEXPECTED verdicts: "
+                + ", ".join(o.name for o in self.unexpected)
+            )
+        return "\n".join(lines)
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """One JSON object per job, plus a trailing aggregate record."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for outcome in self.outcomes:
+                handle.write(json.dumps(outcome.to_dict(), sort_keys=True) + "\n")
+            stats = self.merged_stats()
+            handle.write(
+                json.dumps(
+                    {
+                        "aggregate": True,
+                        "total": self.total,
+                        "cache_hits": self.cache_hits,
+                        "violations": self.violations,
+                        "budget_exceeded": self.budget_exceeded,
+                        "errors": self.errors,
+                        "workers": self.workers,
+                        "wall_seconds": self.wall_seconds,
+                        "km_nodes": stats.km_nodes,
+                        "summaries": stats.summaries,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+def run_batch(
+    jobs: Sequence[VerificationJob],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    on_outcome: Callable[[JobOutcome], None] | None = None,
+) -> BatchReport:
+    """Run a batch of jobs, consulting and filling ``cache`` by content key.
+
+    Jobs sharing a content key are verified once; every occurrence after
+    the first is served from the cache (the first from the live run).
+    ``on_outcome`` fires per finished job, cache hits included.
+    """
+    started = time.monotonic()
+    keys = [job.key() for job in jobs]
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+
+    # cache pass — also dedupe identical jobs within the batch
+    miss_indices: list[int] = []
+    scheduled: dict[str, int] = {}
+    duplicates: dict[int, int] = {}
+    for index, (job, key) in enumerate(zip(jobs, keys)):
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            # provenance is per-request: keep this job's name/expectation
+            cached.name = job.name
+            cached.expected_holds = job.expected_holds
+            outcomes[index] = cached
+            if on_outcome is not None:
+                on_outcome(cached)
+        elif key in scheduled:
+            duplicates[index] = scheduled[key]
+        else:
+            scheduled[key] = index
+            miss_indices.append(index)
+
+    if miss_indices:
+        payloads = [jobs[i].payload() for i in miss_indices]
+
+        def deliver(position: int, data: dict) -> None:
+            index = miss_indices[position]
+            outcome = JobOutcome.from_dict(data)
+            outcomes[index] = outcome
+            # Only verdicts are cacheable: budget_exceeded depends on the
+            # machine/load (wall-clock deadlines) and errors may be
+            # transient, so neither may be served as the job's answer later.
+            if cache is not None and outcome.ok:
+                cache.put(keys[index], outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        run_payloads(payloads, workers=workers, on_outcome=deliver)
+
+    for index, source in duplicates.items():
+        original = outcomes[source]
+        assert original is not None
+        copy = JobOutcome.from_dict(original.to_dict())
+        copy.cache_hit = True
+        copy.name = jobs[index].name
+        copy.expected_holds = jobs[index].expected_holds
+        outcomes[index] = copy
+        if on_outcome is not None:
+            on_outcome(copy)
+
+    assert all(o is not None for o in outcomes)
+    return BatchReport(
+        outcomes=[o for o in outcomes if o is not None],
+        workers=workers,
+        wall_seconds=time.monotonic() - started,
+    )

@@ -1,0 +1,154 @@
+"""Named job suites: a realistic verification traffic mix.
+
+Suites assemble :class:`VerificationJob` batches from the Table 1 /
+Table 2 workload families (``repro.workloads``) and the travel-booking
+example (``repro.examples.travel``):
+
+* ``table1`` — every Table-1 cell (3 schema classes × sets × verdict),
+  plus navigation-chain and depth-3 variants;
+* ``table2`` — the same grid with linear arithmetic (Table 2);
+* ``travel`` — the travel-lite policy on the buggy and fixed variants,
+  plus the full six-task system under a tight time budget (exercises
+  graceful ``BudgetExceeded`` capture);
+* ``mixed`` — the service's kitchen-sink traffic: all of the above;
+* ``quick`` — a four-job smoke suite for CI.
+
+``--quick`` (the ``quick`` flag here) trims every suite to its fastest
+representatives so CI smoke runs stay in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.database.fkgraph import SchemaClass
+from repro.examples.travel import (
+    discount_policy_property,
+    discount_policy_property_lite,
+    travel_booking,
+    travel_lite,
+)
+from repro.service.jobs import VerificationJob, job_from_spec
+from repro.verifier.config import VerifierConfig
+from repro.workloads import table1_workload, table2_workload
+
+ALL_CLASSES = (
+    SchemaClass.ACYCLIC,
+    SchemaClass.LINEARLY_CYCLIC,
+    SchemaClass.CYCLIC,
+)
+
+_DEFAULT_CONFIG = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+
+#: Wall-clock budget for the deliberately-too-hard full travel job.
+_HARD_JOB_TIME_LIMIT = 5.0
+
+
+def _table_jobs(builder, quick: bool, config: VerifierConfig) -> list[VerificationJob]:
+    classes = (SchemaClass.ACYCLIC,) if quick else ALL_CLASSES
+    jobs = []
+    for schema_class in classes:
+        for with_sets in (False, True):
+            for violated in (False, True):
+                jobs.append(
+                    job_from_spec(
+                        builder(
+                            schema_class,
+                            depth=2,
+                            with_sets=with_sets,
+                            violated=violated,
+                        ),
+                        config,
+                    )
+                )
+        if not quick:
+            # navigation-chain and deeper-hierarchy variants
+            chained = job_from_spec(builder(schema_class, depth=2, chain=2), config)
+            jobs.append(replace(chained, name=f"{chained.name}+chain2"))
+            jobs.append(job_from_spec(builder(schema_class, depth=3), config))
+    return jobs
+
+
+def _travel_jobs(quick: bool, config: VerifierConfig) -> list[VerificationJob]:
+    jobs = []
+    for fixed in (False, True):
+        has = travel_lite(fixed)
+        jobs.append(
+            VerificationJob(
+                has=has,
+                prop=discount_policy_property_lite(has),
+                config=config,
+                name=f"{has.name}::lite-discount-policy",
+                expected_holds=fixed,
+            )
+        )
+    if not quick:
+        # The full six-task policy check is beyond the default budgets;
+        # run it under a tight wall-clock limit so the batch records a
+        # budget_exceeded outcome instead of stalling.
+        has = travel_booking(fixed=False)
+        jobs.append(
+            VerificationJob(
+                has=has,
+                prop=discount_policy_property(has),
+                config=VerifierConfig(
+                    km_budget=config.km_budget,
+                    time_limit_seconds=_HARD_JOB_TIME_LIMIT,
+                ),
+                name=f"{has.name}::discount-policy (tight budget)",
+            )
+        )
+    return jobs
+
+
+def _quick_jobs(config: VerifierConfig) -> list[VerificationJob]:
+    jobs = [
+        job_from_spec(table1_workload(SchemaClass.ACYCLIC, depth=2), config),
+        job_from_spec(
+            table1_workload(SchemaClass.ACYCLIC, depth=2, violated=True), config
+        ),
+        job_from_spec(table2_workload(SchemaClass.CYCLIC, depth=2), config),
+    ]
+    has = travel_lite(fixed=True)
+    jobs.append(
+        VerificationJob(
+            has=has,
+            prop=discount_policy_property_lite(has),
+            config=config,
+            name=f"{has.name}::lite-discount-policy",
+            expected_holds=True,
+        )
+    )
+    return jobs
+
+
+_SUITES = {
+    "table1": lambda quick, config: _table_jobs(table1_workload, quick, config),
+    "table2": lambda quick, config: _table_jobs(table2_workload, quick, config),
+    "travel": _travel_jobs,
+    "mixed": lambda quick, config: (
+        _table_jobs(table1_workload, quick, config)
+        + _table_jobs(table2_workload, quick, config)
+        + _travel_jobs(quick, config)
+    ),
+    "quick": lambda quick, config: _quick_jobs(config),
+}
+
+
+def suite_names() -> tuple[str, ...]:
+    return tuple(_SUITES)
+
+
+def build_suite(
+    name: str,
+    quick: bool = False,
+    config: VerifierConfig | None = None,
+) -> list[VerificationJob]:
+    """The named suite's jobs; raises ``KeyError`` for unknown names."""
+    try:
+        builder = _SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        # note: str(KeyError) adds repr quotes; CLI callers use .args[0]
+        raise KeyError(f"unknown suite {name!r} (known: {known})") from None
+    return builder(quick, config or _DEFAULT_CONFIG)

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import SpecificationError, VerificationError
+from repro.errors import BudgetExceeded, SpecificationError, VerificationError
 from repro.has.restrictions import validate_has
 from repro.has.system import HAS
 from repro.has.task import Task
@@ -62,6 +62,20 @@ class Verifier:
         self.stats = VerificationStats()
 
     # ------------------------------------------------------------------
+    # budgeted search
+    # ------------------------------------------------------------------
+    def _explore(self, vass: TaskVASS, starts, what: str) -> KMGraph:
+        """Karp–Miller exploration with the configured node budget; a
+        single choke point for the budget-exhausted diagnostics."""
+        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
+        self.stats.km_nodes += len(graph.nodes)
+        if graph.budget_exhausted:
+            raise BudgetExceeded(
+                f"{what} exhausted the KM budget", len(graph.nodes)
+            )
+        return graph
+
+    # ------------------------------------------------------------------
     # child I/O plumbing
     # ------------------------------------------------------------------
     def make_child_input(
@@ -101,14 +115,7 @@ class Verifier:
         summary = TaskSummary()
         # placeholder first: defends against (impossible) recursive loops
         self._summaries[key] = summary
-        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
-        self.stats.km_nodes += len(graph.nodes)
-        if graph.budget_exhausted:
-            from repro.errors import BudgetExceeded
-
-            raise BudgetExceeded(
-                f"summary of {task_name} exhausted the KM budget", len(graph.nodes)
-            )
+        graph = self._explore(vass, starts, f"summary of {task_name}")
         for node in graph.nodes:
             if vass.is_returning_accepting(node.state):
                 out = vass.output_of(node.state)
@@ -151,14 +158,7 @@ class Verifier:
         starts = []
         for init_store in self._root_initial_stores():
             starts.extend(vass.initial_states(init_store))
-        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
-        self.stats.km_nodes += len(graph.nodes)
-        if graph.budget_exhausted:
-            from repro.errors import BudgetExceeded
-
-            raise BudgetExceeded(
-                "root search exhausted the KM budget", len(graph.nodes)
-            )
+        graph = self._explore(vass, starts, "root search")
         result = VerificationResult(
             holds=True, property_name=prop.name, stats=self.stats
         )

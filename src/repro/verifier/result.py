@@ -25,6 +25,15 @@ class VerificationStats:
     condition_branches: int = 0
     wall_seconds: float = 0.0
 
+    def merge(self, other: "VerificationStats") -> "VerificationStats":
+        """Accumulate another run's statistics into this one (batch
+        aggregation across jobs and worker processes)."""
+        self.km_nodes += other.km_nodes
+        self.summaries += other.summaries
+        self.condition_branches += other.condition_branches
+        self.wall_seconds += other.wall_seconds
+        return self
+
 
 @dataclass
 class VerificationResult:

@@ -203,11 +203,19 @@ def _build_system(
 
 
 def _root_atom(has: HAS) -> RelationAtom:
+    # atoms() is a frozenset whose iteration order varies with the hash
+    # seed; pick deterministically (cursor-anchored first, then by repr)
+    # so the generated property is stable across processes.
+    cursor = has.root.variables[0]
+    candidates: list[RelationAtom] = []
     for service in has.root.services:
         for atom in service.post.atoms():
             if isinstance(atom, RelationAtom):
-                return atom
-    raise AssertionError("workload root has no relation atom")
+                candidates.append(atom)
+    if not candidates:
+        raise AssertionError("workload root has no relation atom")
+    anchored = [a for a in candidates if a.args and a.args[0] == cursor]
+    return min(anchored or candidates, key=repr)
 
 
 def _safety_property(has: HAS) -> HLTLProperty:
