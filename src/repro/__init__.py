@@ -25,8 +25,9 @@ from repro.has import (
 from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, cond, service
 from repro.logic.terms import NULL, Const, id_var, num_var
 from repro.verifier import VerificationResult, Verifier, VerifierConfig, verify
+from repro.witness import ConcreteWitness, NonConcretizable, concretize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DatabaseSchema",
@@ -52,5 +53,8 @@ __all__ = [
     "Verifier",
     "VerifierConfig",
     "verify",
+    "ConcreteWitness",
+    "NonConcretizable",
+    "concretize",
     "__version__",
 ]

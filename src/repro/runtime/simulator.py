@@ -25,7 +25,7 @@ from repro.has.system import HAS
 from repro.has.task import Task
 from repro.logic.terms import Variable, VarKind
 from repro.runtime import labels
-from repro.runtime.local_run import LocalRun, Step
+from repro.runtime.local_run import LocalRun, Step, validate_local_run
 from repro.runtime.state import TaskState, initial_state
 from repro.runtime.transition import (
     EnumerationLimits,
@@ -229,3 +229,40 @@ class Simulator:
         for offset in range(count):
             self._rng = random.Random(self.config.seed + offset)
             yield self.run()
+
+
+# ----------------------------------------------------------------------
+# scripted replay (witness validation)
+# ----------------------------------------------------------------------
+def replay_root_run(
+    has: HAS,
+    db: DatabaseInstance,
+    steps: list[tuple[labels.ServiceRef, TaskState]],
+    complete: bool = False,
+) -> LocalRun:
+    """Execute a *prescribed* run of the root task over ``db``.
+
+    Unlike :meth:`Simulator.run`, nothing is chosen here: the caller
+    supplies the exact (service, state) sequence — typically a
+    counterexample materialized by ``repro.witness`` — and this function
+    drives it through the concrete semantics, raising
+    :class:`~repro.errors.RunError` on the first illegal transition
+    (Definitions 8/9 via :func:`~repro.runtime.local_run.validate_local_run`).
+    The global precondition Π is checked on the initial instant.  Returns
+    the validated :class:`LocalRun` prefix.
+    """
+    if not steps:
+        raise RunError("cannot replay an empty run")
+    task = has.root
+    first_service, first_state = steps[0]
+    inputs = {v: first_state.valuation[v] for v in task.input_variables}
+    if not has.precondition.evaluate(db, dict(first_state.valuation)):
+        raise RunError("replay: precondition Π fails on the initial instant")
+    run = LocalRun(
+        task,
+        inputs,
+        [Step(state, service) for service, state in steps],
+        complete=complete,
+    )
+    validate_local_run(run, db)
+    return run

@@ -1,9 +1,15 @@
 """The ``python -m repro`` command line.
 
-Three subcommands drive the batch verification service:
+Four subcommands drive the batch verification service:
 
-* ``verify`` — one system + property (a built-in example or a job JSON
-  file), printed as a full verdict with witness;
+* ``verify`` — one system + property (a built-in example, a job JSON
+  file, or a suite job reference), printed as a full verdict with
+  witness, or as structured JSON with ``--json``; exit codes 0 (holds),
+  1 (violated), 2 (budget-exceeded / error) for scripts and CI;
+* ``explain`` — the same targets, but on violation prints the concrete
+  counterexample: a finite database plus a step-by-step run, validated
+  by the simulator and the reference LTL evaluators and minimized
+  (``repro.witness``);
 * ``suite`` — a named job suite through the batch runner, with workers,
   result cache, and JSONL export;
 * ``bench`` — the same suite at several worker counts, reporting batch
@@ -28,6 +34,13 @@ from repro.verifier.config import VerifierConfig
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def _die(message: str) -> SystemExit:
+    """Usage/target errors exit with code 2 — code 1 is reserved for the
+    'property violated' verdict (the documented script contract)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
 def _example_job(name: str, config: VerifierConfig) -> VerificationJob:
     from repro.examples.travel import (
         discount_policy_property,
@@ -46,7 +59,7 @@ def _example_job(name: str, config: VerifierConfig) -> VerificationJob:
         build, fixed, property_of = builders[name]
     except KeyError:
         known = ", ".join(sorted(builders))
-        raise SystemExit(
+        raise _die(
             f"unknown target {name!r}: expected a job JSON file or one of {known}"
         ) from None
     has = build(fixed)
@@ -94,32 +107,116 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir)
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    target = args.target
-    if Path(target).suffix == ".json" and Path(target).exists():
+def _job_from_target(target: str, config: VerifierConfig) -> VerificationJob:
+    """A job from a job JSON file, a ``suite/selector`` reference, or a
+    built-in example name."""
+    if Path(target).suffix == ".json":
+        if not Path(target).exists():
+            raise _die(f"{target}: job file not found")
         try:
             payload = json.loads(Path(target).read_text())
-            job = VerificationJob.from_payload(payload).with_config(config)
+            return VerificationJob.from_payload(payload).with_config(config)
         except (ValueError, KeyError, TypeError, ReproError) as exc:
-            raise SystemExit(f"{target}: not a valid job file ({exc})") from None
-    else:
-        job = _example_job(target, config)
-    print(f"verifying {job.name}  (key {job.key()[:16]}…)")
-    outcome = execute_job(job)
-    print(outcome.one_line())
-    for step in outcome.witness:
-        print(f"    {step}")
-    if outcome.error:
-        print(f"  {outcome.error}")
-    if args.dump_job:
-        Path(args.dump_job).write_text(json.dumps(job.payload(), sort_keys=True))
-        print(f"job payload written to {args.dump_job}")
+            raise _die(f"{target}: not a valid job file ({exc})") from None
+    if "/" in target:
+        suite_name, _, selector = target.partition("/")
+        try:
+            jobs = build_suite(suite_name, config=config)
+        except KeyError as exc:
+            raise _die(exc.args[0]) from None
+        if selector.isdigit():
+            index = int(selector)
+            if not 0 <= index < len(jobs):
+                raise _die(
+                    f"{target}: suite {suite_name!r} has jobs 0…{len(jobs) - 1}"
+                )
+            return jobs[index]
+        exact = [job for job in jobs if job.name == selector]
+        if exact:
+            return exact[0]
+        matches = [job for job in jobs if selector in job.name]
+        if not matches:
+            known = ", ".join(job.name for job in jobs)
+            raise _die(f"{target}: no job matches (suite jobs: {known})")
+        names = {job.name for job in matches}
+        if len(names) > 1:
+            raise _die(
+                f"{target}: ambiguous selector, matches "
+                + ", ".join(sorted(names))
+            )
+        return matches[0]
+    return _example_job(target, config)
+
+
+def _verdict_exit_code(outcome) -> int:
+    """Exit codes for scripts and CI: 0 holds, 1 violated, 2 budget
+    exceeded / error."""
     if outcome.status == STATUS_HOLDS:
         return 0
     if outcome.status == STATUS_VIOLATED:
+        return 1
+    return 2
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    job = _job_from_target(args.target, config)
+    if not args.json:
+        print(f"verifying {job.name}  (key {job.key()[:16]}…)")
+    outcome = execute_job(job)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), sort_keys=True, indent=1))
+    else:
+        print(outcome.one_line())
+        for step in outcome.witness:
+            print(f"    {step}")
+        if outcome.error:
+            print(f"  {outcome.error}")
+    if args.dump_job:
+        Path(args.dump_job).write_text(json.dumps(job.payload(), sort_keys=True))
+        if not args.json:
+            print(f"job payload written to {args.dump_job}")
+    return _verdict_exit_code(outcome)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Verify one target and print (or export) the concrete counterexample."""
+    from repro.verifier.engine import Verifier
+    from repro.witness import ConcreteWitness, concretize
+
+    config = _config_from_args(args)
+    job = _job_from_target(args.target, config)
+    print(f"explaining {job.name}  (key {job.key()[:16]}…)")
+    try:
+        result = Verifier(job.has, job.config).verify(job.prop)
+    except ReproError as exc:
+        print(f"  {type(exc).__name__}: {exc}")
         return 2
-    return 1
+    if result.holds:
+        print(result.explain())
+        print("nothing to explain: no counterexample exists within the model")
+        return 0
+    try:
+        witness = concretize(
+            job.has,
+            job.prop,
+            result,
+            shrink=not args.no_minimize,
+            time_budget=config.time_limit_seconds,
+        )
+    except Exception as exc:  # noqa: BLE001 — exit contract: 2, not a traceback
+        print(result.explain())
+        print(f"concretization failed: {type(exc).__name__}: {exc}")
+        return 2
+    print(witness.render())
+    if args.export:
+        Path(args.export).write_text(
+            json.dumps(witness.to_dict(), sort_keys=True, indent=1)
+        )
+        print(f"concrete witness JSON written to {args.export}")
+    if isinstance(witness, ConcreteWitness) and witness.confirmed:
+        return 1
+    return 2
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -127,7 +224,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     try:
         jobs = build_suite(args.name, quick=args.quick, config=config)
     except KeyError as exc:
-        raise SystemExit(exc.args[0]) from None
+        raise _die(exc.args[0]) from None
     cache = _cache_from_args(args)
     print(
         f"suite {args.name!r}: {len(jobs)} jobs, workers={args.workers}, "
@@ -153,7 +250,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         jobs = build_suite(args.name, quick=args.quick, config=config)
     except KeyError as exc:
-        raise SystemExit(exc.args[0]) from None
+        raise _die(exc.args[0]) from None
     workers_list = [int(w) for w in args.workers_list.split(",")]
     print(f"bench suite {args.name!r}: {len(jobs)} jobs at workers={workers_list}")
     baseline = None
@@ -177,11 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    verify = sub.add_parser("verify", help="verify one system + property")
+    target_help = (
+        "built-in example (travel-lite, travel-lite-fixed, travel, "
+        "travel-fixed), a job JSON file, or a suite job reference "
+        "(<suite>/<index> or <suite>/<name-substring>)"
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="verify one system + property "
+        "(exit code: 0 holds, 1 violated, 2 budget-exceeded/error)",
+    )
+    verify.add_argument("target", help=target_help)
     verify.add_argument(
-        "target",
-        help="built-in example (travel-lite, travel-lite-fixed, travel, "
-        "travel-fixed) or a job JSON file",
+        "--json",
+        action="store_true",
+        help="print the structured JobOutcome JSON instead of the report",
     )
     verify.add_argument(
         "--dump-job",
@@ -190,6 +298,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    explain = sub.add_parser(
+        "explain",
+        help="verify one target and print its concrete, replay-validated, "
+        "minimized counterexample (exit code: 0 holds, 1 confirmed "
+        "violation, 2 non-concretizable/budget/error)",
+    )
+    explain.add_argument("target", help=target_help)
+    explain.add_argument(
+        "--export",
+        metavar="PATH",
+        help="write the concrete witness JSON to PATH",
+    )
+    explain.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip trace minimization (print the raw materialized run)",
+    )
+    _add_budget_arguments(explain)
+    explain.set_defaults(func=_cmd_explain)
 
     suite = sub.add_parser("suite", help="run a named job suite")
     suite.add_argument(

@@ -122,6 +122,12 @@ class JobOutcome:
     holds: bool | None = None
     witness_kind: str = ""
     witness: list[str] = field(default_factory=list)
+    loop_start: int | None = None
+    witness_json: dict | None = None
+    """The concrete counterexample (``repro.witness`` JSON): a validated
+    database + run for VIOLATED verdicts, or a ``non_concretizable``
+    record with the reason; None when concretization is disabled or the
+    property holds."""
     km_nodes: int = 0
     summaries: int = 0
     wall_seconds: float = 0.0
@@ -152,6 +158,8 @@ class JobOutcome:
             "holds": self.holds,
             "witness_kind": self.witness_kind,
             "witness": list(self.witness),
+            "loop_start": self.loop_start,
+            "witness_json": self.witness_json,
             "km_nodes": self.km_nodes,
             "summaries": self.summaries,
             "wall_seconds": self.wall_seconds,
@@ -169,6 +177,8 @@ class JobOutcome:
             holds=data.get("holds"),
             witness_kind=data.get("witness_kind", ""),
             witness=list(data.get("witness", ())),
+            loop_start=data.get("loop_start"),
+            witness_json=data.get("witness_json"),
             km_nodes=data.get("km_nodes", 0),
             summaries=data.get("summaries", 0),
             wall_seconds=data.get("wall_seconds", 0.0),
@@ -201,6 +211,7 @@ class JobOutcome:
             holds=result.holds,
             witness_kind=result.witness_kind,
             witness=[repr(step) for step in result.witness],
+            loop_start=result.loop_start,
             km_nodes=result.stats.km_nodes,
             summaries=result.stats.summaries,
             wall_seconds=wall_seconds,
@@ -222,6 +233,9 @@ class JobOutcome:
             flags.append("cached")
         if self.witness_kind:
             flags.append(self.witness_kind)
+        if self.witness_json:
+            concrete = self.witness_json.get("status", "")
+            flags.append("concrete" if concrete == "confirmed" else concrete)
         if self.as_expected is False:
             flags.append("UNEXPECTED")
         suffix = f" ({', '.join(flags)})" if flags else ""

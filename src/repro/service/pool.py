@@ -62,10 +62,41 @@ def execute_payload(payload: dict) -> dict:
             expected_holds=expected,
         )
     else:
-        outcome = JobOutcome.from_result(
-            job, result, wall_seconds=time.monotonic() - started
-        )
+        # wall_seconds measures verification; concretization runs after
+        # the verdict on its own budget and must not skew the stats
+        verify_seconds = time.monotonic() - started
+        witness_json = None
+        if not result.holds and job.config.concretize_witnesses:
+            witness_json = _concretize_witness(job, result)
+        outcome = JobOutcome.from_result(job, result, wall_seconds=verify_seconds)
+        outcome.witness_json = witness_json
     return outcome.to_dict()
+
+
+def _concretize_witness(job: VerificationJob, result) -> dict:
+    """The concrete (or explicitly non-concretizable) witness JSON for a
+    VIOLATED result; confirmed witnesses also enrich the result's witness
+    steps with bindings.  Never raises — a concretization failure must
+    not poison the verdict it explains."""
+    from repro.witness import ConcreteWitness, attach_to_result, concretize
+
+    try:
+        witness = concretize(
+            job.has,
+            job.prop,
+            result,
+            time_budget=job.config.time_limit_seconds,
+        )
+        if isinstance(witness, ConcreteWitness) and witness.confirmed:
+            attach_to_result(result, witness)
+        return witness.to_dict()
+    except Exception as exc:  # noqa: BLE001 — diagnostics, not verdicts
+        return {
+            "status": "non_concretizable",
+            "kind": result.witness_kind,
+            "property": result.property_name,
+            "reason": f"{type(exc).__name__}: {exc}",
+        }
 
 
 def execute_job(job: VerificationJob) -> JobOutcome:

@@ -62,6 +62,30 @@ class BatchReport:
         """Jobs whose verdict contradicts their declared expectation."""
         return [o for o in self.outcomes if o.as_expected is False]
 
+    @property
+    def concretized(self) -> int:
+        """Violations carrying a confirmed concrete counterexample."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.witness_json is not None
+            and o.witness_json.get("status") == "confirmed"
+        )
+
+    @property
+    def non_concretizable(self) -> list[JobOutcome]:
+        """Violations whose attempted concretization did not confirm.
+        Jobs where concretization never ran (disabled by config, or
+        cached outcomes predating the feature) are not failures and are
+        excluded."""
+        return [
+            o
+            for o in self.outcomes
+            if o.status == STATUS_VIOLATED
+            and o.witness_json is not None
+            and o.witness_json.get("status") != "confirmed"
+        ]
+
     def merged_stats(self) -> VerificationStats:
         """Search statistics summed across the batch."""
         stats = VerificationStats()
@@ -84,7 +108,8 @@ class BatchReport:
         lines.append("-" * 72)
         lines.append(
             f"{self.total} jobs, {self.cache_hits} cache hits, "
-            f"{self.violations} violated, {self.budget_exceeded} budget-exceeded, "
+            f"{self.violations} violated ({self.concretized} concrete), "
+            f"{self.budget_exceeded} budget-exceeded, "
             f"{self.errors} errors"
         )
         lines.append(
@@ -113,6 +138,7 @@ class BatchReport:
                         "total": self.total,
                         "cache_hits": self.cache_hits,
                         "violations": self.violations,
+                        "concretized": self.concretized,
                         "budget_exceeded": self.budget_exceeded,
                         "errors": self.errors,
                         "workers": self.workers,

@@ -437,6 +437,31 @@ class ConstraintStore:
         except Inconsistent:
             return False
 
+    # ------------------------------------------------------------------
+    # read-only iteration (witness concretization and diagnostics)
+    # ------------------------------------------------------------------
+    def class_roots(self) -> tuple[Node, ...]:
+        """Every distinct class root, sorted by repr (deterministic)."""
+        return tuple(sorted({self.find(node) for node in self._parent}, key=repr))
+
+    def navigation_children(self, node: Node) -> tuple[tuple[str, Node], ...]:
+        """The ``(attr, child)`` navigation edges of the node's class,
+        attribute-sorted."""
+        children = self._children.get(self.find(node), {})
+        return tuple(sorted(children.items()))
+
+    def disequalities(self) -> tuple[frozenset[Node], ...]:
+        """The recorded disequalities, as root pairs."""
+        return tuple(
+            frozenset(self.find(node) for node in pair) for pair in self._diseqs
+        )
+
+    def binding_of(self, variable: Variable) -> Node | None:
+        """The variable's current value node as stored (not canonicalized;
+        callers needing the class root apply :meth:`find`), or None when
+        the variable is unbound."""
+        return self._binding.get(variable)
+
     def allowed_anchors(self, node: Node) -> tuple[str, ...]:
         """Relations this class may be anchored to."""
         root = self.find(node)

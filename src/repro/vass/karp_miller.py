@@ -228,3 +228,15 @@ def witness_path(node: KMNode) -> list[tuple[object, KMNode]]:
         current = current.parent
     steps.reverse()
     return steps
+
+
+def rooted_witness_path(node: KMNode) -> tuple[KMNode, list[tuple[object, KMNode]]]:
+    """The start configuration plus the (tag, node) steps reaching ``node``.
+
+    Same steps as :func:`witness_path`, with the root KM node (whose state
+    holds the initial symbolic store) returned explicitly — witness
+    concretization needs it for the run's first instant."""
+    steps = witness_path(node)
+    root = steps[0][1].parent if steps else node
+    assert root is not None and root.parent is None
+    return root, steps

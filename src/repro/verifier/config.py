@@ -30,6 +30,14 @@ class VerifierConfig:
     collect_witness: bool = True
     """Record witness paths for violated properties."""
 
+    concretize_witnesses: bool = True
+    """After a VIOLATED verdict, materialize + replay-validate + minimize
+    a concrete counterexample (``repro.witness``) and attach it to the
+    job outcome; failures surface as ``non_concretizable``, never as
+    job errors.  Minimization gets its own time allotment equal to
+    ``time_limit_seconds`` (it runs after the verdict, outside the
+    verification deadline)."""
+
     time_limit_seconds: float | None = None
     """Wall-clock limit for one verify() call; exceeding it raises
     BudgetExceeded (useful for benchmark sweeps)."""

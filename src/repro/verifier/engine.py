@@ -27,10 +27,11 @@ from repro.hltl.formulas import (
 from repro.ltl.formulas import propositions
 from repro.symbolic.store import ConstraintStore, Inconsistent
 from repro.symbolic.apply import apply_condition
-from repro.vass.karp_miller import KMGraph, build_km_graph, witness_path
-from repro.vass.repeated import accepting_cycle
+from repro.vass.karp_miller import KMGraph, build_km_graph, rooted_witness_path
+from repro.vass.repeated import accepting_cycle, cycle_path
 from repro.verifier.config import VerifierConfig
 from repro.verifier.result import (
+    SymbolicTrace,
     VerificationResult,
     VerificationStats,
     WitnessStep,
@@ -167,17 +168,21 @@ class Verifier:
             if vass.is_blocking_accepting(node.state):
                 result.holds = False
                 result.witness_kind = "blocking"
-                result.witness = _witness_of(node)
+                start, path = rooted_witness_path(node)
+                result.witness = _steps_of(path)
+                result.symbolic_trace = SymbolicTrace(vass, start, path)
                 break
         if result.holds:
             found = accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state))
             if found is not None:
-                node, cycle = found
+                node, component = found
                 result.holds = False
                 result.witness_kind = "lasso"
-                result.witness = _witness_of(node) + [
-                    WitnessStep("—", "(cycle)", f"{len(cycle)} states repeat")
-                ]
+                start, path = rooted_witness_path(node)
+                cycle = cycle_path(node, component)
+                result.witness = _steps_of(path) + _steps_of(cycle)
+                result.loop_start = len(path)
+                result.symbolic_trace = SymbolicTrace(vass, start, path, cycle)
         self.stats.wall_seconds = time.monotonic() - started
         return result
 
@@ -213,9 +218,9 @@ def _reject_set_atoms(prop: HLTLProperty) -> None:
     walk(prop.root)
 
 
-def _witness_of(node) -> list[WitnessStep]:
+def _steps_of(path) -> list[WitnessStep]:
     steps: list[WitnessStep] = []
-    for tag, _node in witness_path(node):
+    for tag, _node in path:
         if isinstance(tag, StepTag):
             steps.append(WitnessStep(tag.task, repr(tag.service), tag.detail))
     return steps

@@ -3,19 +3,54 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vass.karp_miller import KMNode
+    from repro.verifier.task_vass import StepTag, TaskVASS
 
 
 @dataclass(frozen=True)
 class WitnessStep:
-    """One step of a symbolic counterexample run."""
+    """One step of a counterexample run.
+
+    ``bindings`` is empty for a purely symbolic witness; concretization
+    (``repro.witness``) attaches the step's concrete variable values as
+    sorted ``(name, rendered value)`` pairs.
+    """
 
     task: str
     service: str
     detail: str = ""
+    bindings: tuple[tuple[str, str], ...] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         suffix = f" [{self.detail}]" if self.detail else ""
+        if self.bindings:
+            rendered = ", ".join(f"{name}={value}" for name, value in self.bindings)
+            suffix += f" {{{rendered}}}"
         return f"{self.task}: {self.service}{suffix}"
+
+
+@dataclass
+class SymbolicTrace:
+    """The raw material of a violation witness, kept in-process only.
+
+    Holds the root :class:`~repro.verifier.task_vass.TaskVASS`, the KM tree
+    path to the accepting node (``start`` + one ``(tag, node)`` pair per
+    transition), and — for lasso witnesses — the ordered cycle edges.  The
+    ``repro.witness`` package turns this into a concrete, replayable run;
+    it never crosses a process or serialization boundary.
+    """
+
+    vass: "TaskVASS"
+    start: "KMNode"
+    path: list[tuple["StepTag", "KMNode"]]
+    cycle: list[tuple["StepTag", "KMNode"]] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return "lasso" if self.cycle else "blocking"
 
 
 @dataclass
@@ -42,14 +77,20 @@ class VerificationResult:
     ``holds`` is True when every tree of local runs satisfies the
     property; False comes with a symbolic witness of the negation (a
     prefix of a violating run of the root task, plus the lasso/blocking
-    classification).
+    classification).  For lasso witnesses ``loop_start`` is the index in
+    ``witness`` where the infinitely-repeated segment begins; it is None
+    for blocking witnesses and for held properties.
     """
 
     holds: bool
     property_name: str
     witness: list[WitnessStep] = field(default_factory=list)
     witness_kind: str = ""  # "lasso" | "blocking" | ""
+    loop_start: int | None = None
     stats: VerificationStats = field(default_factory=VerificationStats)
+    symbolic_trace: SymbolicTrace | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def explain(self) -> str:
         """Human-readable summary of the result."""
@@ -63,6 +104,13 @@ class VerificationResult:
             f"property {self.property_name!r} VIOLATED "
             f"({self.witness_kind or 'run'} counterexample):"
         ]
-        for step in self.witness:
-            lines.append(f"  {step!r}")
+        for index, step in enumerate(self.witness):
+            marker = "↻ " if self.loop_start is not None and index == self.loop_start else "  "
+            lines.append(f"  {marker}{step!r}")
+        if self.loop_start is not None:
+            looped = len(self.witness) - self.loop_start
+            lines.append(
+                f"  (the last {looped} step{'s' if looped != 1 else ''} "
+                f"repeat forever)"
+            )
         return "\n".join(lines)

@@ -103,11 +103,18 @@ class SymState:
 
 @dataclass(frozen=True)
 class StepTag:
-    """Witness metadata for one symbolic transition."""
+    """Witness metadata for one symbolic transition.
+
+    ``inserted`` / ``retrieved`` carry the TS-isomorphism types chosen for
+    the artifact-relation update (when any), so witness concretization can
+    re-impose the same snapshot when replaying the step.
+    """
 
     task: str
     service: ServiceRef
     detail: str = ""
+    inserted: TSType | None = None
+    retrieved: TSType | None = None
 
 
 class TaskVASS:
@@ -151,6 +158,12 @@ class TaskVASS:
         self, input_store: ConstraintStore
     ) -> Iterator[tuple[int, dict, object]]:
         """(key, zero-vector, payload) triples for the KM engine."""
+        for state in self.initial_symstates(input_store):
+            yield self.intern(state), {}, None
+
+    def initial_symstates(self, input_store: ConstraintStore) -> Iterator[SymState]:
+        """The un-interned initial states (witness concretization reads
+        their stores directly)."""
         base = input_store.copy()
         inputs = set(self.task.input_variables)
         try:
@@ -169,14 +182,13 @@ class TaskVASS:
         for q0 in self.automaton.initial:
             for transition in self.automaton.successors(q0):
                 for refined in self._match_letter(proto, base, opening, transition, None):
-                    state = SymState(
+                    yield SymState(
                         store=refined,
                         q=transition.target,
                         o_bar=(),
                         ib=frozenset(),
                         service=opening,
                     )
-                    yield self.intern(state), {}, None
 
     # ------------------------------------------------------------------
     # the KM interface
@@ -189,6 +201,17 @@ class TaskVASS:
             from repro.errors import BudgetExceeded
 
             raise BudgetExceeded("verification time limit exceeded", len(self.registry))
+        for delta, successor, tag in self.successor_states(state, vector):
+            yield delta, self.intern(successor), tag
+
+    def successor_states(
+        self, state: SymState, vector: Mapping
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
+        """The symbolic successor relation with un-interned states.
+
+        Witness concretization re-derives transitions through this entry
+        point: the yielded states' stores share node identity with the
+        source store, which the KM interning discards."""
         if state.returning:
             return
         yield from self._internal_transitions(state, vector)
@@ -261,7 +284,7 @@ class TaskVASS:
     # ------------------------------------------------------------------
     def _internal_transitions(
         self, state: SymState, vector: Mapping
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         if state.active_children():
             return  # restriction (4)
         for service in self.task.services:
@@ -279,7 +302,7 @@ class TaskVASS:
         service: InternalService,
         ref: ServiceRef,
         pre_store: ConstraintStore,
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         inserted_options: list[tuple[TSType | None, ConstraintStore]]
         if service.update.inserts and self.task.has_set:
             inserted_options = list(ts_type_of(pre_store, self.slots))
@@ -308,7 +331,7 @@ class TaskVASS:
         ref: ServiceRef,
         inserted: TSType | None,
         post_store: ConstraintStore,
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         candidates: set[TSType] = set(state.ib)
         for dim, value in vector.items():
             if isinstance(dim, TSType) and value > 0:
@@ -330,7 +353,7 @@ class TaskVASS:
         inserted: TSType | None,
         retrieved: TSType | None,
         store: ConstraintStore,
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         set_count = len(self.task.set_variables)
         ib = set(state.ib)
         delta: dict[TSType, int] = {}
@@ -354,8 +377,12 @@ class TaskVASS:
                 ib=frozenset(ib),
                 service=ref,
             )
-            yield dict(delta), self.intern(successor), StepTag(
-                self.task.name, ref, self._set_detail(inserted, retrieved)
+            yield dict(delta), successor, StepTag(
+                self.task.name,
+                ref,
+                self._set_detail(inserted, retrieved),
+                inserted=inserted,
+                retrieved=retrieved,
             )
 
     @staticmethod
@@ -372,7 +399,7 @@ class TaskVASS:
     # ------------------------------------------------------------------
     def _opening_transitions(
         self, state: SymState
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         for child in self.task.children:
             if state.status_of(child.name) != INIT:
                 continue  # at most one call per segment (restriction 8)
@@ -416,16 +443,14 @@ class TaskVASS:
                                 service=ref,
                             )
                             detail = "⊥" if outcome == BOT else "returns"
-                            yield {}, self.intern(successor), StepTag(
-                                self.task.name, ref, detail
-                            )
+                            yield {}, successor, StepTag(self.task.name, ref, detail)
 
     # ------------------------------------------------------------------
     # closing a child
     # ------------------------------------------------------------------
     def _closing_child_transitions(
         self, state: SymState
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         for child_name, status in state.active_children():
             _tag, beta_items, outcome, input_key = status
             if outcome == BOT:
@@ -445,9 +470,7 @@ class TaskVASS:
                         ib=state.ib,
                         service=ref,
                     )
-                    yield {}, self.intern(successor), StepTag(
-                        self.task.name, ref
-                    )
+                    yield {}, successor, StepTag(self.task.name, ref)
 
     def _merge_child_output(
         self,
@@ -522,7 +545,7 @@ class TaskVASS:
     # ------------------------------------------------------------------
     def _closing_self_transitions(
         self, state: SymState
-    ) -> Iterator[tuple[Mapping, tuple, StepTag]]:
+    ) -> Iterator[tuple[Mapping, SymState, StepTag]]:
         if self.is_root or state.active_children():
             return
         ref = labels.closing(self.task.name)
@@ -539,7 +562,7 @@ class TaskVASS:
                     returning=True,
                     service=ref,
                 )
-                yield {}, self.intern(successor), StepTag(self.task.name, ref)
+                yield {}, successor, StepTag(self.task.name, ref)
 
     # ------------------------------------------------------------------
     # acceptance predicates (Lemma 21)

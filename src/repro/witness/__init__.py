@@ -1,0 +1,119 @@
+"""Concrete counterexamples: materialization, replay validation, and
+trace minimization for VIOLATED verdicts (``repro.witness``).
+
+The verifier answers ``Γ ⊨ φ`` symbolically; this package turns its
+symbolic witness paths into evidence a user can run:
+
+* :func:`concretize` — the one-call pipeline: sample concrete rationals
+  and identifiers consistent with every constraint store on the witness
+  path (:mod:`repro.witness.materialize`), confirm the resulting run
+  against the concrete semantics and the reference LTL evaluators
+  (:mod:`repro.witness.replay`), then delta-debug it down to a minimal
+  trace (:mod:`repro.witness.minimize`).
+
+The result is either a :class:`~repro.witness.trace.ConcreteWitness`
+(with its validation checklist) or a
+:class:`~repro.witness.trace.NonConcretizable` naming the obstacle —
+never a silent failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError
+from repro.has.system import HAS
+from repro.hltl.formulas import HLTLProperty
+from repro.verifier.result import VerificationResult, WitnessStep
+from repro.witness.materialize import materialize
+from repro.witness.minimize import minimize
+from repro.witness.replay import validate
+from repro.witness.trace import (
+    ConcreteStep,
+    ConcreteWitness,
+    NonConcretizable,
+    render_value,
+)
+
+__all__ = [
+    "ConcreteStep",
+    "ConcreteWitness",
+    "NonConcretizable",
+    "concretize",
+    "attach_to_result",
+    "render_value",
+]
+
+
+def concretize(
+    has: HAS,
+    prop: HLTLProperty,
+    result: VerificationResult,
+    shrink: bool = True,
+    time_budget: float | None = None,
+) -> ConcreteWitness | NonConcretizable:
+    """Materialize, validate, and (optionally) minimize a counterexample
+    for a VIOLATED verification result.
+
+    ``time_budget`` (seconds) bounds the minimization passes — they stop
+    accepting candidates once it is spent, keeping post-verdict work
+    within the same order as the verification budget itself."""
+    outcome = materialize(has, result)
+    if isinstance(outcome, NonConcretizable):
+        return outcome
+    db_builder, steps, loop_start, notes = outcome
+    try:
+        database = db_builder.build()
+    except ReproError as exc:
+        return NonConcretizable(
+            f"materialized rows form no valid instance: {exc}",
+            property_name=result.property_name,
+            kind=result.witness_kind,
+        )
+    witness = ConcreteWitness(
+        kind=result.witness_kind,
+        property_name=result.property_name,
+        database=database,
+        steps=steps,
+        loop_start=loop_start,
+        raw_length=len(steps),
+        notes=list(notes),
+    )
+    checks, check_notes = validate(
+        has, prop, witness.kind, database, steps, loop_start
+    )
+    witness.checks = checks
+    witness.notes.extend(check_notes)
+    if witness.confirmed and shrink:
+        deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        saved_notes = witness.notes
+        witness = minimize(has, prop, witness, deadline)
+        witness.notes = saved_notes
+    return witness
+
+
+def attach_to_result(result: VerificationResult, witness: ConcreteWitness) -> None:
+    """Replace the result's symbolic witness steps with binding-rich ones
+    derived from the concrete (minimized) trace."""
+    steps = []
+    root_task = witness.steps[0].service.task if witness.steps else ""
+    for step in witness.steps[1:]:  # position 0 is the opening instant
+        bindings = tuple(sorted(
+            (name, "null" if value is None else str(value))
+            for name, value in step.bindings_rendered().items()
+        ))
+        detail = "⊥" if step.assumed_nonreturning else ""
+        steps.append(
+            WitnessStep(
+                task=root_task,
+                service=repr(step.service),
+                detail=detail,
+                bindings=bindings,
+            )
+        )
+    result.witness = steps
+    result.loop_start = (
+        witness.loop_start - 1 if witness.loop_start is not None else None
+    )

@@ -1,0 +1,500 @@
+"""Witness materialization: symbolic KM path → concrete run + database.
+
+The verifier's witness is a path (plus, for lassos, an ordered cycle)
+through the root task's symbolic VASS, each state a partial isomorphism
+type.  Materialization walks that path and produces a single concrete
+realization — a finite database instance and per-step variable
+valuations — such that every transition is legal under the concrete
+semantics of Definition 8.
+
+The walk is organized around *segments*: maximal step intervals with no
+internal service after the first position.  Within a segment the
+symbolic stores form a refinement chain sharing node identity, so one
+sample of the segment's final store yields consistent values for every
+step in it (openings and closings provably leave the state unchanged).
+Across segments only three kinds of facts persist, and each is pinned
+explicitly when sampling:
+
+* input variables (and everything navigable from them) — sampled once
+  from the *anchor* store, the maximal store of the path, and pinned
+  everywhere else, with row attributes flowing through the shared
+  :class:`~repro.witness.sampling.DatabaseBuilder`;
+* the artifact relation — insertions take the previous step's concrete
+  ``s̄`` tuple, retrievals pin ``s̄`` to a previously stored tuple;
+* the lasso seam — the final position's variables are pinned to the
+  cycle-entry values so the produced run is genuinely ultimately
+  periodic.
+
+Because Karp–Miller interning dedupes states across derivation branches,
+the stored KM path does not guarantee node-identity chaining; the walk
+therefore *re-derives* every transition through
+:meth:`~repro.verifier.task_vass.TaskVASS.successor_states`, matching on
+step tag and canonical state key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.has.system import HAS
+from repro.logic.terms import Variable, VarKind
+from repro.runtime import labels
+from repro.runtime.labels import ServiceRef
+from repro.runtime.state import SetTuple
+from repro.symbolic.apply import apply_condition
+from repro.symbolic.store import ConstraintStore
+from repro.symbolic.tstypes import impose_ts_type
+from repro.vass.karp_miller import thaw
+from repro.verifier.result import SymbolicTrace, VerificationResult
+from repro.verifier.task_vass import BOT, StepTag, SymState
+from repro.witness.sampling import (
+    DatabaseBuilder,
+    SamplingError,
+    StoreSample,
+    sample_store,
+)
+from repro.witness.trace import ConcreteStep, ConcreteWitness, NonConcretizable
+
+#: Cap on condition branches / retrieval candidates tried per segment.
+_MAX_ATTEMPTS = 24
+
+
+class _Fail(Exception):
+    """Internal control flow: abort materialization with a reason."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _Position:
+    index: int
+    service: ServiceRef
+    state: SymState
+    tag: StepTag | None
+
+
+@dataclass
+class _Segment:
+    start: int
+    end: int  # inclusive
+    next_tag: StepTag | None = None
+    store: ConstraintStore | None = None  # refined final store
+    records: list[dict[Variable, object]] = field(default_factory=list)
+    sample: StoreSample | None = None
+
+
+def _default(variable: Variable):
+    return None if variable.kind is VarKind.ID else Fraction(0)
+
+
+def apply_set_update(
+    update,
+    current: frozenset[SetTuple],
+    inserted: SetTuple,
+    retrieved: SetTuple,
+) -> frozenset[SetTuple] | None:
+    """Definition 8's δ on concrete artifact-relation contents; None when
+    the retrieval has no matching stored tuple.  The single witness-side
+    implementation — materialization and minimization both use it, while
+    ``runtime.transition`` stays the *independent* checker replay
+    validation runs against."""
+    pool = current | {inserted} if update.inserts else current
+    if update.retrieves:
+        if retrieved not in pool:
+            return None
+        pool = pool - {retrieved}
+    return frozenset(pool)
+
+
+# ----------------------------------------------------------------------
+# path re-derivation
+# ----------------------------------------------------------------------
+def _derive_positions(trace: SymbolicTrace) -> list[_Position]:
+    vass = trace.vass
+    start_state = vass.state(trace.start.state)
+    positions = [
+        _Position(0, labels.opening(vass.task.name), start_state, None)
+    ]
+    current = start_state
+    prev_node = trace.start
+    for tag, node in list(trace.path) + list(trace.cycle):
+        target_key = vass.state(node.state).key
+        vector = thaw(prev_node.vector)
+        match = None
+        for _delta, successor, candidate in vass.successor_states(current, vector):
+            if candidate == tag and successor.key == target_key:
+                match = successor
+                break
+        if match is None:
+            raise _Fail(f"could not re-derive witness step {tag!r}")
+        positions.append(_Position(len(positions), tag.service, match, tag))
+        current = match
+        prev_node = node
+    return positions
+
+
+def _split_segments(positions: list[_Position], loop_start: int | None) -> list[_Segment]:
+    starts = [0] + [
+        p.index for p in positions[1:] if p.service.is_internal
+    ]
+    segments = []
+    for i, s in enumerate(starts):
+        e = (starts[i + 1] - 1) if i + 1 < len(starts) else len(positions) - 1
+        segments.append(_Segment(start=s, end=e))
+    for i, segment in enumerate(segments):
+        if i + 1 < len(segments):
+            segment.next_tag = positions[segments[i + 1].start].tag
+        elif loop_start is not None:
+            segment.next_tag = positions[loop_start].tag
+    return segments
+
+
+# ----------------------------------------------------------------------
+# per-segment structure
+# ----------------------------------------------------------------------
+def _effective_nodes(
+    positions: list[_Position], segment: _Segment, task
+) -> list[dict[Variable, object]]:
+    """The value node of each task variable at each position of the
+    segment: bindings carry forward through openings/closings, child
+    returns rebind their targets, and first uses apply retroactively
+    (the value was constant since the segment's first instant)."""
+    records: list[dict[Variable, object]] = []
+    current: dict[Variable, object] = {}
+    for index in range(segment.start, segment.end + 1):
+        position = positions[index]
+        store = position.state.store
+        if index == segment.start:
+            current = {}
+            for v in task.variables:
+                node = store.binding_of(v)
+                if node is not None:
+                    current[v] = node
+        else:
+            service = position.service
+            if service.is_closing and service.task != task.name:
+                child = task.child(service.task)
+                for parent_var in child.closing.output_map:
+                    node = store.binding_of(parent_var)
+                    if node is not None:
+                        current[parent_var] = node
+            for v in task.variables:
+                if v not in current:
+                    node = store.binding_of(v)
+                    if node is not None:
+                        current[v] = node
+                        for earlier in records:
+                            earlier.setdefault(v, node)
+        records.append(dict(current))
+    return records
+
+
+def _refined_store_candidates(
+    segment: _Segment, positions: list[_Position], task, vass
+):
+    """The segment's final store, refined so the *next* internal service's
+    pre-condition (and TS-type snapshot, when it inserts) definitely holds
+    — one candidate per consistent refinement branch."""
+    store = positions[segment.end].state.store
+    tag = segment.next_tag
+    if tag is None or not tag.service.is_internal:
+        yield store.copy()
+        return
+    service = task.service(tag.service.name)
+    produced = 0
+    for branch in itertools.islice(
+        apply_condition(store, service.pre), _MAX_ATTEMPTS
+    ):
+        refined = branch
+        if tag.inserted is not None:
+            refined = impose_ts_type(branch, tag.inserted, vass.slots, fresh_slots=())
+            if refined is None:
+                continue
+        produced += 1
+        yield refined
+    if not produced:
+        raise _Fail(
+            f"pre-condition of {tag.service!r} admits no consistent refinement"
+        )
+
+
+def _valuation_at(
+    record: Mapping[Variable, object], sample: StoreSample, task
+) -> dict[Variable, object]:
+    valuation = {}
+    for variable in task.variables:
+        node = record.get(variable)
+        if node is None:
+            valuation[variable] = _default(variable)
+        else:
+            valuation[variable] = sample.value_of(node)
+    return valuation
+
+
+# ----------------------------------------------------------------------
+# the materializer
+# ----------------------------------------------------------------------
+class Materializer:
+    def __init__(self, has: HAS, trace: SymbolicTrace):
+        self.has = has
+        self.trace = trace
+        self.vass = trace.vass
+        self.task = trace.vass.task
+        self.db = DatabaseBuilder(has.database)
+        self.notes: list[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> tuple[DatabaseBuilder, list[ConcreteStep], int | None]:
+        positions = _derive_positions(self.trace)
+        n_path = len(self.trace.path)
+        loop_start = n_path + 1 if self.trace.cycle else None
+        segments = _split_segments(positions, loop_start)
+        for segment in segments:
+            segment.records = _effective_nodes(positions, segment, self.task)
+
+        anchor_index = self._anchor_index(segments, n_path if self.trace.cycle else None)
+        anchor = segments[anchor_index]
+        self._sample_segment(anchor, positions, pins={})
+        assert anchor.sample is not None
+        anchor_record = anchor.records[-1]
+        input_values = {
+            v: anchor.sample.value_of(anchor_record[v])
+            for v in self.task.input_variables
+            if v in anchor_record
+        }
+        seam_values = None
+        if self.trace.cycle:
+            seam_record = anchor.records[n_path - anchor.start]
+            seam_values = _valuation_at(seam_record, anchor.sample, self.task)
+
+        # walk segments in order, sampling and extracting valuations
+        valuations: list[dict[Variable, object]] = [
+            {} for _ in positions
+        ]
+        set_contents: list[frozenset[SetTuple]] = [frozenset() for _ in positions]
+        current_set: frozenset[SetTuple] = frozenset()
+        for seg_index, segment in enumerate(segments):
+            pins: dict = {}
+            if segment is not anchor:
+                for v, value in input_values.items():
+                    node = segment.records[-1].get(v)
+                    if node is not None:
+                        pins[node] = value
+                if (
+                    seam_values is not None
+                    and seg_index == len(segments) - 1
+                ):
+                    self._add_seam_pins(segment, seam_values, pins)
+            current_set = self._sample_with_sets(
+                segment,
+                positions,
+                valuations,
+                pins,
+                current_set,
+                is_anchor=segment is anchor,
+            )
+            # extract valuations and set contents for the segment
+            assert segment.sample is not None
+            for index in range(segment.start, segment.end + 1):
+                record = segment.records[index - segment.start]
+                valuations[index] = _valuation_at(record, segment.sample, self.task)
+            current_set = self._update_sets(
+                segment, positions, valuations, set_contents, current_set
+            )
+
+        steps = []
+        for position in positions:
+            child_beta = None
+            assumed = False
+            service = position.service
+            if service.is_opening and service.task != self.task.name:
+                status = position.state.status_of(service.task)
+                if status != ("init",) and status[0] == "active":
+                    child_beta = dict(status[1])
+                    assumed = status[2] == BOT
+            steps.append(
+                ConcreteStep(
+                    index=position.index,
+                    service=service,
+                    valuation=valuations[position.index],
+                    set_contents=set_contents[position.index],
+                    child_beta=child_beta,
+                    assumed_nonreturning=assumed,
+                )
+            )
+        return self.db, steps, loop_start
+
+    # ------------------------------------------------------------------
+    def _anchor_index(self, segments: list[_Segment], seam: int | None) -> int:
+        """The segment holding the maximal store: the cycle-entry position
+        for lassos (every fact of the loop flows back into it), the final
+        position for blocking witnesses."""
+        target = seam if seam is not None else segments[-1].end
+        for index, segment in enumerate(segments):
+            if segment.start <= target <= segment.end:
+                return index
+        raise _Fail("anchor position outside every segment")
+
+    def _add_seam_pins(
+        self, segment: _Segment, seam_values: Mapping[Variable, object], pins: dict
+    ) -> None:
+        record = segment.records[-1]
+        for variable, value in seam_values.items():
+            node = record.get(variable)
+            if node is not None:
+                pins[node] = value
+            elif value != _default(variable):
+                raise _Fail(
+                    f"lasso seam variable {variable.name!r} has no value node "
+                    f"to pin (cycle-entry value {value!r})"
+                )
+
+    # ------------------------------------------------------------------
+    def _sample_segment(
+        self, segment: _Segment, positions: list[_Position], pins: dict
+    ) -> None:
+        """Sample the segment's refined final store, trying refinement
+        branches transactionally against the shared database builder."""
+        failures: list[str] = []
+        for candidate in _refined_store_candidates(
+            segment, positions, self.task, self.vass
+        ):
+            snapshot = self.db.snapshot()
+            try:
+                segment.sample = sample_store(candidate, self.db, pins)
+                segment.store = candidate
+                return
+            except SamplingError as exc:
+                failures.append(str(exc))
+                self.db.restore(snapshot)
+        raise _Fail(
+            f"segment [{segment.start}..{segment.end}] admits no concrete "
+            f"realization: {failures[-1] if failures else 'no candidates'}"
+        )
+
+    def _sample_with_sets(
+        self,
+        segment: _Segment,
+        positions: list[_Position],
+        valuations: list[dict[Variable, object]],
+        pins: dict,
+        current_set: frozenset[SetTuple],
+        is_anchor: bool,
+    ) -> frozenset[SetTuple]:
+        """Sample the segment; when its leading internal service retrieves
+        from the artifact relation, pin ``s̄`` to each stored tuple in turn
+        until one realization works."""
+        if is_anchor and segment.sample is not None:
+            return current_set
+        lead = positions[segment.start]
+        retrieves = False
+        if lead.tag is not None and lead.service.is_internal:
+            service = self.task.service(lead.service.name)
+            retrieves = service.update.retrieves and self.task.has_set
+        if not retrieves:
+            self._sample_segment(segment, positions, pins)
+            return current_set
+        # candidate pool: current contents plus (for BOTH) the tuple being
+        # inserted, which is the previous position's s̄ value
+        pool = set(current_set)
+        service = self.task.service(lead.service.name)
+        if service.update.inserts:
+            previous = valuations[segment.start - 1]
+            pool.add(tuple(previous[v] for v in self.task.set_variables))
+        errors: list[str] = []
+        record = segment.records[0]
+        for candidate_tuple in sorted(pool, key=repr):
+            attempt = dict(pins)
+            ok = True
+            for variable, value in zip(self.task.set_variables, candidate_tuple):
+                node = record.get(variable)
+                if node is None:
+                    ok = value == _default(variable)
+                    if not ok:
+                        break
+                else:
+                    attempt[node] = value
+            if not ok:
+                continue
+            try:
+                self._sample_segment(segment, positions, attempt)
+                return current_set
+            except _Fail as exc:
+                errors.append(exc.reason)
+        raise _Fail(
+            "retrieval cannot be matched to any stored tuple"
+            + (f" ({errors[-1]})" if errors else "")
+        )
+
+    def _update_sets(
+        self,
+        segment: _Segment,
+        positions: list[_Position],
+        valuations: list[dict[Variable, object]],
+        set_contents: list[frozenset[SetTuple]],
+        current_set: frozenset[SetTuple],
+    ) -> frozenset[SetTuple]:
+        for index in range(segment.start, segment.end + 1):
+            position = positions[index]
+            if (
+                index > 0
+                and position.service.is_internal
+                and self.task.has_set
+            ):
+                service = self.task.service(position.service.name)
+                inserted = tuple(
+                    valuations[index - 1][v] for v in self.task.set_variables
+                )
+                retrieved = tuple(
+                    valuations[index][v] for v in self.task.set_variables
+                )
+                updated = apply_set_update(
+                    service.update, current_set, inserted, retrieved
+                )
+                if updated is None:
+                    raise _Fail(
+                        f"step {index}: retrieved tuple {retrieved!r} was never "
+                        f"stored (ω-accelerated counter, or a retrieval leading "
+                        f"the anchor segment, which is sampled unpinned)"
+                    )
+                current_set = updated
+            set_contents[index] = current_set
+        return current_set
+
+
+def materialize(
+    has: HAS, result: VerificationResult
+) -> tuple[DatabaseBuilder, list[ConcreteStep], int | None, list[str]] | NonConcretizable:
+    """Concretize a VIOLATED result's symbolic trace.
+
+    Returns ``(db_builder, steps, loop_start, notes)`` on success, or a
+    :class:`NonConcretizable` explaining what stood in the way.
+    """
+    trace = result.symbolic_trace
+    kind = result.witness_kind
+    if result.holds:
+        raise ValueError("cannot materialize a witness for a held property")
+    if trace is None:
+        return NonConcretizable(
+            "no symbolic trace attached (result crossed a process or "
+            "serialization boundary)",
+            property_name=result.property_name,
+            kind=kind,
+        )
+    materializer = Materializer(has, trace)
+    try:
+        db, steps, loop_start = materializer.run()
+    except _Fail as exc:
+        return NonConcretizable(
+            exc.reason, property_name=result.property_name, kind=kind
+        )
+    except SamplingError as exc:
+        return NonConcretizable(
+            str(exc), property_name=result.property_name, kind=kind
+        )
+    return db, steps, loop_start, materializer.notes

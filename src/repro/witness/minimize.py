@@ -1,0 +1,318 @@
+"""Trace minimization: delta-debugging a confirmed concrete witness.
+
+Three reduction passes, each validated by the full replay pipeline
+(concrete transition legality **and** reference LTL violation), so every
+accepted edit preserves the counterexample property:
+
+* **step dropping** — remove contiguous chunks of steps (largest first,
+  then smaller), which subsumes stutter-merging since internal services
+  re-derive their successor state from scratch;
+* **value shrinking** — rewrite sampled numeric values toward zero
+  (0, then ±1), applied consistently across valuations, the database,
+  and artifact-relation tuples;
+* **row pruning** — drop database rows the run never touches.
+
+Minimization only ever removes or simplifies, so the result is never
+longer than the raw symbolic path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import time
+
+from repro.database.instance import DatabaseInstance, Identifier
+from repro.errors import InstanceError
+from repro.has.system import HAS
+from repro.hltl.formulas import HLTLProperty
+from repro.witness.materialize import apply_set_update
+from repro.witness.replay import revalidate
+from repro.witness.trace import ConcreteStep, ConcreteWitness
+
+#: Upper bound on accepted shrink edits (defensive, not usually reached).
+_MAX_EDITS = 200
+
+
+def _expired(deadline: float | None) -> bool:
+    return deadline is not None and time.monotonic() > deadline
+
+
+def _recompute_sets(task, steps: list[ConcreteStep]) -> list | None:
+    """Artifact-relation contents implied by the (edited) step list, or
+    None when a retrieval no longer has its tuple."""
+    current: frozenset = frozenset()
+    out = []
+    for i, step in enumerate(steps):
+        if i > 0 and step.service.is_internal and task.has_set:
+            service = task.service(step.service.name)
+            inserted = tuple(steps[i - 1].valuation[v] for v in task.set_variables)
+            retrieved = tuple(step.valuation[v] for v in task.set_variables)
+            updated = apply_set_update(service.update, current, inserted, retrieved)
+            if updated is None:
+                return None
+            current = updated
+        out.append(current)
+    return out
+
+
+def _renumbered(task, steps: list[ConcreteStep], db, kind, prop_name, loop_start, raw):
+    sets = _recompute_sets(task, steps)
+    if sets is None:
+        return None
+    rebuilt = [
+        ConcreteStep(
+            index=i,
+            service=s.service,
+            valuation=dict(s.valuation),
+            set_contents=sets[i],
+            child_beta=s.child_beta,
+            assumed_nonreturning=s.assumed_nonreturning,
+        )
+        for i, s in enumerate(steps)
+    ]
+    return ConcreteWitness(
+        kind=kind,
+        property_name=prop_name,
+        database=db,
+        steps=rebuilt,
+        loop_start=loop_start,
+        raw_length=raw,
+    )
+
+
+def _drop_chunks(
+    has: HAS,
+    prop: HLTLProperty,
+    witness: ConcreteWitness,
+    deadline: float | None = None,
+) -> ConcreteWitness:
+    task = has.root
+    current = witness
+    size = max(1, len(current.steps) // 2)
+    while size >= 1 and not _expired(deadline):
+        shrunk = False
+        start = 1  # the opening instant is structural
+        while start + size <= len(current.steps) and not _expired(deadline):
+            loop_start = current.loop_start
+            if loop_start is not None:
+                in_prefix = start + size <= loop_start
+                in_loop = start >= loop_start and size < len(current.steps) - loop_start
+                if not (in_prefix or in_loop):
+                    start += 1
+                    continue
+                new_loop = loop_start - (size if in_prefix else 0)
+            else:
+                new_loop = None
+            steps = current.steps[:start] + current.steps[start + size:]
+            candidate = _renumbered(
+                task, steps, current.database, current.kind,
+                current.property_name, new_loop, current.raw_length,
+            )
+            if candidate is not None and revalidate(has, prop, candidate):
+                current = candidate
+                shrunk = True
+                # same start index now names the next chunk
+            else:
+                start += 1
+        if not shrunk:
+            size //= 2
+        elif size > len(current.steps):
+            size = max(1, len(current.steps) // 2)
+    return current
+
+
+def _rebuild_database(db: DatabaseInstance, substitute, keep=None) -> DatabaseInstance | None:
+    out = DatabaseInstance(db.schema)
+    try:
+        for relation in db.schema:
+            for row in db.rows(relation.name):
+                ident = row[0]
+                if keep is not None and ident not in keep:
+                    continue
+                values = [substitute(v) for v in row[1:]]
+                out.add(relation.name, ident, *values)
+        out.validate()
+    except InstanceError:
+        return None
+    return out
+
+
+def _substituted(witness: ConcreteWitness, old: Fraction, new: Fraction):
+    def sub(value):
+        if not isinstance(value, Identifier) and value is not None:
+            if Fraction(value) == old:
+                return new
+        return value
+
+    db = _rebuild_database(witness.database, sub)
+    if db is None:
+        return None
+    steps = [
+        ConcreteStep(
+            index=s.index,
+            service=s.service,
+            valuation={v: sub(val) for v, val in s.valuation.items()},
+            set_contents=frozenset(
+                tuple(sub(v) for v in tup) for tup in s.set_contents
+            ),
+            child_beta=s.child_beta,
+            assumed_nonreturning=s.assumed_nonreturning,
+        )
+        for s in witness.steps
+    ]
+    return ConcreteWitness(
+        kind=witness.kind,
+        property_name=witness.property_name,
+        database=db,
+        steps=steps,
+        loop_start=witness.loop_start,
+        raw_length=witness.raw_length,
+    )
+
+
+def _numeric_values(witness: ConcreteWitness) -> set[Fraction]:
+    values: set[Fraction] = set()
+    for step in witness.steps:
+        for value in step.valuation.values():
+            if value is not None and not isinstance(value, Identifier):
+                values.add(Fraction(value))
+    for relation in witness.database.schema:
+        for row in witness.database.rows(relation.name):
+            for value in row[1:]:
+                if value is not None and not isinstance(value, Identifier):
+                    values.add(Fraction(value))
+    return values
+
+
+def _shrink_one(
+    has: HAS,
+    prop: HLTLProperty,
+    witness: ConcreteWitness,
+    value: Fraction,
+    deadline: float | None = None,
+) -> ConcreteWitness | None:
+    """The witness with ``value`` rewritten as close to zero as replay
+    allows: 0 and ±1 first, then the truncation toward zero, then an
+    integer bisection for the smallest surviving magnitude."""
+
+    def attempt(target: Fraction) -> ConcreteWitness | None:
+        if target == value:
+            return None
+        candidate = _substituted(witness, value, target)
+        if candidate is not None and revalidate(has, prop, candidate):
+            return candidate
+        return None
+
+    sign = 1 if value > 0 else -1
+    for target in (Fraction(0), Fraction(sign)):
+        shrunk = attempt(target)
+        if shrunk is not None:
+            return shrunk
+    truncated = Fraction(int(value))  # toward zero
+    best: tuple[Fraction, ConcreteWitness] | None = None
+    if truncated != value and abs(truncated) >= 1:
+        shrunk = attempt(truncated)
+        if shrunk is not None:
+            best = (truncated, shrunk)
+    # smallest passing integer magnitude in [2, hi)
+    hi = int(abs(best[0] if best else value))
+    lo = 2
+    probes = 0
+    while lo < hi and probes < 24 and not _expired(deadline):
+        probes += 1
+        mid = (lo + hi) // 2
+        shrunk = attempt(Fraction(sign * mid))
+        if shrunk is not None:
+            best = (Fraction(sign * mid), shrunk)
+            hi = mid
+        else:
+            lo = mid + 1
+    return best[1] if best else None
+
+
+def _shrink_values(
+    has: HAS,
+    prop: HLTLProperty,
+    witness: ConcreteWitness,
+    deadline: float | None = None,
+) -> ConcreteWitness:
+    current = witness
+    edits = 0
+    progress = True
+    while progress and edits < _MAX_EDITS and not _expired(deadline):
+        progress = False
+        for value in sorted(_numeric_values(current), key=lambda v: (-abs(v), v)):
+            if value == 0 or abs(value) == 1:
+                continue
+            shrunk = _shrink_one(has, prop, current, value, deadline)
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+                edits += 1
+                break
+    return current
+
+
+def _prune_rows(
+    has: HAS,
+    prop: HLTLProperty,
+    witness: ConcreteWitness,
+    deadline: float | None = None,
+) -> ConcreteWitness:
+    current = witness
+    identity = lambda v: v  # noqa: E731
+    for relation in current.database.schema:
+        for row in sorted(current.database.rows(relation.name), key=repr):
+            if _expired(deadline):
+                return current
+            ident = row[0]
+            referenced = any(
+                value == ident
+                for step in current.steps
+                for value in step.valuation.values()
+            ) or any(
+                value == ident
+                for step in current.steps
+                for tup in step.set_contents
+                for value in tup
+            )
+            if referenced:
+                continue
+            keep = {
+                r[0]
+                for rel in current.database.schema
+                for r in current.database.rows(rel.name)
+            } - {ident}
+            db = _rebuild_database(current.database, identity, keep)
+            if db is None:
+                continue
+            candidate = ConcreteWitness(
+                kind=current.kind,
+                property_name=current.property_name,
+                database=db,
+                steps=current.steps,
+                loop_start=current.loop_start,
+                raw_length=current.raw_length,
+            )
+            if revalidate(has, prop, candidate):
+                current = candidate
+    return current
+
+
+def minimize(
+    has: HAS,
+    prop: HLTLProperty,
+    witness: ConcreteWitness,
+    deadline: float | None = None,
+) -> ConcreteWitness:
+    """Shrink a confirmed witness while replay still confirms it.
+
+    ``deadline`` (a ``time.monotonic()`` instant) bounds the work: each
+    pass stops accepting candidates once it passes, returning the best
+    witness found so far — which is always still validated."""
+    current = _drop_chunks(has, prop, witness, deadline)
+    current = _shrink_values(has, prop, current, deadline)
+    current = _prune_rows(has, prop, current, deadline)
+    revalidate(has, prop, current)
+    return current

@@ -1,0 +1,178 @@
+"""Replay validation: confirm a concrete witness independently.
+
+Two checks, both deliberately *outside* the symbolic machinery that
+produced the witness:
+
+1. **Concrete semantics** — the materialized run is driven through
+   :func:`repro.runtime.simulator.replay_root_run`, which validates every
+   transition against the Definition 8/9 checkers (pre/post conditions
+   evaluated on the concrete database, input preservation, artifact-
+   relation bookkeeping, segment discipline).  For lassos the loop seam
+   is additionally checked for exact state periodicity.
+
+2. **Reference LTL semantics** — the run's word (one letter per instant,
+   propositions evaluated concretely) must satisfy the *negated* property
+   under the textbook evaluators: :func:`holds_finite` for blocking
+   witnesses, :func:`holds_infinite_lasso` for lassos.
+
+Child-task propositions ``[ψ]_Tc`` are the one assumption a root-level
+replay cannot discharge: their letter values come from the β guessed
+against the memoized child summary, and are reported as such.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RunError
+from repro.has.system import HAS
+from repro.hltl.formulas import (
+    ChildProp,
+    CondProp,
+    HLTLProperty,
+    ServiceProp,
+)
+from repro.ltl.formulas import (
+    Letter,
+    NotF,
+    holds_finite,
+    holds_infinite_lasso,
+    propositions,
+)
+from repro.runtime.simulator import replay_root_run
+from repro.runtime.state import TaskState
+from repro.witness.trace import ConcreteStep, ConcreteWitness
+
+
+def build_word(
+    prop: HLTLProperty, steps: list[ConcreteStep], db
+) -> list[Letter]:
+    """One letter per step: conditions evaluated on the concrete state and
+    database, service observations from the step's service, child
+    propositions from the guessed β recorded at the opening."""
+    payloads = propositions(prop.root.formula)
+    word: list[Letter] = []
+    for step in steps:
+        letter: dict = {}
+        for payload in payloads:
+            if isinstance(payload, ServiceProp):
+                letter[payload] = payload.ref == step.service
+            elif isinstance(payload, CondProp):
+                letter[payload] = payload.condition.evaluate(db, step.valuation)
+            elif isinstance(payload, ChildProp):
+                value = False
+                if (
+                    step.service.is_opening
+                    and step.service.task == payload.task
+                    and step.child_beta is not None
+                ):
+                    value = bool(step.child_beta.get(payload.spec, False))
+                letter[payload] = value
+            else:
+                raise RunError(f"unsupported proposition payload {payload!r}")
+        word.append(letter)
+    return word
+
+
+def validate(
+    has: HAS,
+    prop: HLTLProperty,
+    kind: str,
+    db,
+    steps: list[ConcreteStep],
+    loop_start: int | None,
+) -> tuple[dict[str, bool], list[str]]:
+    """Run both independent checks; returns (checks, failure notes)."""
+    checks: dict[str, bool] = {}
+    notes: list[str] = []
+
+    # 1. concrete run legality (Definitions 8/9 via the simulator replay)
+    plan = [
+        (step.service, TaskState(dict(step.valuation), step.set_contents))
+        for step in steps
+    ]
+    try:
+        replay_root_run(has, db, plan)
+        checks["simulator_replay"] = True
+    except RunError as exc:
+        checks["simulator_replay"] = False
+        notes.append(f"replay rejected the run: {exc}")
+
+    if kind == "blocking":
+        # the run is maximal only because of a pending child that never
+        # returns: the final instant must have open children, all of them
+        # opened under the never-returning (⊥) summary outcome — this
+        # mirrors the engine's blocking acceptance and stops minimization
+        # from stripping the blocking structure
+        open_children: dict[str, ConcreteStep] = {}
+        root_name = has.root.name
+        for step in steps:
+            if step.service.is_opening and step.service.task != root_name:
+                open_children[step.service.task] = step
+            elif step.service.is_closing and step.service.task != root_name:
+                open_children.pop(step.service.task, None)
+        shaped = bool(open_children) and all(
+            step.assumed_nonreturning for step in open_children.values()
+        )
+        checks["blocking_shape"] = shaped
+        if not shaped:
+            notes.append(
+                "final instant lacks an open never-returning child "
+                "(the finite word would not be maximal)"
+            )
+
+    if kind == "lasso":
+        if loop_start is None or not 0 < loop_start < len(steps):
+            checks["lasso_seam"] = False
+            notes.append("lasso witness without a valid loop_start")
+        else:
+            entry = steps[loop_start - 1]
+            exit_ = steps[-1]
+            periodic = (
+                dict(entry.valuation) == dict(exit_.valuation)
+                and entry.set_contents == exit_.set_contents
+            )
+            checks["lasso_seam"] = periodic
+            if not periodic:
+                notes.append(
+                    "loop exit state differs from loop entry state "
+                    "(the run is not ultimately periodic)"
+                )
+            # state equality alone misses structural bookkeeping (e.g. a
+            # child left open across the seam would be reopened while
+            # active); replaying a second loop unrolling catches it
+            if periodic:
+                unrolled = plan + plan[loop_start:]
+                try:
+                    replay_root_run(has, db, unrolled)
+                    checks["loop_unrolling"] = True
+                except RunError as exc:
+                    checks["loop_unrolling"] = False
+                    notes.append(f"second loop unrolling is illegal: {exc}")
+
+    # 2. reference LTL evaluation of the negated property
+    word = build_word(prop, steps, db)
+    negated = NotF(prop.root.formula)
+    if kind == "lasso" and loop_start is not None and 0 < loop_start < len(steps):
+        prefix, loop = word[:loop_start], word[loop_start:]
+        violates = holds_infinite_lasso(negated, prefix, loop)
+        original = holds_infinite_lasso(prop.root.formula, prefix, loop)
+    else:
+        violates = holds_finite(negated, word)
+        original = holds_finite(prop.root.formula, word)
+    checks["ltl_reference"] = bool(violates) and not original
+    if not violates:
+        notes.append("reference LTL evaluator does not confirm ¬ξ on the run")
+    if any(step.assumed_nonreturning or step.child_beta for step in steps):
+        notes.append(
+            "child-task formulas are discharged against memoized child "
+            "summaries (β guesses), not explicit child runs"
+        )
+    return checks, notes
+
+
+def revalidate(has: HAS, prop: HLTLProperty, witness: ConcreteWitness) -> bool:
+    """Full re-check of an (edited) witness; used by minimization."""
+    checks, _notes = validate(
+        has, prop, witness.kind, witness.database, witness.steps, witness.loop_start
+    )
+    witness.checks = checks
+    return all(checks.values())

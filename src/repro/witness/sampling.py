@@ -1,0 +1,323 @@
+"""Sampling concrete values from symbolic constraint stores.
+
+A consistent :class:`~repro.symbolic.store.ConstraintStore` denotes a
+non-empty set of isomorphism types over infinite domains; this module
+picks one concrete realization:
+
+* every non-null ID class becomes an :class:`Identifier` of its anchoring
+  relation (fresh by default — distinct classes are always allowed to be
+  distinct — or pinned by the caller for values that persist across
+  steps);
+* navigation edges become database rows: ``id.attr = value`` facts
+  accumulate in a :class:`DatabaseBuilder`, which detects conflicts and
+  later fills unconstrained attributes with defaults;
+* the store's linear constraints (plus pins and already-decided row
+  values) go through :func:`repro.arith.fm.sample_solution` for exact
+  rational witnesses.
+
+Everything is deterministic: iteration orders are sorted, identifiers are
+numbered in assignment order, and no randomness is involved — re-running
+a concretization yields byte-identical output (the batch-service parity
+invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.arith.constraints import Constraint, Rel
+from repro.arith.fm import sample_solution
+from repro.arith.linexpr import LinExpr
+from repro.database.instance import DatabaseInstance, Identifier, Value
+from repro.database.schema import AttributeKind, DatabaseSchema
+from repro.symbolic.nodes import ConstNode, NULL, Node, Sort
+from repro.symbolic.store import ConstraintStore
+
+
+class SamplingError(Exception):
+    """A store admitted no concrete realization under the given pins (in a
+    sound pipeline this signals an over-approximation or a pin conflict,
+    not a verifier bug)."""
+
+
+_UNSET = object()
+
+
+class DatabaseBuilder:
+    """Accumulates concrete rows across per-segment samples.
+
+    Attribute values arrive incrementally (each sampled store contributes
+    the navigations it knows about); :meth:`build` fills the remaining
+    attributes with defaults — 0 for numerics, a canonical per-relation
+    default row for foreign keys — and returns a validated instance.
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self.rows: dict[Identifier, dict[str, Value]] = {}
+        self._counter = 0
+        self._defaults: dict[str, Identifier] = {}
+
+    def snapshot(self) -> tuple:
+        """Cheap state capture for transactional sampling attempts."""
+        return (
+            {ident: dict(attrs) for ident, attrs in self.rows.items()},
+            self._counter,
+            dict(self._defaults),
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        rows, counter, defaults = snapshot
+        self.rows = {ident: dict(attrs) for ident, attrs in rows.items()}
+        self._counter = counter
+        self._defaults = defaults
+
+    def new_id(self, relation: str) -> Identifier:
+        self._counter += 1
+        ident = Identifier(relation, f"w{self._counter}")
+        self.rows.setdefault(ident, {})
+        return ident
+
+    def ensure_row(self, ident: Identifier) -> None:
+        self.rows.setdefault(ident, {})
+
+    def get_attr(self, ident: Identifier, attr: str):
+        return self.rows.get(ident, {}).get(attr, _UNSET)
+
+    def set_attr(self, ident: Identifier, attr: str, value: Value) -> bool:
+        """Record ``ident.attr = value``; False on conflict."""
+        row = self.rows.setdefault(ident, {})
+        current = row.get(attr, _UNSET)
+        if current is _UNSET:
+            row[attr] = value
+            return True
+        return current == value
+
+    def _default_target(self, relation: str) -> Identifier:
+        ident = self._defaults.get(relation)
+        if ident is None:
+            ident = self.new_id(relation)
+            # memoize before recursing so FK cycles terminate (the default
+            # row of a self-referencing relation points at itself)
+            self._defaults[relation] = ident
+            self._fill_row(ident)
+        return ident
+
+    def _fill_row(self, ident: Identifier) -> None:
+        row = self.rows.setdefault(ident, {})
+        for attribute in self.schema.relation(ident.relation).attributes:
+            if attribute.name in row:
+                continue
+            if attribute.kind is AttributeKind.NUMERIC:
+                row[attribute.name] = Fraction(0)
+            else:
+                assert attribute.references is not None
+                row[attribute.name] = self._default_target(attribute.references)
+
+    def build(self) -> DatabaseInstance:
+        for ident in sorted(self.rows, key=repr):
+            self._fill_row(ident)
+        db = DatabaseInstance(self.schema)
+        for ident in sorted(self.rows, key=repr):
+            relation = self.schema.relation(ident.relation)
+            values = [self.rows[ident][a.name] for a in relation.attributes]
+            db.add(ident.relation, ident, *values)
+        db.validate()
+        return db
+
+
+@dataclass
+class StoreSample:
+    """One concrete realization of a store: a value per class root."""
+
+    store: ConstraintStore
+    values: dict[Node, Value] = field(default_factory=dict)
+
+    def value_of(self, node: Node) -> Value:
+        root = self.store.find(node)
+        if root in self.values:
+            return self.values[root]
+        if isinstance(root, ConstNode):
+            return root.value
+        raise SamplingError(f"no sampled value for {node!r}")
+
+
+def sample_store(
+    store: ConstraintStore,
+    db: DatabaseBuilder,
+    fixed: Mapping[Node, Value] | None = None,
+) -> StoreSample:
+    """Realize ``store`` concretely, extending ``db`` with the rows its
+    navigations describe.
+
+    ``fixed`` pins class roots to given values (persistent inputs, lasso
+    seams, retrieved tuples).  Raises :class:`SamplingError` when no
+    realization respects the pins and the rows decided so far.
+    """
+    pins: dict[Node, Value] = {}
+    for node, value in (fixed or {}).items():
+        root = store.find(node)
+        current = pins.get(root, _UNSET)
+        if current is not _UNSET and current != value:
+            raise SamplingError(
+                f"conflicting pins for {root!r}: {current!r} vs {value!r}"
+            )
+        pins[root] = value
+
+    roots = store.class_roots()
+    id_roots = [r for r in roots if store.sort_of(r) is Sort.ID]
+    numeric_roots = [r for r in roots if store.sort_of(r) is Sort.NUMERIC]
+
+    # propagate already-decided foreign keys into pins: when a pinned id's
+    # row already fixes ``id.attr`` (an earlier segment decided it), the
+    # store's navigation child must reuse that value, transitively
+    worklist = [r for r in id_roots if isinstance(pins.get(r), Identifier)]
+    while worklist:
+        root = worklist.pop()
+        ident = pins[root]
+        assert isinstance(ident, Identifier)
+        relation = store.schema.relation(ident.relation)
+        for attr, child in store.navigation_children(root):
+            attribute = relation.attribute(attr)
+            if attribute.kind is AttributeKind.NUMERIC:
+                continue
+            known = db.get_attr(ident, attr)
+            if known is _UNSET:
+                continue
+            child_root = store.find(child)
+            current = pins.get(child_root, _UNSET)
+            if current is _UNSET:
+                pins[child_root] = known
+                worklist.append(child_root)
+            elif current != known:
+                raise SamplingError(
+                    f"{ident!r}.{attr} already {known!r}, pinned to {current!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # 1. identifiers for ID classes
+    # ------------------------------------------------------------------
+    ids: dict[Node, Value] = {}
+    null_root = store.find(NULL)
+
+    def assign_id(root: Node) -> Value:
+        if root in ids:
+            return ids[root]
+        pinned = pins.get(root, _UNSET)
+        status = store.null_status(root)
+        if pinned is not _UNSET:
+            if pinned is None and status is False:
+                raise SamplingError(f"{root!r} pinned null but known non-null")
+            if isinstance(pinned, Identifier):
+                if status is True:
+                    raise SamplingError(f"{root!r} pinned to an id but known null")
+                anchor = store.anchor_of(root)
+                if anchor is not None and anchor != pinned.relation:
+                    raise SamplingError(
+                        f"{root!r} anchored to {anchor!r}, pinned to {pinned!r}"
+                    )
+                if pinned.relation in store.excluded_anchors(root):
+                    raise SamplingError(f"{root!r} excludes relation {pinned.relation!r}")
+                db.ensure_row(pinned)
+            ids[root] = pinned
+            return pinned
+        if status is True or root is null_root:
+            ids[root] = None
+            return None
+        allowed = store.allowed_anchors(root)
+        if not allowed:
+            if status is False:
+                raise SamplingError(f"{root!r} is non-null but excluded everywhere")
+            ids[root] = None
+            return None
+        # fresh identifiers keep distinct classes distinct, which realizes
+        # every undecided equality/disequality consistently
+        ident = db.new_id(allowed[0])
+        ids[root] = ident
+        return ident
+
+    for root in id_roots:
+        assign_id(root)
+
+    # distinctness double-check against explicit disequalities (pins may
+    # have identified classes the store keeps apart)
+    for pair in store.disequalities():
+        members = list(pair)
+        if len(members) == 2 and all(m in ids for m in members):
+            if ids[members[0]] == ids[members[1]]:
+                raise SamplingError(
+                    f"pinned values identify classes required distinct: {members!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # 2. navigation edges: ID-valued attributes, and numeric row pins
+    # ------------------------------------------------------------------
+    numeric_pins: list[tuple[Node, Fraction]] = []
+    numeric_row_slots: list[tuple[Identifier, str, Node]] = []
+    for root in id_roots:
+        ident = ids.get(root)
+        if not isinstance(ident, Identifier):
+            continue
+        relation = store.schema.relation(ident.relation)
+        for attr, child in store.navigation_children(root):
+            child_root = store.find(child)
+            attribute = relation.attribute(attr)
+            if attribute.kind is AttributeKind.NUMERIC:
+                known = db.get_attr(ident, attr)
+                if known is not _UNSET:
+                    numeric_pins.append((child_root, Fraction(known)))
+                else:
+                    numeric_row_slots.append((ident, attr, child_root))
+            else:
+                known = db.get_attr(ident, attr)
+                value = ids.get(child_root, _UNSET)
+                if known is not _UNSET:
+                    if value is _UNSET:
+                        ids[child_root] = known
+                    elif value != known:
+                        raise SamplingError(
+                            f"{ident!r}.{attr} already {known!r}, store needs {value!r}"
+                        )
+                else:
+                    if value is _UNSET or value is None:
+                        raise SamplingError(
+                            f"{ident!r}.{attr}: foreign key target unresolved"
+                        )
+                    if not db.set_attr(ident, attr, value):
+                        raise SamplingError(f"{ident!r}.{attr}: row conflict")
+
+    # ------------------------------------------------------------------
+    # 3. numeric classes via Fourier–Motzkin
+    # ------------------------------------------------------------------
+    constraints = list(store.numeric_constraints())
+    for root, value in numeric_pins:
+        constraints.append(Constraint(LinExpr({root: 1}, -value), Rel.EQ))
+    for root in numeric_roots:
+        pinned = pins.get(root, _UNSET)
+        if pinned is not _UNSET:
+            constraints.append(
+                Constraint(LinExpr({root: 1}, -Fraction(pinned)), Rel.EQ)
+            )
+    solution = sample_solution(constraints)
+    if solution is None:
+        raise SamplingError(
+            "numeric constraints unsatisfiable under pins and decided rows"
+        )
+    values: dict[Node, Value] = dict(ids)
+    for root in numeric_roots:
+        if isinstance(root, ConstNode):
+            values[root] = root.value
+        elif root in solution:
+            values[root] = solution[root]
+        else:
+            pinned = pins.get(root, _UNSET)
+            values[root] = Fraction(pinned) if pinned is not _UNSET else Fraction(0)
+
+    # write the freshly decided numeric row values back
+    for ident, attr, child_root in numeric_row_slots:
+        if not db.set_attr(ident, attr, values[child_root]):
+            raise SamplingError(f"{ident!r}.{attr}: numeric row conflict")
+
+    return StoreSample(store=store, values=values)

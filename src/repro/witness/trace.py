@@ -1,0 +1,208 @@
+"""Concrete counterexample traces: the data model of ``repro.witness``.
+
+A :class:`ConcreteWitness` is a violation the user can hold in their
+hands: a finite database instance, a step-by-step run of the root task
+with full variable bindings and artifact-relation contents, the index
+where a lasso starts repeating, and the record of which independent
+checks confirmed it.  A :class:`NonConcretizable` records *why* a
+symbolic witness could not be turned into one (the honest answer when
+over-approximation, ω-acceleration, or unimplemented corners get in the
+way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.database.instance import DatabaseInstance, Identifier, Value
+from repro.hltl.formulas import HLTLSpec
+from repro.logic.terms import Variable
+from repro.runtime.labels import ServiceRef
+from repro.runtime.state import SetTuple
+
+
+def render_value(value: Value) -> Any:
+    """JSON-friendly rendering: ids as ``"REL#label"``, rationals as exact
+    strings, null as ``None``."""
+    if value is None:
+        return None
+    if isinstance(value, Identifier):
+        return f"{value.relation}#{value.label}"
+    fraction = Fraction(value)
+    return str(fraction)
+
+
+@dataclass
+class ConcreteStep:
+    """One instant of the concrete root run."""
+
+    index: int
+    service: ServiceRef
+    valuation: dict[Variable, Value]
+    set_contents: frozenset[SetTuple] = frozenset()
+    child_beta: Mapping[HLTLSpec, bool] | None = None
+    """At child-opening steps: the guessed truth assignment β over the
+    child's Φ_T formulas (the part of the witness that rests on the
+    memoized child summary rather than an explicit child run)."""
+    assumed_nonreturning: bool = False
+    """True when this step opens a child whose summary was taken in its
+    never-returning (⊥) outcome."""
+
+    def bindings_rendered(self) -> dict[str, Any]:
+        return {
+            variable.name: render_value(value)
+            for variable, value in sorted(
+                self.valuation.items(), key=lambda kv: kv[0].name
+            )
+        }
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {
+            "index": self.index,
+            "service": repr(self.service),
+            "bindings": self.bindings_rendered(),
+        }
+        if self.set_contents:
+            data["set_contents"] = sorted(
+                [render_value(v) for v in tup] for tup in self.set_contents
+            )
+        if self.child_beta:
+            data["child_beta"] = {
+                repr(spec): value
+                for spec, value in sorted(
+                    self.child_beta.items(), key=lambda kv: repr(kv[0])
+                )
+            }
+        if self.assumed_nonreturning:
+            data["assumed_nonreturning"] = True
+        return data
+
+
+def database_to_dict(db: DatabaseInstance) -> dict:
+    """The instance as plain JSON: relation → list of attribute dicts."""
+    out: dict[str, list] = {}
+    for relation in db.schema:
+        names = relation.attribute_names  # ID first, then declared attrs
+        rows = []
+        for row in sorted(db.rows(relation.name), key=repr):
+            rows.append(
+                {name: render_value(value) for name, value in zip(names, row)}
+            )
+        out[relation.name] = rows
+    return out
+
+
+@dataclass
+class ConcreteWitness:
+    """A materialized, independently validated counterexample run."""
+
+    kind: str  # "lasso" | "blocking"
+    property_name: str
+    database: DatabaseInstance
+    steps: list[ConcreteStep]
+    loop_start: int | None = None
+    """Index into ``steps`` of the first position of the repeated segment
+    (None for blocking witnesses)."""
+    checks: dict[str, bool] = field(default_factory=dict)
+    raw_length: int = 0
+    """Length of the materialized run before minimization (one entry per
+    instant, the opening included)."""
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def confirmed(self) -> bool:
+        return bool(self.checks) and all(self.checks.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "status": "confirmed" if self.confirmed else "unconfirmed",
+            "kind": self.kind,
+            "property": self.property_name,
+            "database": database_to_dict(self.database),
+            "steps": [step.to_dict() for step in self.steps],
+            "loop_start": self.loop_start,
+            "checks": dict(sorted(self.checks.items())),
+            "raw_length": self.raw_length,
+            "minimized_length": len(self.steps),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Human-readable trace for the ``repro explain`` CLI."""
+        lines = [
+            f"property {self.property_name!r} VIOLATED — concrete "
+            f"{self.kind} counterexample "
+            f"({'confirmed' if self.confirmed else 'UNCONFIRMED'}; "
+            f"{len(self.steps)} steps, raw materialized run {self.raw_length})"
+        ]
+        lines.append("database:")
+        for relation, rows in database_to_dict(self.database).items():
+            if not rows:
+                continue
+            for row in rows:
+                rendered = ", ".join(f"{k}={v}" for k, v in row.items())
+                lines.append(f"    {relation}({rendered})")
+        lines.append("run:")
+        previous: dict[Variable, Value] = {}
+        for step in self.steps:
+            marker = (
+                "↻ " if self.loop_start is not None and step.index == self.loop_start
+                else "  "
+            )
+            changed = {
+                variable: value
+                for variable, value in step.valuation.items()
+                if previous.get(variable, "∄") != value
+            }
+            rendered = ", ".join(
+                f"{v.name}={'null' if val is None else render_value(val)}"
+                for v, val in sorted(changed.items(), key=lambda kv: kv[0].name)
+            )
+            suffix = f"  {{{rendered}}}" if rendered else ""
+            extra = " (child assumed never to return)" if step.assumed_nonreturning else ""
+            lines.append(f"  {marker}{step.index:3d}. {step.service!r}{suffix}{extra}")
+            if step.set_contents:
+                tuples = sorted(
+                    "(" + ", ".join(str(render_value(v)) for v in tup) + ")"
+                    for tup in step.set_contents
+                )
+                lines.append(f"        S = {{{', '.join(tuples)}}}")
+            previous = step.valuation
+        if self.loop_start is not None:
+            lines.append(
+                f"  (steps {self.loop_start}…{len(self.steps) - 1} repeat forever)"
+            )
+        for check, ok in sorted(self.checks.items()):
+            lines.append(f"  check {check}: {'ok' if ok else 'FAILED'}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NonConcretizable:
+    """The structured record of a failed concretization attempt."""
+
+    reason: str
+    property_name: str = ""
+    kind: str = ""
+
+    @property
+    def confirmed(self) -> bool:
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "status": "non_concretizable",
+            "kind": self.kind,
+            "property": self.property_name,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        return (
+            f"property {self.property_name!r} VIOLATED — symbolic "
+            f"{self.kind or 'run'} witness could not be concretized: {self.reason}"
+        )

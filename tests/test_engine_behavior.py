@@ -67,7 +67,12 @@ class TestWitnesses:
         result = verify(has, prop)
         assert not result.holds
         names = {step.service for step in result.witness if step.task == "T1"}
-        assert names <= {f"T1.to{v}" for v in range(3)} | {"(cycle)"}
+        # every step — the lasso cycle included — is a real service; the
+        # old "(cycle)" sentinel is gone in favour of result.loop_start
+        assert names <= {f"T1.to{v}" for v in range(3)}
+        if result.witness_kind == "lasso":
+            assert result.loop_start is not None
+            assert 0 <= result.loop_start < len(result.witness)
 
     def test_explain_formats(self):
         has, x = counter_system()

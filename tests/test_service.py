@@ -265,8 +265,15 @@ class TestCLI:
 
     def test_verify_violated_exit_code(self, capsys):
         code = cli_main(["verify", "travel-lite", "--time-limit", "60"])
-        assert code == 2
+        assert code == 1
         assert "VIOLATED" in capsys.readouterr().out
+
+    def test_verify_json_output(self, capsys):
+        code = cli_main(["verify", "travel-lite", "--time-limit", "60", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "violated"
+        assert payload["witness_json"]["status"] in ("confirmed", "non_concretizable")
 
     def test_verify_job_file_roundtrip(self, tmp_path, capsys):
         dump = tmp_path / "job.json"

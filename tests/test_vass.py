@@ -4,8 +4,13 @@ import pytest
 
 from repro.errors import BudgetExceeded
 from repro.vass import VASS, build_km_graph, reachable, repeated_reachable
-from repro.vass.karp_miller import OMEGA, dominates, witness_path
-from repro.vass.repeated import accepting_cycle
+from repro.vass.karp_miller import (
+    OMEGA,
+    dominates,
+    rooted_witness_path,
+    witness_path,
+)
+from repro.vass.repeated import accepting_cycle, cycle_path
 
 
 def simple_counter() -> VASS:
@@ -104,3 +109,87 @@ class TestAcceptingCycle:
         graph = build_km_graph(simple_counter(), "p")
         assert accepting_cycle(graph, lambda n: n.state == "p") is not None
         assert accepting_cycle(graph, lambda n: n.state == "nope") is None
+
+
+class TestWitnessPath:
+    def test_step_ordering_from_root(self):
+        """witness_path lists the steps root-first, each edge's target
+        being the node the tag reaches."""
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "b")
+        vass.add_action("b", [1], "c")
+        vass.add_action("c", [0], "d")
+        node = reachable(vass, "a", lambda n: n.state == "d")
+        assert node is not None
+        path = witness_path(node)
+        assert [step[1].state for step in path] == ["b", "c", "d"]
+        # targets chain through parents back to the root
+        for tag, target in path:
+            assert target.parent is not None
+            assert target.parent_tag is tag
+
+    def test_rooted_path_exposes_start(self):
+        vass = VASS(dimension=1)
+        vass.add_action("a", [1], "b")
+        node = reachable(vass, "a", lambda n: n.state == "b")
+        root, steps = rooted_witness_path(node)
+        assert root.parent is None and root.state == "a"
+        assert [s[1].state for s in steps] == ["b"]
+
+    def test_rooted_path_of_a_root_node(self):
+        graph = build_km_graph(simple_counter(), "p")
+        root, steps = rooted_witness_path(graph.roots[0])
+        assert root is graph.roots[0]
+        assert steps == []
+
+
+class TestCyclePath:
+    def test_single_node_self_loop(self):
+        vass = VASS(dimension=0)
+        vass.add_action("p", [], "p")
+        graph = build_km_graph(vass, "p")
+        node, component = accepting_cycle(graph, lambda n: n.state == "p")
+        steps = cycle_path(node, component)
+        assert len(steps) == 1
+        assert steps[0][1] is node
+
+    def test_multi_node_cycle_ordering(self):
+        vass = VASS(dimension=0)
+        vass.add_action("p", [], "q")
+        vass.add_action("q", [], "r")
+        vass.add_action("r", [], "p")
+        graph = build_km_graph(vass, "p")
+        node, component = accepting_cycle(graph, lambda n: n.state == "q")
+        steps = cycle_path(node, component)
+        # the cycle leaves `node` and returns to it, visiting each state once
+        assert steps[-1][1] is node
+        assert [s[1].state for s in steps] == ["r", "p", "q"]
+
+    def test_omega_accelerated_component(self):
+        """A consuming loop is repeatable only thanks to ω-acceleration:
+        the cycle lives at the accelerated label and cycle_path orders it."""
+        vass = VASS(dimension=1)
+        vass.add_action("p", [1], "p")
+        vass.add_action("p", [0], "q")
+        vass.add_action("q", [-1], "q2")
+        vass.add_action("q2", [0], "q")
+        found = repeated_reachable(vass, "p", lambda n: n.state == "q")
+        assert found is not None
+        node, component = found
+        assert dict(node.vector).get(0) == OMEGA  # accelerated
+        graph = build_km_graph(vass, "p")
+        node2, component2 = accepting_cycle(graph, lambda n: n.state == "q")
+        steps = cycle_path(node2, component2)
+        assert steps[-1][1] is node2
+        assert {s[1].state for s in steps} == {"q", "q2"}
+        # every node on the cycle carries the pumped ω coordinate
+        assert all(dict(s[1].vector).get(0) == OMEGA for s in steps)
+
+    def test_node_off_cycle_raises(self):
+        vass = VASS(dimension=0)
+        vass.add_action("p", [], "q")
+        vass.add_action("q", [], "q")
+        graph = build_km_graph(vass, "p")
+        start = graph.roots[0]
+        with pytest.raises(ValueError):
+            cycle_path(start, [start])

@@ -1,0 +1,292 @@
+"""The concrete counterexample pipeline (``repro.witness``): symbolic
+witness → materialized database + run → simulator/LTL replay → minimized
+trace, plus its integration into results, jobs, and the CLI."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.fkgraph import SchemaClass
+from repro.database.instance import Identifier
+from repro.database.schema import DatabaseSchema, Relation, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, service
+from repro.logic.conditions import ArithAtom, Eq, Not, Or, RelationAtom, FALSE, TRUE
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.ltl.formulas import Always, Eventually, NotF
+from repro.runtime import labels
+from repro.service.cli import main as cli_main
+from repro.service.pool import execute_job
+from repro.service.jobs import VerificationJob
+from repro.verifier import VerifierConfig, verify
+from repro.witness import (
+    ConcreteWitness,
+    NonConcretizable,
+    attach_to_result,
+    concretize,
+)
+from repro.workloads import table1_workload, table2_workload
+
+CONFIG = VerifierConfig(km_budget=30_000)
+
+DB = DatabaseSchema((Relation("ITEMS", (numeric("price"),)),))
+
+
+def flat_task(*services, variables, opening=None):
+    return Task(
+        name="T1",
+        variables=variables,
+        services=services,
+        opening=opening or OpeningService(),
+        closing=ClosingService(),
+    )
+
+
+def _violating_flat():
+    x = num_var("x")
+    step = InternalService("step", post=Eq(x, Const(Fraction(1))))
+    has = HAS(DB, flat_task(step, variables=(x,)))
+    prop = HLTLProperty(
+        HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(0)))))), name="x-zero"
+    )
+    return has, prop
+
+
+class TestLassoConcretization:
+    def test_confirmed_and_minimized(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        assert not result.holds and result.witness_kind == "lasso"
+        assert result.loop_start is not None
+        witness = concretize(has, prop, result)
+        assert isinstance(witness, ConcreteWitness)
+        assert witness.confirmed
+        assert witness.checks["simulator_replay"]
+        assert witness.checks["ltl_reference"]
+        assert witness.checks["lasso_seam"]
+        # never longer than the raw symbolic path
+        assert len(witness.steps) <= witness.raw_length
+
+    def test_seam_is_periodic(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        witness = concretize(has, prop, result)
+        assert witness.loop_start is not None
+        entry = witness.steps[witness.loop_start - 1]
+        exit_ = witness.steps[-1]
+        assert dict(entry.valuation) == dict(exit_.valuation)
+        assert entry.set_contents == exit_.set_contents
+
+    def test_values_shrunk_toward_zero(self):
+        """The violating value x=1 needs |x| ≥ something nonzero, but the
+        minimizer must not leave gratuitously large rationals around."""
+        x = num_var("x")
+        step = InternalService(
+            "step", post=ArithAtom(compare(linvar(x), Rel.GE, linconst(1000)))
+        )
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(ArithAtom(compare(linvar(x), Rel.LE, linconst(5)))))),
+            name="bounded",
+        )
+        result = verify(has, prop, CONFIG)
+        witness = concretize(has, prop, result)
+        assert witness.confirmed
+        values = {
+            Fraction(v)
+            for s in witness.steps
+            for v in s.valuation.values()
+            if v is not None and not isinstance(v, Identifier)
+        }
+        # 1000 is the least violating magnitude the post admits; nothing
+        # larger survives minimization
+        assert max(abs(v) for v in values) == 1000
+
+
+class TestBlockingConcretization:
+    def test_blocking_shape_preserved(self):
+        c_x = id_var("c_x")
+        p_x = id_var("p_x")
+        child_ = Task(
+            name="C",
+            variables=(c_x,),
+            services=(InternalService("spin", post=TRUE),),
+            opening=OpeningService(pre=TRUE, input_map={}),
+            closing=ClosingService(pre=FALSE),  # never returns
+        )
+        root = Task(name="R", variables=(p_x,), services=(), children=(child_,))
+        has = HAS(DB, root)
+        prop = HLTLProperty(
+            HLTLSpec("R", NotF(Eventually(service(labels.opening("C"))))),
+            name="never-open-C",
+        )
+        result = verify(has, prop, CONFIG)
+        assert not result.holds and result.witness_kind == "blocking"
+        witness = concretize(has, prop, result)
+        assert isinstance(witness, ConcreteWitness)
+        assert witness.confirmed
+        assert witness.checks["blocking_shape"]
+        # the opening of the ⊥ child is structural: minimization keeps it
+        assert any(s.assumed_nonreturning for s in witness.steps)
+
+    def test_database_rows_materialized(self):
+        """A violating run through relation atoms yields rows that make
+        the post-conditions concretely true."""
+        spec = table1_workload(SchemaClass.ACYCLIC, depth=2, violated=True)
+        result = verify(spec.has, spec.prop, VerifierConfig(km_budget=60_000))
+        witness = concretize(spec.has, spec.prop, result)
+        assert isinstance(witness, ConcreteWitness)
+        assert witness.confirmed
+        assert witness.database.size() > 0
+        witness.database.validate()
+        # the violating step binds the cursor to a real row with p ≠ 0
+        cursor, price = spec.has.root.variables[0], spec.has.root.variables[1]
+        violating = [
+            s for s in witness.steps if s.valuation.get(price) not in (None, 0)
+        ]
+        assert violating
+        ident = violating[0].valuation[cursor]
+        assert isinstance(ident, Identifier)
+        assert witness.database.lookup(ident) is not None
+
+
+class TestPersistentFacts:
+    def test_inputs_constant_and_satisfy_precondition(self):
+        x = num_var("x")
+        idle = InternalService("idle", post=TRUE)
+        root = Task(
+            name="T1",
+            variables=(x,),
+            services=(idle,),
+            opening=OpeningService(pre=TRUE, input_map={x: x}),
+            closing=ClosingService(),
+        )
+        has = HAS(
+            DB, root,
+            precondition=ArithAtom(compare(linvar(x), Rel.GE, linconst(7))),
+        )
+        prop = HLTLProperty(
+            HLTLSpec("T1", Always(cond(Eq(x, Const(Fraction(0)))))), name="x-zero"
+        )
+        result = verify(has, prop, CONFIG)
+        assert not result.holds
+        witness = concretize(has, prop, result)
+        assert isinstance(witness, ConcreteWitness) and witness.confirmed
+        values = {s.valuation[x] for s in witness.steps}
+        assert len(values) == 1  # the input never changes
+        assert Fraction(values.pop()) >= 7  # …and satisfies Π
+
+    def test_set_workload_concretizes(self):
+        spec = table2_workload(
+            SchemaClass.ACYCLIC, depth=2, with_sets=True, violated=True
+        )
+        result = verify(spec.has, spec.prop, VerifierConfig(km_budget=60_000))
+        witness = concretize(spec.has, spec.prop, result)
+        assert isinstance(witness, ConcreteWitness)
+        assert witness.confirmed
+
+
+class TestReporting:
+    def test_attach_to_result_bindings(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        witness = concretize(has, prop, result)
+        attach_to_result(result, witness)
+        assert result.witness
+        assert all(step.bindings for step in result.witness)
+        rendered = result.explain()
+        assert "x=" in rendered
+        assert "repeat forever" in rendered
+
+    def test_explain_marks_loop(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        text = result.explain()
+        assert "↻" in text
+        assert "repeat forever" in text
+        # the sentinel pseudo-step is gone
+        assert "(cycle)" not in text
+
+    def test_witness_json_shape(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        witness = concretize(has, prop, result)
+        data = witness.to_dict()
+        json.dumps(data)  # JSON-serializable throughout
+        assert data["status"] == "confirmed"
+        assert data["kind"] == "lasso"
+        assert data["minimized_length"] <= data["raw_length"]
+        assert data["steps"][0]["service"].startswith("σ^o")
+        assert all(c is True for c in data["checks"].values())
+
+    def test_job_outcome_carries_witness_json(self):
+        has, prop = _violating_flat()
+        job = VerificationJob(has=has, prop=prop, config=CONFIG)
+        outcome = execute_job(job)
+        assert outcome.status == "violated"
+        assert outcome.witness_json is not None
+        assert outcome.witness_json["status"] == "confirmed"
+        assert outcome.loop_start is not None
+        # witness strings carry concrete bindings
+        assert any("x=" in line for line in outcome.witness)
+
+    def test_concretization_can_be_disabled(self):
+        has, prop = _violating_flat()
+        config = VerifierConfig(km_budget=30_000, concretize_witnesses=False)
+        outcome = execute_job(VerificationJob(has=has, prop=prop, config=config))
+        assert outcome.status == "violated"
+        assert outcome.witness_json is None
+
+    def test_held_property_rejects_concretize(self):
+        x = num_var("x")
+        step = InternalService("step", post=Eq(x, Const(Fraction(1))))
+        has = HAS(DB, flat_task(step, variables=(x,)))
+        prop = HLTLProperty(
+            HLTLSpec(
+                "T1",
+                Always(cond(Or(Eq(x, Const(Fraction(0))), Eq(x, Const(Fraction(1)))))),
+            )
+        )
+        result = verify(has, prop, CONFIG)
+        assert result.holds
+        with pytest.raises(ValueError):
+            concretize(has, prop, result)
+
+    def test_missing_trace_is_non_concretizable(self):
+        has, prop = _violating_flat()
+        result = verify(has, prop, CONFIG)
+        result.symbolic_trace = None  # e.g. result crossed a process boundary
+        witness = concretize(has, prop, result)
+        assert isinstance(witness, NonConcretizable)
+        assert "trace" in witness.reason
+
+
+class TestExplainCLI:
+    def test_explain_violating_suite_job(self, capsys):
+        code = cli_main(["explain", "quick/acyclic-h2-violation"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "concrete" in out
+        assert "simulator_replay: ok" in out
+
+    def test_explain_holds(self, capsys):
+        code = cli_main(["explain", "quick/acyclic-h2-safety"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HOLDS" in out
+
+    def test_explain_export(self, tmp_path, capsys):
+        target = tmp_path / "witness.json"
+        code = cli_main(
+            ["explain", "quick/acyclic-h2-violation", "--export", str(target)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        data = json.loads(target.read_text())
+        assert data["status"] == "confirmed"
+        assert data["database"]
