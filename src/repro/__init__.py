@@ -10,7 +10,9 @@ Most-used entry points::
     from repro import HAS, Task, InternalService, verify
     from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, child, service
 
-See README.md for a worked example and DESIGN.md for the architecture.
+See README.md for a worked example, docs/architecture.md for the
+architecture, docs/tutorial.md for a narrated end-to-end session, and
+docs/performance.md for the hot-path caches and benchmark harness.
 """
 
 from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric

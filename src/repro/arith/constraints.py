@@ -89,7 +89,14 @@ class Constraint:
         return self.expr.unknowns
 
     def canonical(self) -> "Constraint":
-        """Canonical form up to positive scaling (and sign flip for EQ/NE)."""
+        """Canonical form up to positive scaling (and sign flip for EQ/NE).
+
+        Memoized per instance: constraints are immutable and the verifier
+        re-canonicalizes the same objects constantly while building store
+        canonical keys."""
+        cached = getattr(self, "_canonical", None)
+        if cached is not None:
+            return cached
         expr = self.expr
         rel = self.rel
         if expr.unknowns:
@@ -99,7 +106,12 @@ class Constraint:
                 expr = -expr
                 rel = rel.flip()
             expr = expr / abs(coeff)
-        return Constraint(expr, rel)
+        result = Constraint(expr, rel)
+        # frozen dataclass: bypass the frozen __setattr__ for the memo slot
+        # (not a field, so eq/hash are unaffected)
+        object.__setattr__(result, "_canonical", result)
+        object.__setattr__(self, "_canonical", result)
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.expr} {self.rel.value} 0)"

@@ -7,7 +7,16 @@ defined by derived constraints.
 
 Disequality constraints (``!=``) are handled by case-splitting into ``<``
 and ``>``, so satisfiability and projection both work on small disjunctions
-of conjunctive systems.
+of conjunctive systems — except in :func:`is_satisfiable`, which avoids
+the exponential split by a convexity argument (see its docstring).
+
+This module hosts two of the verifier's hot-path caches (documented in
+docs/performance.md): satisfiability verdicts are memoized per connected
+component, and whole projections are memoized on the constraint-system
+fingerprint.  Both memoize pure functions of immutable constraints, so
+cache hits are observationally identical to recomputation
+(property-tested in tests/test_perf.py against the ``_uncached``
+entry points kept public for exactly that purpose).
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.linexpr import LinExpr, Unknown
+from repro.perf.counters import COUNTERS
 
 
 @dataclass(frozen=True)
@@ -171,7 +181,14 @@ def eliminate(
         reduced = _eliminate_equalities(branch, removable)
         if reduced is None:
             continue
-        remaining = [u for u in removable if any(u in c.unknowns for c in reduced)]
+        # canonical elimination order: set iteration follows the process
+        # hash seed, and different elimination orders produce different
+        # (equivalent but syntactically distinct) projected systems —
+        # downstream canonical keys must be reproducible run-over-run
+        remaining = sorted(
+            (u for u in removable if any(u in c.unknowns for c in reduced)),
+            key=repr,
+        )
         failed = False
         for unknown in remaining:
             reduced = _fm_eliminate_one(reduced, unknown)
@@ -209,15 +226,31 @@ def is_satisfiable(constraints: Iterable[Constraint]) -> bool:
     ``H ∧ eᵢ<0`` or ``H ∧ eᵢ>0`` is.  This keeps the number of FM calls
     linear in the number of disequalities.
 
-    Results are memoized on the constraint set: the verifier re-checks the
-    same sets across sibling branches constantly.
+    The decision is taken *per connected component* (constraints grouped
+    by shared unknowns): a conjunction is satisfiable iff each component
+    is, because solutions of disjoint components compose.  Component
+    verdicts are memoized, so extending a system with constraints over
+    fresh unknowns — the common store mutation — re-decides only the cell
+    that actually changed and serves every untouched cell from the cache.
     """
-    material_list = list(constraints)
-    key = frozenset(material_list)
+    material = _normalize(list(constraints))
+    if material is None:
+        return False
+    for component in _connected_components(material):
+        if not _component_satisfiable(component):
+            return False
+    return True
+
+
+def _component_satisfiable(component: list[Constraint]) -> bool:
+    """Memoized satisfiability of one normalized connected component."""
+    key = frozenset(component)
     cached = _SAT_CACHE.get(key)
     if cached is not None:
+        COUNTERS.fm_sat_hits += 1
         return cached
-    result = _is_satisfiable_uncached(material_list)
+    COUNTERS.fm_sat_misses += 1
+    result = _is_satisfiable_uncached(component)
     if len(_SAT_CACHE) >= _SAT_CACHE_LIMIT:
         _SAT_CACHE.clear()
     _SAT_CACHE[key] = result
@@ -259,11 +292,47 @@ def _conjunction_satisfiable(constraints: list[Constraint]) -> bool:
     return True
 
 
+_PROJ_CACHE: dict[tuple, tuple[tuple[Constraint, ...], bool]] = {}
+_PROJ_CACHE_LIMIT = 100_000
+
+
 def project_components(
     constraints: Iterable[Constraint], keep: Iterable[Unknown]
 ) -> tuple[list[Constraint], bool]:
     """Project a conjunction onto ``keep``, component-wise; returns
-    ``(constraints, exact)``.
+    ``(constraints, exact)``.  Memoized wrapper around
+    :func:`project_components_uncached`.
+
+    Results are cached on the constraint-system fingerprint: the exact
+    constraint tuple plus the kept unknowns that actually occur in it
+    (unmentioned keeps cannot affect the projection).  The store calls
+    this on every ``restrict`` — once per symbolic transition — and the
+    same numeric system recurs across sibling branches and re-expansions,
+    so the hit rate is high; see ``docs/performance.md``.
+    """
+    material = list(constraints)
+    mentioned: set[Unknown] = set()
+    for constraint in material:
+        mentioned.update(constraint.unknowns)
+    keep_effective = frozenset(keep) & mentioned
+    key = (tuple(material), keep_effective)
+    cached = _PROJ_CACHE.get(key)
+    if cached is not None:
+        COUNTERS.fm_proj_hits += 1
+        kept, exact = cached
+        return list(kept), exact
+    COUNTERS.fm_proj_misses += 1
+    kept_list, exact = project_components_uncached(material, keep_effective)
+    if len(_PROJ_CACHE) >= _PROJ_CACHE_LIMIT:
+        _PROJ_CACHE.clear()
+    _PROJ_CACHE[key] = (tuple(kept_list), exact)
+    return kept_list, exact
+
+
+def project_components_uncached(
+    constraints: Iterable[Constraint], keep: Iterable[Unknown]
+) -> tuple[list[Constraint], bool]:
+    """Project a conjunction onto ``keep``, component-wise, no memo.
 
     Connected components (by shared unknowns) fully inside ``keep`` are
     retained verbatim; fully-dead satisfiable components are dropped
@@ -272,6 +341,10 @@ def project_components(
     unknowns are dropped, which over-approximates only on the
     lower-dimensional slice where the hard part forces the disequality's
     expression to zero — ``exact`` is False when that can happen.
+
+    This is the Tarski–Seidenberg step of the paper's Section 5 for the
+    linear fragment; exposed uncached so property tests can assert the
+    cache never changes a projection.
     """
     material = _normalize(list(constraints))
     if material is None:
@@ -343,6 +416,12 @@ def _connected_components(
         key = find(unknown_list[0]) if unknown_list else None
         groups.setdefault(key, []).append(constraint)
     return list(groups.values())
+
+
+def clear_caches() -> None:
+    """Drop the satisfiability and projection memos (tests, benchmarks)."""
+    _SAT_CACHE.clear()
+    _PROJ_CACHE.clear()
 
 
 def sample_solution(constraints: Iterable[Constraint]) -> dict[Unknown, Fraction] | None:

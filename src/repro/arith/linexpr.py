@@ -29,7 +29,7 @@ def _coerce(value: Coefficient) -> Fraction:
 class LinExpr:
     """``c0 + Σ ci·ui`` with rational coefficients, immutable and hashable."""
 
-    __slots__ = ("_coeffs", "_constant", "_hash")
+    __slots__ = ("_coeffs", "_constant", "_hash", "_unknowns")
 
     def __init__(
         self,
@@ -45,6 +45,20 @@ class LinExpr:
         self._coeffs: dict[Unknown, Fraction] = items
         self._constant = _coerce(constant)
         self._hash: int | None = None
+        self._unknowns: frozenset[Unknown] | None = None
+
+    @classmethod
+    def _raw(cls, coeffs: dict[Unknown, Fraction], constant: Fraction) -> "LinExpr":
+        """Trusted constructor for the hot algebraic paths: ``coeffs`` must
+        already be a private dict of non-zero ``Fraction`` values and
+        ``constant`` a ``Fraction``.  Skips coercion and zero-filtering —
+        the arithmetic below guarantees both invariants."""
+        expr = cls.__new__(cls)
+        expr._coeffs = coeffs
+        expr._constant = constant
+        expr._hash = None
+        expr._unknowns = None
+        return expr
 
     # ------------------------------------------------------------------
     @property
@@ -60,7 +74,9 @@ class LinExpr:
 
     @property
     def unknowns(self) -> frozenset[Unknown]:
-        return frozenset(self._coeffs)
+        if self._unknowns is None:
+            self._unknowns = frozenset(self._coeffs)
+        return self._unknowns
 
     @property
     def is_constant(self) -> bool:
@@ -73,13 +89,20 @@ class LinExpr:
         other = to_linexpr(other)
         coeffs = dict(self._coeffs)
         for unknown, coeff in other._coeffs.items():
-            coeffs[unknown] = coeffs.get(unknown, Fraction(0)) + coeff
-        return LinExpr(coeffs, self._constant + other._constant)
+            merged = coeffs.get(unknown)
+            merged = coeff if merged is None else merged + coeff
+            if merged == 0:
+                coeffs.pop(unknown, None)
+            else:
+                coeffs[unknown] = merged
+        return LinExpr._raw(coeffs, self._constant + other._constant)
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
-        return LinExpr({u: -c for u, c in self._coeffs.items()}, -self._constant)
+        return LinExpr._raw(
+            {u: -c for u, c in self._coeffs.items()}, -self._constant
+        )
 
     def __sub__(self, other: "LinExpr | Coefficient") -> "LinExpr":
         return self + (-to_linexpr(other))
@@ -89,7 +112,11 @@ class LinExpr:
 
     def __mul__(self, scalar: Coefficient) -> "LinExpr":
         frac = _coerce(scalar)
-        return LinExpr({u: c * frac for u, c in self._coeffs.items()}, self._constant * frac)
+        if frac == 0:
+            return LinExpr._raw({}, Fraction(0))
+        return LinExpr._raw(
+            {u: c * frac for u, c in self._coeffs.items()}, self._constant * frac
+        )
 
     __rmul__ = __mul__
 
@@ -112,8 +139,13 @@ class LinExpr:
         coeffs: dict[Unknown, Fraction] = {}
         for unknown, coeff in self._coeffs.items():
             target = mapping.get(unknown, unknown)
-            coeffs[target] = coeffs.get(target, Fraction(0)) + coeff
-        return LinExpr(coeffs, self._constant)
+            merged = coeffs.get(target)
+            merged = coeff if merged is None else merged + coeff
+            if merged == 0:
+                coeffs.pop(target, None)
+            else:
+                coeffs[target] = merged
+        return LinExpr._raw(coeffs, self._constant)
 
     def evaluate(self, valuation: Mapping[Unknown, Coefficient]) -> Fraction:
         total = self._constant

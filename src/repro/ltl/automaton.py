@@ -135,11 +135,29 @@ def _expand(obligations: Obligations) -> list[_RawTransition]:
         else:
             results[key] = set(deferred)
 
-    go(list(obligations), {}, set(), set(), set())
-    return [
+    # Iterate the obligation set in a canonical order: frozenset
+    # iteration follows the process hash seed, and the expansion order
+    # decides both the tableau's dict insertion order and, downstream,
+    # the verifier's Karp–Miller exploration order — which must be
+    # reproducible run-over-run (witnesses and node counts are recorded
+    # in suite reports and benchmark baselines).
+    go(sorted(obligations, key=repr), {}, set(), set(), set())
+    raw = [
         _RawTransition(literals, target, frozenset(deferred))
         for (literals, target), deferred in results.items()
     ]
+    raw.sort(key=_transition_sort_key)
+    return raw
+
+
+def _transition_sort_key(transition: _RawTransition) -> tuple:
+    """Canonical order for expansion results, independent of set-iteration
+    order (``repr`` of a frozenset itself follows the hash seed, so the
+    members are rendered and sorted individually)."""
+    return (
+        tuple(sorted(repr(item) for item in transition.literals)),
+        tuple(sorted(repr(item) for item in transition.target)),
+    )
 
 
 def _epsilon_true(formula: Formula) -> bool:

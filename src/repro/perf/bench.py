@@ -1,0 +1,342 @@
+"""The tracked benchmark harness: record families, compare baselines.
+
+A *family* is a named, deterministic bundle of verification jobs drawn
+from the Table 1/2 workload grids (``repro.workloads``) and the travel
+example — the same workloads the paper benchmarks.  ``run_family``
+executes one family in-process, measuring
+
+* **wall time** — best of ``reps`` repetitions of the whole bundle
+  (min, not mean: the minimum is the least noisy estimator of the code's
+  actual cost under scheduler jitter);
+* **KM nodes** — total symbolic states constructed (deterministic for
+  the deterministic families; a *throughput* proxy for the time-boxed
+  one);
+* **cache hit rates** — from :mod:`repro.perf.counters`, measured on the
+  first repetition only (later reps would over-report warm-cache rates
+  that a fresh process never sees);
+* **verdict fingerprint** — per-job (name, status, km_nodes), asserted
+  stable so a "speedup" that changed semantics is caught immediately.
+
+``record_families`` writes one ``BENCH_<family>.json`` per family;
+``compare_records`` flags wall-time regressions beyond a threshold
+(default 15%) against a previously recorded baseline directory.  The
+JSON schema is documented in docs/performance.md; the tracked baselines
+live in ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.database.fkgraph import SchemaClass
+from repro.errors import BudgetExceeded, ReproError
+from repro.examples.travel import (
+    discount_policy_property,
+    discount_policy_property_lite,
+    travel_booking,
+    travel_lite,
+)
+from repro.perf.counters import COUNTERS, PerfCounters
+from repro.verifier.config import VerifierConfig
+from repro.verifier.engine import Verifier
+from repro.workloads import table1_workload, table2_workload
+
+#: Bump when the BENCH_*.json layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+_ALL_CLASSES = (
+    SchemaClass.ACYCLIC,
+    SchemaClass.LINEARLY_CYCLIC,
+    SchemaClass.CYCLIC,
+)
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """One (system, property, config) cell of a family."""
+
+    name: str
+    has: object
+    prop: object
+    config: VerifierConfig
+
+
+def _table_family(builder) -> list[BenchJob]:
+    """The full Table 1/2 grid of one builder: every schema class, with
+    and without artifact relations, holding and violated, plus the
+    navigation-chain and depth-3 variants — the same cells the service
+    suites run."""
+    config = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+    jobs = []
+    for schema_class in _ALL_CLASSES:
+        for with_sets in (False, True):
+            for violated in (False, True):
+                spec = builder(
+                    schema_class, depth=2, with_sets=with_sets, violated=violated
+                )
+                jobs.append(BenchJob(spec.name, spec.has, spec.prop, config))
+        chained = builder(schema_class, depth=2, chain=2)
+        jobs.append(
+            BenchJob(f"{chained.name}+chain2", chained.has, chained.prop, config)
+        )
+        deep = builder(schema_class, depth=3)
+        jobs.append(BenchJob(deep.name, deep.has, deep.prop, config))
+    return jobs
+
+
+def _travel_lite_family() -> list[BenchJob]:
+    config = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+    jobs = []
+    for fixed in (False, True):
+        has = travel_lite(fixed)
+        jobs.append(
+            BenchJob(
+                f"{has.name}::lite-discount-policy",
+                has,
+                discount_policy_property_lite(has),
+                config,
+            )
+        )
+    return jobs
+
+
+def _travel_full_family() -> list[BenchJob]:
+    """The six-task Appendix A policy check, wall-clock-boxed.
+
+    The full check needs minutes; boxing it to a fixed deadline turns it
+    into a *throughput* benchmark — the interesting series is KM nodes
+    explored within the box (higher is better), with wall time pinned at
+    the deadline."""
+    has = travel_booking(fixed=False)
+    config = VerifierConfig(
+        km_budget=1_000_000, max_summaries=100_000, time_limit_seconds=10.0
+    )
+    return [
+        BenchJob(
+            f"{has.name}::discount-policy (10s box)",
+            has,
+            discount_policy_property(has),
+            config,
+        )
+    ]
+
+
+_FAMILIES: dict[str, Callable[[], list[BenchJob]]] = {
+    "table1": lambda: _table_family(table1_workload),
+    "table2": lambda: _table_family(table2_workload),
+    "travel-lite": _travel_lite_family,
+    "travel-full": _travel_full_family,
+}
+
+#: Families whose KM-node totals are deterministic (no wall-clock box).
+_DETERMINISTIC = frozenset({"table1", "table2", "travel-lite"})
+
+
+def family_names() -> tuple[str, ...]:
+    return tuple(_FAMILIES)
+
+
+def _run_jobs(jobs: Iterable[BenchJob]) -> tuple[float, int, list[dict]]:
+    """One pass over the jobs: (wall seconds, total KM nodes, verdicts)."""
+    outcomes: list[dict] = []
+    km_total = 0
+    started = time.perf_counter()
+    for job in jobs:
+        verifier = Verifier(job.has, job.config)
+        try:
+            result = verifier.verify(job.prop)
+            status = "holds" if result.holds else "violated"
+            km = result.stats.km_nodes
+        except BudgetExceeded as exc:
+            status = "budget_exceeded"
+            # completed explorations plus the one the budget interrupted:
+            # a monotone throughput proxy for wall-clock-boxed jobs
+            km = verifier.stats.km_nodes + int(
+                getattr(exc, "states_explored", 0)
+            )
+        except ReproError as exc:  # pragma: no cover - defensive
+            status = f"error: {type(exc).__name__}"
+            km = 0
+        km_total += km
+        outcomes.append({"name": job.name, "status": status, "km_nodes": km})
+    return time.perf_counter() - started, km_total, outcomes
+
+
+def run_family(name: str, reps: int = 3) -> dict:
+    """Run one family ``reps`` times; return the BENCH record dict."""
+    try:
+        jobs = _FAMILIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise KeyError(f"unknown bench family {name!r} (known: {known})") from None
+    # start every family cold: node serials restart per store, so another
+    # family's (or an earlier run's) global cache entries would otherwise
+    # be hit here, making the recorded rates and walls depend on which
+    # families ran before this one in the same process
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    fm.clear_caches()
+    symbolic_store.clear_canonical_caches()
+    deterministic = name in _DETERMINISTIC
+    walls: list[float] = []
+    km_nodes = 0
+    outcomes: list[dict] = []
+    counters: dict[str, int] = {}
+    for rep in range(max(1, reps)):
+        baseline = COUNTERS.snapshot()
+        wall, km, out = _run_jobs(jobs)
+        walls.append(wall)
+        if rep == 0:
+            counters = COUNTERS.since(baseline)
+            km_nodes, outcomes = km, out
+        elif deterministic and out != outcomes:
+            raise RuntimeError(
+                f"family {name!r} is not deterministic across repetitions: "
+                f"verdicts changed between rep 0 and rep {rep}"
+            )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "family": name,
+        "deterministic": deterministic,
+        "jobs": outcomes,
+        "wall_seconds": min(walls),
+        "wall_seconds_all_reps": walls,
+        "km_nodes": km_nodes,
+        "counters": counters,
+        "rates": {
+            cache: round(rate, 4)
+            for cache, rate in PerfCounters.rates(counters).items()
+        },
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+def record_families(
+    out_dir: str | Path,
+    families: Iterable[str] | None = None,
+    reps: int = 3,
+    log: Callable[[str], None] = lambda line: print(line, file=sys.stderr),
+) -> list[Path]:
+    """Run and write ``BENCH_<family>.json`` for each family; returns the
+    written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name in families or family_names():
+        log(f"bench family {name!r}: running {reps} rep(s)…")
+        record = run_family(name, reps=reps)
+        path = out / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, sort_keys=True, indent=1) + "\n")
+        log(
+            f"  wall {record['wall_seconds']:.3f}s  km={record['km_nodes']}  "
+            f"rates {record['rates']}  → {path}"
+        )
+        written.append(path)
+    return written
+
+
+def load_record(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema {data.get('schema_version')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    return data
+
+
+def compare_records(
+    current: dict, baseline: dict, threshold: float = 0.15
+) -> tuple[list[str], list[str], list[str]]:
+    """Compare one family record against its baseline.
+
+    Returns ``(regressions, drifts, notes)``:
+
+    * *regressions* — wall-time slowdowns beyond ``threshold`` (and
+      boxed-family throughput drops);
+    * *drifts* — a deterministic family's per-job verdict fingerprint
+      changing, which is a **semantic** change (different verdicts or
+      node counts for identical inputs), never acceptable as noise;
+    * *notes* — informative lines (speedups, node-count changes).
+    """
+    regressions: list[str] = []
+    drifts: list[str] = []
+    notes: list[str] = []
+    family = current.get("family", "?")
+    base_wall = baseline.get("wall_seconds", 0.0)
+    cur_wall = current.get("wall_seconds", 0.0)
+    if base_wall > 0:
+        ratio = cur_wall / base_wall
+        if ratio > 1 + threshold:
+            regressions.append(
+                f"{family}: wall {cur_wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"(×{ratio:.2f}, threshold ×{1 + threshold:.2f})"
+            )
+        else:
+            notes.append(
+                f"{family}: wall {cur_wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"(×{ratio:.2f})"
+            )
+    if current.get("deterministic") and baseline.get("deterministic"):
+        if current.get("jobs") != baseline.get("jobs"):
+            drifts.append(
+                f"{family}: verdict fingerprint drifted from baseline "
+                f"(semantic change, not a perf regression)"
+            )
+    elif "km_nodes" in baseline:
+        base_km, cur_km = baseline["km_nodes"], current.get("km_nodes", 0)
+        if base_km and cur_km < base_km * (1 - threshold):
+            regressions.append(
+                f"{family}: throughput {cur_km} KM nodes vs baseline "
+                f"{base_km} within the same box"
+            )
+        else:
+            notes.append(f"{family}: {cur_km} KM nodes vs baseline {base_km}")
+    return regressions, drifts, notes
+
+
+def compare_directories(
+    current_dir: str | Path,
+    baseline_dir: str | Path,
+    threshold: float = 0.15,
+    families: "Iterable[str] | None" = None,
+) -> tuple[list[str], list[str], list[str]]:
+    """Compare every ``BENCH_*.json`` in ``current_dir`` against the
+    same-named file in ``baseline_dir``; returns aggregated
+    ``(regressions, drifts, notes)`` per :func:`compare_records`.
+    Missing baselines are notes, never failures (the soft-gate contract
+    until a baseline exists).  ``families`` restricts the comparison to
+    the named families — callers that just recorded a subset pass it so
+    stale records from earlier runs in the same directory can't fail
+    the gate."""
+    regressions: list[str] = []
+    drifts: list[str] = []
+    notes: list[str] = []
+    current_files = sorted(Path(current_dir).glob("BENCH_*.json"))
+    if families is not None:
+        wanted = {f"BENCH_{name}.json" for name in families}
+        current_files = [p for p in current_files if p.name in wanted]
+    if not current_files:
+        notes.append(f"no BENCH_*.json records in {current_dir}")
+    for path in current_files:
+        base_path = Path(baseline_dir) / path.name
+        if not base_path.exists():
+            notes.append(f"{path.name}: no baseline in {baseline_dir} (skipped)")
+            continue
+        fam_regressions, fam_drifts, fam_notes = compare_records(
+            load_record(path), load_record(base_path), threshold=threshold
+        )
+        regressions.extend(fam_regressions)
+        drifts.extend(fam_drifts)
+        notes.extend(fam_notes)
+    return regressions, drifts, notes

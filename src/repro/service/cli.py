@@ -246,9 +246,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.record or args.compare:
+        return _cmd_bench_record(args)
+    if args.families:
+        raise _die("--families requires --record or --compare")
     config = _config_from_args(args)
     try:
-        jobs = build_suite(args.name, quick=args.quick, config=config)
+        jobs = build_suite(args.name or "table1", quick=args.quick, config=config)
     except KeyError as exc:
         raise _die(exc.args[0]) from None
     workers_list = [int(w) for w in args.workers_list.split(",")]
@@ -264,6 +268,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"speedup ×{speedup:.2f}  "
             f"({report.violations} violated, {report.budget_exceeded} over budget)"
         )
+    return 0
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    """``bench --record / --compare``: the tracked-baseline harness.
+
+    ``--record`` runs the named families and writes one
+    ``BENCH_<family>.json`` per family into ``--out``; ``--compare DIR``
+    then checks those records against the same-named baselines in DIR.
+    Exit codes extend the verify contract without clashing with it
+    (0 holds / 1 violated / 2 budget-error): **3** — a family regressed
+    in wall time / boxed throughput beyond ``--threshold``; **4** — a
+    deterministic family's verdict fingerprint drifted, which is a
+    semantic change, not noise.  Missing baselines are reported but
+    never fail (the soft-gate contract)."""
+    from repro.perf import bench as perf_bench
+
+    known = perf_bench.family_names()
+    if args.families:
+        if args.name:
+            raise _die(
+                "pass either a positional family name or --families, not both"
+            )
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+    elif args.name:
+        # the positional argument names a suite in sweep mode and a
+        # family here; the grids share names, so honor it rather than
+        # silently recording everything
+        families = [args.name]
+    else:
+        families = list(known)
+    unknown = [f for f in families if f not in known]
+    if unknown:
+        raise _die(
+            f"unknown bench families {', '.join(unknown)} "
+            f"(known: {', '.join(known)})"
+        )
+    out_dir = Path(args.out)
+    if args.record:
+        try:
+            # record_families logs progress to stderr, keeping stdout
+            # parseable for scripted callers
+            perf_bench.record_families(out_dir, families, reps=args.reps)
+        except RuntimeError as exc:
+            raise _die(f"bench recording failed: {exc}") from None
+    if not args.compare:
+        return 0
+    if not out_dir.exists() or not list(out_dir.glob("BENCH_*.json")):
+        raise _die(
+            f"{out_dir}: no BENCH_*.json records to compare "
+            "(run with --record, or point --out at recorded files)"
+        )
+    # compare only the families this invocation selected: --out may hold
+    # stale records for other families from earlier runs
+    selected = (
+        families if (args.record or args.families or args.name) else None
+    )
+    regressions, drifts, notes = perf_bench.compare_directories(
+        out_dir, args.compare, threshold=args.threshold, families=selected
+    )
+    for note in notes:
+        print(f"  {note}")
+    if drifts:
+        print("SEMANTIC DRIFT (verdict fingerprints changed — not a perf issue):")
+        for line in drifts:
+            print(f"  {line}")
+    if regressions:
+        print(f"REGRESSION beyond {args.threshold:.0%} threshold:")
+        for line in regressions:
+            print(f"  {line}")
+    if drifts:
+        return 4
+    if regressions:
+        return 3
+    print("no regressions beyond threshold")
     return 0
 
 
@@ -339,9 +418,18 @@ def build_parser() -> argparse.ArgumentParser:
     suite.set_defaults(func=_cmd_suite)
 
     bench = sub.add_parser(
-        "bench", help="run a suite at several worker counts and report speedup"
+        "bench",
+        help="worker-scaling sweep (default), or the tracked benchmark "
+        "harness with --record / --compare (exit 3 on >threshold "
+        "regression)",
     )
-    bench.add_argument("name", nargs="?", default="table1", help="suite name")
+    bench.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="suite name for the worker sweep (default table1), or a "
+        "single family name with --record/--compare",
+    )
     bench.add_argument(
         "--workers-list",
         default="1,2,4",
@@ -349,6 +437,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quick", action="store_true", help="trim the suite to its fastest jobs"
+    )
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="run the benchmark families and write BENCH_<family>.json "
+        "records (wall time, KM nodes, cache hit rates) into --out",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE_DIR",
+        help="compare the records in --out against the baselines in "
+        "BASELINE_DIR; exit 3 on a >--threshold perf regression, exit 4 "
+        "on verdict-fingerprint drift (a semantic change)",
+    )
+    bench.add_argument(
+        "--out",
+        default="bench-records",
+        help="directory for BENCH_<family>.json records (default bench-records)",
+    )
+    bench.add_argument(
+        "--families",
+        help="comma-separated bench families for --record/--compare "
+        "(default: all; see docs/performance.md). Families pin their own "
+        "verifier budgets, so --km-budget/--time-limit apply only to the "
+        "worker sweep",
+    )
+    bench.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="repetitions per family; wall time is the best rep (default 3)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative wall-time regression tolerance for --compare "
+        "(default 0.15 = 15%%)",
     )
     _add_budget_arguments(bench)
     bench.set_defaults(func=_cmd_bench)

@@ -34,6 +34,13 @@ class ValueNode(Node):
     serial: int
     sort: Sort
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(self.serial) * 31 + (7 if self.sort is Sort.ID else 11),
+        )
+
     def __eq__(self, other: object) -> bool:
         return self is other or (
             isinstance(other, ValueNode)
@@ -42,7 +49,7 @@ class ValueNode(Node):
         )
 
     def __hash__(self) -> int:
-        return hash(self.serial) * 31 + (7 if self.sort is Sort.ID else 11)
+        return self._hash  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"v{self.serial}{'ᵢ' if self.sort is Sort.ID else 'ₙ'}"

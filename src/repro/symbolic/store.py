@@ -21,6 +21,13 @@ unknown relationships can be resolved either way over the infinite ID
 domains / the reals — and conditions are applied by case-splitting on
 exactly the relationships they test (the VERIFAS-style refinement of the
 paper's total types).
+
+Stores are the unit of memoization throughout the verifier:
+:meth:`ConstraintStore.canonical_key` renders a store as a nested tuple
+invariant under internal node renaming, cached per store behind a dirty
+bit (every mutator invalidates) with the expensive per-constraint
+canonicalization memoized globally and the finished keys interned — see
+docs/performance.md for the cache design and its invariants.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Iterable, Mapping
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.fm import is_satisfiable, project_components
 from repro.arith.linexpr import LinExpr
+from repro.perf.counters import COUNTERS
 from repro.database.schema import AttributeKind, DatabaseSchema
 from repro.logic.terms import Variable, VarKind
 from repro.symbolic.nodes import (
@@ -44,6 +52,61 @@ from repro.symbolic.nodes import (
 )
 
 PinLabel = tuple
+
+# ----------------------------------------------------------------------
+# canonical-key memoization (module-global, shared across stores)
+# ----------------------------------------------------------------------
+# Interning table for canonical-key components: equal keys become the
+# *same* tuple object, so the dict lookups that consume them (state
+# interning, summary memos, condition-branch dedup) compare by identity
+# on the happy path instead of walking nested tuples.
+_KEY_INTERN: dict = {}
+_KEY_INTERN_LIMIT = 200_000
+
+# Per-(constraint, label-assignment) canonical-form strings: renaming a
+# constraint onto access-path labels and canonicalizing it is the single
+# hottest step of canonical_key, and the same (constraint, labels) pair
+# recurs across thousands of sibling stores.
+_CONSTRAINT_CANON_CACHE: dict = {}
+_CONSTRAINT_CANON_CACHE_LIMIT = 400_000
+
+
+def _intern_key(value: tuple) -> tuple:
+    if len(_KEY_INTERN) >= _KEY_INTERN_LIMIT:
+        _KEY_INTERN.clear()
+    return _KEY_INTERN.setdefault(value, value)
+
+
+def clear_canonical_caches() -> None:
+    """Drop the canonical-key memos (tests, benchmarks)."""
+    _KEY_INTERN.clear()
+    _CONSTRAINT_CANON_CACHE.clear()
+
+
+def _constraint_canon_repr(constraint: Constraint, label_of: Mapping) -> str:
+    """``repr(constraint.rename(label_of).canonical())``, memoized.
+
+    The memo key is the constraint plus the label assignment restricted
+    to the unknowns it actually mentions — everything the rename reads
+    (unknowns absent from ``label_of`` rename to themselves, and are
+    covered by the constraint's own identity).
+    """
+    labels = frozenset(
+        (unknown, label_of[unknown])
+        for unknown in constraint.unknowns
+        if unknown in label_of
+    )
+    key = (constraint, labels)
+    cached = _CONSTRAINT_CANON_CACHE.get(key)
+    if cached is not None:
+        COUNTERS.constraint_canon_hits += 1
+        return cached
+    COUNTERS.constraint_canon_misses += 1
+    rendered = repr(constraint.rename(label_of).canonical())
+    if len(_CONSTRAINT_CANON_CACHE) >= _CONSTRAINT_CANON_CACHE_LIMIT:
+        _CONSTRAINT_CANON_CACHE.clear()
+    _CONSTRAINT_CANON_CACHE[key] = rendered
+    return rendered
 
 
 class Inconsistent(Exception):
@@ -78,6 +141,9 @@ class ConstraintStore:
     # node management
     # ------------------------------------------------------------------
     def fresh(self, sort: Sort) -> Node:
+        """A brand-new anonymous value node of the given sort — the
+        symbolic analogue of picking an unconstrained element of the ID
+        domain (Def. 14's infinite domains) or of ℝ."""
         self._canon_cache = None
         self._serial += 1
         node = ValueNode(self._serial, sort)
@@ -85,6 +151,7 @@ class ConstraintStore:
         return node
 
     def const(self, value: Fraction | int) -> Node:
+        """The (interned) node denoting a numeric constant."""
         node = ConstNode(Fraction(value))
         if node not in self._parent:
             self._register(node, Sort.NUMERIC)
@@ -99,6 +166,8 @@ class ConstraintStore:
             self._null[node] = False
 
     def sort_of(self, node: Node) -> Sort:
+        """ID or NUMERIC; navigation nodes take their sort from the
+        schema attribute they traverse."""
         if isinstance(node, ValueNode):
             return node.sort
         if isinstance(node, ConstNode):
@@ -118,6 +187,9 @@ class ConstraintStore:
         raise TypeError(f"unknown node {node!r}")
 
     def find(self, node: Node) -> Node:
+        """Union-find root of the node's equality class, with path
+        compression.  Classes realize the equality type of Definition 15
+        restricted to the facts asserted so far."""
         root = node
         while self._parent[root] is not root:
             root = self._parent[root]
@@ -138,10 +210,14 @@ class ConstraintStore:
         return self.find(node)
 
     def bind(self, variable: Variable, node: Node) -> None:
+        """Point the variable at the node's class (overwrite semantics of
+        service transitions and child returns — Defs. 5–6)."""
         self._canon_cache = None
         self._binding[variable] = self.find(node)
 
     def rebind_fresh(self, variable: Variable) -> Node:
+        """Bind the variable to a brand-new anonymous value (post-condition
+        variables range over fresh values before refinement)."""
         self._canon_cache = None
         sort = Sort.ID if variable.kind is VarKind.ID else Sort.NUMERIC
         node = self.fresh(sort)
@@ -203,6 +279,9 @@ class ConstraintStore:
     # assertions
     # ------------------------------------------------------------------
     def assert_null(self, node: Node) -> None:
+        """Force the class to the null value (merging it with NULL's
+        class); inconsistent with anchoring or navigation — R(null, …) is
+        false and null has no attributes (Section 2)."""
         self._canon_cache = None
         root = self.find(node)
         if self.sort_of(root) is not Sort.ID:
@@ -216,6 +295,8 @@ class ConstraintStore:
             self._union(root, self.find(NULL))
 
     def assert_not_null(self, node: Node) -> None:
+        """Record that the class holds a real identifier (no-op for
+        numerics, which are never null)."""
         self._canon_cache = None
         root = self.find(node)
         if self.sort_of(root) is not Sort.ID:
@@ -227,6 +308,9 @@ class ConstraintStore:
             self._diseqs.add(frozenset({root, self.find(NULL)}))
 
     def assert_anchor(self, node: Node, relation: str) -> None:
+        """Anchor the class to a relation's ID domain (the ``x_R`` of
+        §4.1's navigation sets); ID domains are pairwise disjoint, so a
+        second, different anchor is inconsistent."""
         self._canon_cache = None
         self.assert_not_null(node)
         root = self.find(node)
@@ -242,6 +326,9 @@ class ConstraintStore:
         self._anchor[root] = relation
 
     def exclude_anchor(self, node: Node, relation: str) -> None:
+        """Record that the class is *not* from a relation's ID domain
+        (the negative-relation-atom branches of condition application);
+        a non-null class excluded from every domain is inconsistent."""
         self._canon_cache = None
         root = self.find(node)
         if self._anchor[root] == relation:
@@ -253,6 +340,10 @@ class ConstraintStore:
             raise Inconsistent(f"{node!r} excluded from every ID domain")
 
     def assert_eq(self, a: Node, b: Node) -> None:
+        """Merge the two classes (ID sort: union with congruence over
+        navigation children, Definition 15's FD closure; numeric sort:
+        recorded as a linear equality instead — numeric tokens are never
+        unioned, keeping stored constraints canonical)."""
         self._canon_cache = None
         ra, rb = self.find(a), self.find(b)
         if ra is rb:
@@ -275,6 +366,8 @@ class ConstraintStore:
         self._union(ra, rb)
 
     def assert_neq(self, a: Node, b: Node) -> None:
+        """Record a disequality (ID sort) or a linear ``≠`` constraint
+        (numeric sort); immediately inconsistent on a merged class."""
         self._canon_cache = None
         ra, rb = self.find(a), self.find(b)
         sa, sb = self.sort_of(ra), self.sort_of(rb)
@@ -419,19 +512,30 @@ class ConstraintStore:
         return None
 
     def null_status(self, node: Node) -> bool | None:
+        """True = known null, False = known non-null, None = unresolved."""
         return self._null[self.find(node)]
 
     def anchor_of(self, node: Node) -> str | None:
+        """The relation whose ID domain the class is known to inhabit."""
         return self._anchor[self.find(node)]
 
     def excluded_anchors(self, node: Node) -> frozenset[str]:
+        """Relations whose ID domains the class is known *not* to inhabit."""
         return self._excluded.get(self.find(node), frozenset())
 
     def child_of(self, node: Node, attr: str) -> Node | None:
+        """The already-materialized navigation child, if any (never
+        creates one — use :meth:`nav` for that)."""
         child = self._children.get(self.find(node), {}).get(attr)
         return self.find(child) if child is not None else None
 
     def is_consistent(self) -> bool:
+        """Whether the store denotes at least one total isomorphism type.
+
+        ID-sorted facts are kept consistent eagerly (assertions raise
+        :class:`Inconsistent` on contradiction), so only the lazily
+        collected numeric constraints need deciding — Fourier–Motzkin
+        behind a dirty bit (Section 5's decidable arithmetic check)."""
         try:
             return self._numeric_consistent()
         except Inconsistent:
@@ -477,6 +581,9 @@ class ConstraintStore:
     # copying / restriction / canonical form
     # ------------------------------------------------------------------
     def copy(self) -> "ConstraintStore":
+        """An independent mutable clone (branch before case-splitting);
+        shares nothing mutable with the original, and keeps the cached
+        canonical key (equal content ⇒ equal key)."""
         clone = ConstraintStore.__new__(ConstraintStore)
         clone.schema = self.schema
         clone._serial = self._serial
@@ -599,8 +706,13 @@ class ConstraintStore:
                     trans[root] = self.const(root.value)
                 else:
                     trans[root] = self.fresh(other.sort_of(root))
-        # 3. per-class facts
-        for root in live:
+        # 3. per-class facts — iterate in a canonical order: set order
+        # follows the process hash seed, and the replay order decides the
+        # order numeric constraints are recorded (hence FM pivot choices
+        # and the syntactic shape of later projections), which must be
+        # reproducible run-over-run
+        live_sorted = sorted(live, key=repr)
+        for root in live_sorted:
             mine = trans[root]
             if other._null[root] is True:
                 self.assert_null(mine)
@@ -613,15 +725,19 @@ class ConstraintStore:
                 if self._anchor[self.find(mine)] != excluded:
                     self.exclude_anchor(mine, excluded)
         # 4. navigation edges (bases are anchored now)
-        for root in live:
-            for attr, child in other._children.get(root, {}).items():
+        for root in live_sorted:
+            for attr, child in sorted(other._children.get(root, {}).items()):
                 child_root = other.find(child)
                 if child_root not in trans:
                     continue
                 mine_child = self.nav(trans[root], attr)
                 self.assert_eq(mine_child, trans[child_root])
-        # 5. disequalities
-        for pair in other._diseqs:
+        # 5. disequalities (canonical order again: numeric disequalities
+        # append to the constraint list)
+        for pair in sorted(
+            other._diseqs,
+            key=lambda p: tuple(sorted(repr(n) for n in p)),
+        ):
             members = [other.find(n) for n in pair]
             if all(m in trans for m in members) and len(members) == 2:
                 self.assert_neq(trans[members[0]], trans[members[1]])
@@ -681,20 +797,42 @@ class ConstraintStore:
         return {root: tuple(sorted(plist)) for root, plist in paths.items()}
 
     def canonical_key(self) -> tuple:
-        """Hashable identity of the store up to internal node renaming."""
+        """Hashable identity of the store up to internal node renaming.
+
+        Two stores have equal canonical keys iff they denote the same set
+        of isomorphism types: anonymous node serials are replaced by
+        canonical *access paths* (variable names, pin labels, constants,
+        navigation chains), so the key is invariant under the internal
+        renamings that ``copy``/``restrict``/``absorb`` perform.  This is
+        what makes state interning, summary memoization (Lemma 21's
+        ``R_T`` relation), and condition-branch dedup sound.
+
+        The key is memoized on the store and invalidated by a dirty bit:
+        every mutator resets ``_canon_cache`` to None, so a
+        mutated-then-rekeyed store always recomputes (property-tested in
+        ``tests/test_perf.py``).  The expensive numeric part — renaming
+        each linear constraint onto its labels and canonicalizing — is
+        additionally memoized globally per (constraint, label assignment),
+        and the resulting key tuples are interned so equal keys are
+        identical objects.
+        """
         if self._canon_cache is not None:
+            COUNTERS.store_key_hits += 1
             return self._canon_cache
+        COUNTERS.store_key_misses += 1
         paths = self.access_paths()
         label_of = {root: ps[0] for root, ps in paths.items()}
-        classes = tuple(
-            sorted(
-                (
-                    paths[root],
-                    self._null.get(root),
-                    self._anchor.get(root),
-                    tuple(sorted(self._excluded.get(root, frozenset()))),
+        classes = _intern_key(
+            tuple(
+                sorted(
+                    (
+                        paths[root],
+                        self._null.get(root),
+                        self._anchor.get(root),
+                        tuple(sorted(self._excluded.get(root, frozenset()))),
+                    )
+                    for root in paths
                 )
-                for root in paths
             )
         )
         diseqs = tuple(
@@ -706,10 +844,12 @@ class ConstraintStore:
         )
         numeric = []
         for constraint in self._numeric:
-            renamed = constraint.rename(label_of)
-            numeric.append(repr(renamed.canonical()))
-        self._canon_cache = (classes, diseqs, tuple(sorted(set(numeric))))
-        return self._canon_cache
+            numeric.append(_constraint_canon_repr(constraint, label_of))
+        key = _intern_key(
+            (classes, diseqs, tuple(sorted(set(numeric))))
+        )
+        self._canon_cache = key
+        return key
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         paths = self.access_paths()

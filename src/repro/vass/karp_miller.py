@@ -19,11 +19,20 @@ resulting *KM graph* (nodes merged on equal labels) answers:
   the KM graph: non-ω coordinates are exact in KM labels, so any KM cycle
   has zero net effect on them, and ω coordinates are pumpable
   (Habermehl [33], Blockelet–Schmitz [14]) — Lemma 21's lasso paths.
+
+Engineering notes (docs/performance.md): exact duplicate successor edges
+are dropped on insertion, and the frontier discipline is pluggable
+(:class:`_Frontier` — LIFO reference order, FIFO, or covering-first).
+The graph over *labels* is order-independent; the spanning tree, and
+with it the witness paths, is not — which is why callers wanting
+reproducible witnesses keep the default order.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Protocol
 
@@ -90,24 +99,84 @@ class KMGraph:
     budget_exhausted: bool = False
 
 
+class _Frontier:
+    """The unexpanded-node worklist under one of three disciplines.
+
+    * ``lifo`` — depth-first, the reference order (deterministic, and the
+      order every recorded witness in the test suite was produced under);
+    * ``fifo`` — breadth-first;
+    * ``covering`` — prefer nodes with more ω coordinates, then larger
+      finite counter sums, then insertion order.  ω-rich labels dominate
+      the most configurations, so expanding them first tends to reach
+      covering labels (and further accelerations) earlier, shrinking the
+      constructed graph on workloads with deep counter growth.
+
+    All three disciplines build the same *set* of reachable labels when
+    run to completion; they differ in which tree — and therefore which
+    witness path and which truncation point under a budget — is found
+    first.  The verifier keeps ``lifo`` as its default so verdicts and
+    witnesses stay reproducible run-over-run (see docs/performance.md).
+    """
+
+    __slots__ = ("order", "_items", "_seq")
+
+    def __init__(self, order: str):
+        if order not in ("lifo", "fifo", "covering"):
+            raise ValueError(f"unknown frontier order {order!r}")
+        self.order = order
+        # deque for fifo: list.pop(0) would make breadth-first quadratic
+        # in the frontier size
+        self._items: list | deque = deque() if order == "fifo" else []
+        self._seq = 0
+
+    def push(self, node: KMNode) -> None:
+        if self.order == "covering":
+            vector = node.vector
+            omegas = sum(1 for _d, v in vector if v is OMEGA)
+            finite = sum(v for _d, v in vector if v is not OMEGA)
+            heapq.heappush(self._items, (-omegas, -finite, self._seq, node))
+            self._seq += 1
+        else:
+            self._items.append(node)
+
+    def pop(self) -> KMNode:
+        if self.order == "covering":
+            return heapq.heappop(self._items)[-1]
+        if self.order == "fifo":
+            return self._items.popleft()
+        return self._items.pop()
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
 def build_km_graph(
     system: ImplicitVASS,
     start: Hashable | Iterable[tuple[Hashable, Mapping[Dim, int], object]],
     budget: int = 50_000,
     stop_on: Callable[[KMNode], bool] | None = None,
+    order: str = "lifo",
 ) -> KMGraph:
     """Construct the Karp–Miller graph from the start configuration(s).
 
     ``start`` is either a single control state (counters 0) or an iterable
     of (state, vector, payload) triples.  ``stop_on`` short-circuits the
     construction once a node satisfies it (used for plain reachability).
+    ``order`` picks the frontier discipline (:class:`_Frontier`).
+
+    Duplicate successor edges — the same tag leading to the same label
+    from the same node, which condition case-splitting produces freely —
+    are deduplicated on insertion: they carry no extra reachability,
+    cycle, or witness information, and dropping them keeps the stored
+    graph (and every traversal over it) proportional to the *distinct*
+    transition structure.
     """
     if isinstance(start, (list, tuple)) or hasattr(start, "__next__"):
         starts = list(start)  # type: ignore[arg-type]
     else:
         starts = [(start, {}, None)]
     graph = KMGraph(roots=[], nodes=[], by_label={})
-    worklist: list[KMNode] = []
+    worklist = _Frontier(order)
     for state, vector, payload in starts:
         node = KMNode(state=state, vector=freeze(vector), payload=payload)
         node.index = len(graph.nodes)
@@ -116,7 +185,7 @@ def build_km_graph(
         label = node.label
         if label not in graph.by_label:
             graph.by_label[label] = node
-            worklist.append(node)
+            worklist.push(node)
         if stop_on is not None and stop_on(node):
             return graph
     expansions = 0
@@ -127,6 +196,7 @@ def build_km_graph(
             break
         expansions += 1
         current = thaw(node.vector)
+        seen_edges: set[tuple] = set()
         for delta, next_state, tag in system.successors(node.state, current):
             next_vector = dict(current)
             enabled = True
@@ -158,7 +228,15 @@ def build_km_graph(
             label = (next_state, freeze(next_vector))
             existing = graph.by_label.get(label)
             if existing is not None:
-                node.successors.append((tag, existing))
+                edge_key = (tag, existing.index)
+                try:
+                    duplicate = edge_key in seen_edges
+                    if not duplicate:
+                        seen_edges.add(edge_key)
+                except TypeError:  # unhashable caller tag: keep every edge
+                    duplicate = False
+                if not duplicate:
+                    node.successors.append((tag, existing))
                 continue
             child = KMNode(
                 state=next_state,
@@ -170,8 +248,12 @@ def build_km_graph(
             child.index = len(graph.nodes)
             graph.nodes.append(child)
             graph.by_label[label] = child
+            try:
+                seen_edges.add((tag, child.index))
+            except TypeError:
+                pass
             node.successors.append((tag, child))
-            worklist.append(child)
+            worklist.push(child)
             if stop_on is not None and stop_on(child):
                 return graph
     return graph

@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.errors import BudgetExceeded, SpecificationError, VerificationError
 from repro.has.restrictions import validate_has
+from repro.perf.counters import COUNTERS
 from repro.has.system import HAS
 from repro.has.task import Task
 from repro.hltl.formulas import (
@@ -58,6 +59,7 @@ class Verifier:
         validate_has(has)
         self._summaries: dict[tuple, TaskSummary] = {}
         self._input_stores: dict[tuple[str, tuple], ConstraintStore] = {}
+        self._child_input_memo: dict[tuple, tuple[ConstraintStore, tuple]] = {}
         self.deadline: float | None = None
         self.compiled: CompiledProperty | None = None
         self.stats = VerificationStats()
@@ -68,12 +70,20 @@ class Verifier:
     def _explore(self, vass: TaskVASS, starts, what: str) -> KMGraph:
         """Karp–Miller exploration with the configured node budget; a
         single choke point for the budget-exhausted diagnostics."""
-        graph = build_km_graph(vass, starts, budget=self.config.km_budget)
-        self.stats.km_nodes += len(graph.nodes)
+        graph = build_km_graph(
+            vass,
+            starts,
+            budget=self.config.km_budget,
+            order=self.config.km_order,
+        )
         if graph.budget_exhausted:
+            # don't count the truncated graph in stats: the exception
+            # already carries its node count (states_explored), and
+            # counting both would double-report throughput
             raise BudgetExceeded(
                 f"{what} exhausted the KM budget", len(graph.nodes)
             )
+        self.stats.km_nodes += len(graph.nodes)
         return graph
 
     # ------------------------------------------------------------------
@@ -83,7 +93,20 @@ class Verifier:
         self, parent_store: ConstraintStore, child: Task
     ) -> tuple[ConstraintStore, tuple]:
         """The child's input isomorphism type: the parent's facts about the
-        passed variables, rebased onto the child's input variables."""
+        passed variables, rebased onto the child's input variables.
+
+        Memoized on (child, parent canonical key): the extraction is a
+        pure function of the parent store's content, and opening
+        transitions re-derive the same input type from thousands of
+        isomorphic parent branches.  The memoized representative is
+        exactly the store the first (uncached) call would have built, so
+        downstream summary keys and exploration are unchanged."""
+        memo_key = (child.name, parent_store.canonical_key())
+        cached = self._child_input_memo.get(memo_key)
+        if cached is not None:
+            COUNTERS.child_input_hits += 1
+            return cached
+        COUNTERS.child_input_misses += 1
         passed = list(child.opening.input_map.values())
         restricted = parent_store.restrict(passed)
         child_store = ConstraintStore(self.has.database)
@@ -96,16 +119,29 @@ class Verifier:
         )
         key = child_store.canonical_key()
         self._input_stores[(child.name, key)] = child_store
+        self._child_input_memo[memo_key] = (child_store, key)
         return child_store, key
 
     def summary(
         self, task_name: str, input_store: ConstraintStore, beta: Mapping
     ) -> TaskSummary:
-        """Memoized ``R_T`` slice for (input type, β)."""
+        """Memoized ``R_T`` slice for (input type, β) — Lemma 21.
+
+        The memo key ``(task, input canonical key, β)`` determines the
+        child automaton ``B(T, β)`` exactly (β assigns truth values to
+        the very specs the conjunction is built from), so summaries are
+        shared across every opening transition, every KM branch, and —
+        because the memo outlives one ``verify()`` call — across
+        *different properties* checked on the same :class:`Verifier`
+        whenever they agree on a task's child specs.  Hits are counted in
+        ``stats.summary_hits`` and the ``summary`` perf counter."""
         key = (task_name, input_store.canonical_key(), beta_key(beta))
         cached = self._summaries.get(key)
         if cached is not None:
+            COUNTERS.summary_hits += 1
+            self.stats.summary_hits += 1
             return cached
+        COUNTERS.summary_misses += 1
         if len(self._summaries) >= self.config.max_summaries:
             raise VerificationError("summary memo limit exceeded")
         assert self.compiled is not None
@@ -116,7 +152,15 @@ class Verifier:
         summary = TaskSummary()
         # placeholder first: defends against (impossible) recursive loops
         self._summaries[key] = summary
-        graph = self._explore(vass, starts, f"summary of {task_name}")
+        try:
+            graph = self._explore(vass, starts, f"summary of {task_name}")
+        except BaseException:
+            # never memoize a truncated summary: the memo outlives this
+            # verify() call, and an empty placeholder left behind by a
+            # budget/deadline abort would silently drop the child's
+            # behaviors from a later run
+            self._summaries.pop(key, None)
+            raise
         for node in graph.nodes:
             if vass.is_returning_accepting(node.state):
                 out = vass.output_of(node.state)

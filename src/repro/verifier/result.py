@@ -57,6 +57,7 @@ class SymbolicTrace:
 class VerificationStats:
     km_nodes: int = 0
     summaries: int = 0
+    summary_hits: int = 0
     condition_branches: int = 0
     wall_seconds: float = 0.0
 
@@ -65,6 +66,7 @@ class VerificationStats:
         aggregation across jobs and worker processes)."""
         self.km_nodes += other.km_nodes
         self.summaries += other.summaries
+        self.summary_hits += other.summary_hits
         self.condition_branches += other.condition_branches
         self.wall_seconds += other.wall_seconds
         return self

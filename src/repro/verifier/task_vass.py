@@ -20,6 +20,13 @@ Transitions implement the symbolic successor relation of Definition 17:
 
 Every transition simultaneously advances the Büchi automaton, refining the
 store so the transition's condition literals definitely hold.
+
+The successor relation is deterministic and depends on the KM counter
+vector only through its TS-type *support* (Definition 17's counter update
+``ā(δ, τ̂, τ̂′, c̄_ib)`` reads availability, never magnitudes), which is
+what makes the per-(state, support) successor memo of
+:meth:`TaskVASS.successors` an exact, invisible cache — see
+docs/performance.md.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.has.task import Task
 from repro.hltl.formulas import ChildProp, CondProp, ServiceProp
 from repro.logic.conditions import Not
 from repro.logic.terms import Variable, VarKind
+from repro.perf.counters import COUNTERS
 from repro.ltl.automaton import Automaton, Transition
 from repro.runtime import labels
 from repro.runtime.labels import ServiceRef
@@ -136,10 +144,15 @@ class TaskVASS:
         self.slots = ts_slots(task.set_variables, task.input_variables)
         self.registry: list[SymState] = []
         self._ids: dict[tuple, int] = {}
+        self._succ_memo: dict[tuple, list] = {}
         self.deadline: float | None = getattr(engine, "deadline", None)
 
     # ------------------------------------------------------------------
     def intern(self, state: SymState) -> int:
+        """Dense integer id of a state, unifying states whose keys —
+        store canonical key, Büchi state, ō, c̄_ib — coincide.  Interning
+        is what folds the unbounded branching of condition refinement
+        back into the finite control states Lemma 21's argument needs."""
         key = state.key
         state_id = self._ids.get(key)
         if state_id is None:
@@ -149,6 +162,7 @@ class TaskVASS:
         return state_id
 
     def state(self, state_id: int) -> SymState:
+        """The interned state for an id (inverse of :meth:`intern`)."""
         return self.registry[state_id]
 
     # ------------------------------------------------------------------
@@ -196,13 +210,43 @@ class TaskVASS:
     def successors(
         self, state_id: int, vector: Mapping
     ) -> Iterator[tuple[Mapping, int, StepTag]]:
+        """Interned symbolic successors, memoized per (state, support).
+
+        The successor relation reads the KM counter vector only through
+        the *support* of its TS-type dimensions (which types have at
+        least one tuple available for retrieval — Definition 17's
+        ``ā(δ, τ̂, τ̂′, c̄_ib)`` never inspects magnitudes), so expansions
+        of KM nodes that share the control state and counter support are
+        literally identical and are served from a memo.  Generation is
+        deterministic, so a memo hit reproduces the uncached expansion
+        exactly — verdicts, counts, and witnesses are unchanged.
+        """
         state = self.state(state_id)
         if self.deadline is not None and time.monotonic() > self.deadline:
             from repro.errors import BudgetExceeded
 
             raise BudgetExceeded("verification time limit exceeded", len(self.registry))
-        for delta, successor, tag in self.successor_states(state, vector):
-            yield delta, self.intern(successor), tag
+        support = frozenset(
+            dim
+            for dim, value in vector.items()
+            if value > 0 and isinstance(dim, TSType)
+        )
+        key = (state_id, support)
+        memo = self._succ_memo.get(key)
+        if memo is not None:
+            COUNTERS.succ_memo_hits += 1
+            for delta, successor_id, tag in memo:
+                yield dict(delta), successor_id, tag
+            return
+        COUNTERS.succ_memo_misses += 1
+        expansion = [
+            (delta, self.intern(successor), tag)
+            for delta, successor, tag in self.successor_states(state, vector)
+        ]
+        if len(self._succ_memo) < self.config.successor_memo_limit:
+            self._succ_memo[key] = expansion
+        for delta, successor_id, tag in expansion:
+            yield dict(delta), successor_id, tag
 
     def successor_states(
         self, state: SymState, vector: Mapping
@@ -568,10 +612,15 @@ class TaskVASS:
     # acceptance predicates (Lemma 21)
     # ------------------------------------------------------------------
     def is_returning_accepting(self, state_id: int) -> bool:
+        """Lemma 21's *returning* paths: the task closed itself with the
+        automaton finitely accepting — contributes an output type to R_T."""
         state = self.state(state_id)
         return state.returning and state.q in self.automaton.finite_accepting
 
     def is_blocking_accepting(self, state_id: int) -> bool:
+        """Lemma 21's *blocking* paths: every active child is guessed ⊥
+        (never returns) and the automaton finitely accepts — a maximal
+        finite run."""
         state = self.state(state_id)
         if state.returning:
             return False
@@ -583,6 +632,8 @@ class TaskVASS:
         return state.q in self.automaton.finite_accepting
 
     def is_lasso_accepting(self, state_id: int) -> bool:
+        """Lemma 21's *lasso* paths: Büchi-accepting and not returned —
+        witnesses repeated reachability when on a KM-graph cycle."""
         state = self.state(state_id)
         return not state.returning and state.q in self.automaton.buchi_accepting
 
