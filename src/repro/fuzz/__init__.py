@@ -1,0 +1,62 @@
+"""Differential fuzzing: seeded random HAS scenarios + a bounded
+explicit-state reference checker cross-checking the symbolic verifier.
+
+The subsystem has three layers:
+
+* :mod:`repro.fuzz.gen` — a deterministic, seed-driven generator of
+  random HAS models (artifact hierarchies, FK-acyclic schemas, services
+  with opening/closing conditions) and random HLTL-FO properties, sized
+  by a small :class:`~repro.fuzz.gen.GenConfig`;
+* :mod:`repro.fuzz.reference` — a bounded explicit-state checker that
+  exhaustively enumerates concrete runs over small database instances
+  (the same operational semantics as ``runtime.simulator``) and confirms
+  violations with the reference LTL evaluators and replay validation
+  from ``repro.witness``;
+* :mod:`repro.fuzz.harness` — the differential campaign: every symbolic
+  "violated" must produce a replay-confirmed concrete witness, and every
+  symbolic "holds" must have no bounded concrete counterexample.
+  Discrepancies are shrunk to minimal scenarios and serialized into
+  replayable reports (``python -m repro fuzz --replay <report>``).
+
+:mod:`repro.fuzz.mutations` provides named, deliberately-injected
+verifier bugs used to smoke-test that the oracle actually catches
+regressions.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.gen import GenConfig, Scenario, generate_scenario
+from repro.fuzz.harness import (
+    CampaignReport,
+    Discrepancy,
+    ScenarioOutcome,
+    check_scenario,
+    corpus_entry,
+    load_corpus_entry,
+    load_report,
+    replay_corpus_entry,
+    replay_report,
+    run_campaign,
+    write_corpus_entry,
+)
+from repro.fuzz.reference import BoundedConfig, BoundedResult, bounded_check
+
+__all__ = [
+    "BoundedConfig",
+    "BoundedResult",
+    "CampaignReport",
+    "Discrepancy",
+    "GenConfig",
+    "Scenario",
+    "ScenarioOutcome",
+    "bounded_check",
+    "check_scenario",
+    "corpus_entry",
+    "generate_scenario",
+    "load_corpus_entry",
+    "load_report",
+    "replay_corpus_entry",
+    "replay_report",
+    "run_campaign",
+    "write_corpus_entry",
+]

@@ -1,0 +1,540 @@
+"""Deterministic, seed-driven generation of random HAS scenarios.
+
+A *scenario* is a complete verification problem: a random FK-acyclic
+database schema, a random task hierarchy with internal services and
+opening/closing conditions, a random HLTL-FO property over the root
+task, and a handful of small concrete database instances for the bounded
+reference checker.  Everything is derived from ``(seed, index)`` through
+one ``random.Random`` stream consumed in a fixed order, so the same pair
+always produces byte-identical serialized models — across processes and
+regardless of ``PYTHONHASHSEED`` (the generator never iterates sets).
+
+Sizes are controlled by :class:`GenConfig`.  Generated systems always
+pass :func:`repro.has.restrictions.validate_has` and generated
+properties always pass :func:`repro.hltl.formulas.validate_property`;
+surface features the verifier rejects (global variables, set atoms,
+existentials) are never produced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.database.instance import DatabaseInstance, Identifier
+from repro.database.schema import (
+    AttributeKind,
+    DatabaseSchema,
+    Relation,
+    foreign_key,
+    numeric,
+)
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.restrictions import validate_has
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import (
+    HLTLProperty,
+    HLTLSpec,
+    child as child_prop,
+    cond,
+    service as service_prop,
+    validate_property,
+)
+from repro.logic.conditions import And, Condition, Eq, Not, Or, RelationAtom, TRUE
+from repro.logic.terms import Const, NULL, Variable, VarKind, id_var, num_var
+from repro.logic.conditions import ArithAtom
+from repro.ltl.formulas import (
+    Always,
+    AndF,
+    Eventually,
+    Formula,
+    Next,
+    NotF,
+    OrF,
+    Until,
+)
+from repro.runtime.labels import observable_services
+from repro.service.serialize import to_dict
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size knobs for scenario generation (all bounds inclusive)."""
+
+    max_relations: int = 3
+    """Relations in the FK-acyclic schema (at least 2 are generated)."""
+
+    max_numeric_attrs: int = 2
+    """Numeric attributes per relation (at least 1)."""
+
+    max_fk_attrs: int = 2
+    """Foreign keys per relation (referencing strictly later relations,
+    so the schema is acyclic by construction)."""
+
+    max_depth: int = 2
+    """Height of the task hierarchy (1 = a root with no children)."""
+
+    max_children: int = 2
+    """Child tasks per task."""
+
+    max_id_vars: int = 2
+    """ID artifact variables per task (at least 1)."""
+
+    max_num_vars: int = 2
+    """Numeric artifact variables per task (at least 1)."""
+
+    max_services: int = 3
+    """Internal services per task (at least 1)."""
+
+    set_weight: float = 0.25
+    """Probability that a task owns an artifact relation ``S^T``."""
+
+    arith_weight: float = 0.5
+    """Probability that a scenario's conditions use linear arithmetic."""
+
+    root_input_weight: float = 0.5
+    """Probability that the root task declares input variables (with a
+    precondition Π over them)."""
+
+    property_depth: int = 2
+    """Nesting depth of the temporal structure of the property."""
+
+    child_prop_weight: float = 0.0
+    """Probability weight for ``[ψ]_Tc`` child-formula propositions.
+    Defaults to 0 because the bounded reference checker discharges child
+    formulas only against closed child runs; keep at 0 for exact
+    differential oracles, raise it for exploratory (nightly) campaigns."""
+
+    rows_per_relation: int = 2
+    """Rows per relation in each generated concrete instance."""
+
+    numeric_pool: tuple[int, ...] = (0, 1, 2, 5)
+    """Values numeric attributes and constants are drawn from."""
+
+    instances: int = 2
+    """Concrete database instances generated per scenario."""
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["numeric_pool"] = list(self.numeric_pool)
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "GenConfig":
+        fields = dict(data)
+        if "numeric_pool" in fields:
+            fields["numeric_pool"] = tuple(fields["numeric_pool"])
+        return GenConfig(**fields)
+
+
+@dataclass
+class Scenario:
+    """One generated verification problem plus its concrete instances."""
+
+    seed: int
+    index: int
+    config: GenConfig
+    has: HAS
+    prop: HLTLProperty
+    databases: list[DatabaseInstance] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"fuzz-s{self.seed}-i{self.index}"
+
+    def payload(self) -> dict:
+        """The scenario's serialized form (regenerable from seed+config;
+        the model dicts are included so drift is detectable)."""
+        return {
+            "t": "fuzz_scenario",
+            "name": self.name,
+            "seed": self.seed,
+            "index": self.index,
+            "gen_config": self.config.to_dict(),
+            "has": to_dict(self.has),
+            "prop": to_dict(self.prop),
+        }
+
+
+def _stream(seed: int, index: int) -> random.Random:
+    # mix seed and index into one integer seed; int seeding is stable
+    # across processes and Python versions (unlike hash()-based seeding)
+    return random.Random((seed * 1_000_003 + index) * 2_654_435_761 % (2**63))
+
+
+# ----------------------------------------------------------------------
+# schema + concrete instances
+# ----------------------------------------------------------------------
+def _generate_schema(rng: random.Random, cfg: GenConfig) -> DatabaseSchema:
+    count = rng.randint(2, max(2, cfg.max_relations))
+    relations = []
+    for i in range(count):
+        attrs = [numeric(f"a{j}") for j in range(rng.randint(1, cfg.max_numeric_attrs))]
+        targets = list(range(i + 1, count))
+        fk_count = min(len(targets), rng.randint(0, cfg.max_fk_attrs))
+        for position, target in enumerate(sorted(rng.sample(targets, fk_count))):
+            attrs.append(foreign_key(f"f{position}", f"R{target}"))
+        relations.append(Relation(f"R{i}", tuple(attrs)))
+    return DatabaseSchema(tuple(relations))
+
+
+def _generate_database(
+    rng: random.Random, schema: DatabaseSchema, cfg: GenConfig
+) -> DatabaseInstance:
+    db = DatabaseInstance(schema)
+    ids: dict[str, list[Identifier]] = {}
+    # referenced relations are strictly later in the declaration order, so
+    # building back-to-front keeps every foreign key resolvable
+    for relation in reversed(schema.relations):
+        ids[relation.name] = []
+        for row in range(rng.randint(1, max(1, cfg.rows_per_relation))):
+            values: list = [f"{relation.name.lower()}_{row}"]
+            for attr in relation.attributes:
+                if attr.kind is AttributeKind.NUMERIC:
+                    values.append(Fraction(rng.choice(cfg.numeric_pool)))
+                else:
+                    values.append(rng.choice(ids[attr.references]))
+            ids[relation.name].append(db.add(relation.name, *values))
+    db.validate()
+    return db
+
+
+# ----------------------------------------------------------------------
+# conditions
+# ----------------------------------------------------------------------
+def _relation_atom(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    id_vars: tuple[Variable, ...],
+    num_vars: tuple[Variable, ...],
+) -> RelationAtom:
+    relation = rng.choice(schema.relations)
+    args: list = [rng.choice(id_vars)]
+    for attr in relation.attributes:
+        if attr.kind is AttributeKind.NUMERIC:
+            if rng.random() < 0.6:
+                args.append(rng.choice(num_vars))
+            else:
+                args.append(Const(Fraction(rng.choice(cfg.numeric_pool))))
+        else:
+            args.append(rng.choice(id_vars))
+    return RelationAtom(relation.name, tuple(args))
+
+
+def _arith_atom(
+    rng: random.Random, cfg: GenConfig, num_vars: tuple[Variable, ...]
+) -> ArithAtom:
+    expr = linvar(rng.choice(num_vars))
+    if len(num_vars) > 1 and rng.random() < 0.4:
+        other = rng.choice(num_vars)
+        expr = expr - linvar(other)
+    rel = rng.choice((Rel.GE, Rel.LE, Rel.GT, Rel.LT, Rel.EQ, Rel.NE))
+    bound = linconst(Fraction(rng.choice(cfg.numeric_pool)))
+    return ArithAtom(compare(expr, rel, bound))
+
+
+def _atom(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    id_vars: tuple[Variable, ...],
+    num_vars: tuple[Variable, ...],
+    with_arith: bool,
+) -> Condition:
+    kinds = ["null", "notnull", "rel", "numconst"]
+    if len(id_vars) > 1:
+        kinds.append("ideq")
+    if with_arith:
+        kinds.extend(["arith", "arith"])
+    kind = rng.choice(kinds)
+    if kind == "null":
+        return Eq(rng.choice(id_vars), NULL)
+    if kind == "notnull":
+        return Not(Eq(rng.choice(id_vars), NULL))
+    if kind == "ideq":
+        left, right = rng.sample(list(id_vars), 2)
+        return Eq(left, right)
+    if kind == "numconst":
+        return Eq(rng.choice(num_vars), Const(Fraction(rng.choice(cfg.numeric_pool))))
+    if kind == "arith":
+        return _arith_atom(rng, cfg, num_vars)
+    return _relation_atom(rng, cfg, schema, id_vars, num_vars)
+
+
+def _condition(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    id_vars: tuple[Variable, ...],
+    num_vars: tuple[Variable, ...],
+    with_arith: bool,
+    true_weight: float = 0.3,
+) -> Condition:
+    if rng.random() < true_weight:
+        return TRUE
+    atoms = [
+        _atom(rng, cfg, schema, id_vars, num_vars, with_arith)
+        for _ in range(rng.randint(1, 2))
+    ]
+    if len(atoms) == 1:
+        return atoms[0]
+    return (And if rng.random() < 0.7 else Or)(*atoms)
+
+
+def _post_condition(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    id_vars: tuple[Variable, ...],
+    num_vars: tuple[Variable, ...],
+    with_arith: bool,
+) -> Condition:
+    """Post-conditions bias toward an anchored relation atom so services
+    actually navigate the database (pure random conditions are usually
+    unsatisfiable, which still makes a valid — if dull — scenario)."""
+    roll = rng.random()
+    if roll < 0.15:
+        return TRUE
+    parts: list[Condition] = [_relation_atom(rng, cfg, schema, id_vars, num_vars)]
+    if rng.random() < 0.5:
+        parts.append(_atom(rng, cfg, schema, id_vars, num_vars, with_arith))
+    return And(*parts) if len(parts) > 1 else parts[0]
+
+
+# ----------------------------------------------------------------------
+# tasks
+# ----------------------------------------------------------------------
+def _pick_var_map(
+    rng: random.Random,
+    from_vars: tuple[Variable, ...],
+    to_vars: tuple[Variable, ...],
+    max_pairs: int,
+) -> dict[Variable, Variable]:
+    """A random 1-1 kind-preserving map ``from → to`` (distinct values)."""
+    mapping: dict[Variable, Variable] = {}
+    for kind in (VarKind.ID, VarKind.NUMERIC):
+        sources = [v for v in from_vars if v.kind is kind]
+        targets = [v for v in to_vars if v.kind is kind]
+        pairs = rng.randint(0, min(len(sources), len(targets), max_pairs))
+        if pairs:
+            chosen_sources = rng.sample(sources, pairs)
+            chosen_targets = rng.sample(targets, pairs)
+            mapping.update(zip(chosen_sources, chosen_targets))
+    return mapping
+
+
+def _generate_task(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    counter: list[int],
+    depth_left: int,
+    with_arith: bool,
+    parent: tuple[tuple[Variable, ...], tuple[Variable, ...]] | None,
+) -> Task:
+    """Generate one task (and, recursively, its children).
+
+    ``parent`` is ``(parent_variables, parent_input_variables)`` for
+    non-root tasks — needed for the opening guard scope and for
+    restriction 3 on the closing's output map."""
+    name = f"T{counter[0]}"
+    counter[0] += 1
+    ids = tuple(id_var(f"{name}_i{k}") for k in range(rng.randint(1, cfg.max_id_vars)))
+    nums = tuple(
+        num_var(f"{name}_n{k}") for k in range(rng.randint(1, cfg.max_num_vars))
+    )
+    variables = ids + nums
+
+    if parent is None:
+        input_map: dict[Variable, Variable] = {}
+        if rng.random() < cfg.root_input_weight:
+            count = rng.randint(1, len(variables))
+            input_map = {v: v for v in rng.sample(list(variables), count)}
+        opening = OpeningService(pre=TRUE, input_map=input_map)
+    else:
+        parent_vars, _parent_inputs = parent
+        parent_ids = tuple(v for v in parent_vars if v.kind is VarKind.ID)
+        parent_nums = tuple(v for v in parent_vars if v.kind is VarKind.NUMERIC)
+        pre = _condition(
+            rng, cfg, schema, parent_ids, parent_nums, with_arith, true_weight=0.5
+        )
+        input_map = _pick_var_map(rng, variables, parent_vars, max_pairs=2)
+        opening = OpeningService(pre=pre, input_map=input_map)
+    my_inputs = tuple(input_map.keys())
+
+    children: list[Task] = []
+    if depth_left > 1:
+        for _ in range(rng.randint(0, cfg.max_children)):
+            children.append(
+                _generate_task(
+                    rng,
+                    cfg,
+                    schema,
+                    counter,
+                    depth_left - 1,
+                    with_arith,
+                    parent=(variables, my_inputs),
+                )
+            )
+
+    if parent is None:
+        closing = ClosingService()  # the root never returns
+    else:
+        parent_vars, parent_inputs = parent
+        returnable = tuple(v for v in parent_vars if v not in set(parent_inputs))
+        output_map = _pick_var_map(rng, returnable, variables, max_pairs=2)
+        close_pre = _condition(
+            rng, cfg, schema, ids, nums, with_arith, true_weight=0.5
+        )
+        closing = ClosingService(pre=close_pre, output_map=output_map)
+
+    set_variables: tuple[Variable, ...] = ()
+    if rng.random() < cfg.set_weight:
+        set_variables = tuple(rng.sample(list(ids), rng.randint(1, len(ids))))
+
+    services = []
+    for k in range(rng.randint(1, cfg.max_services)):
+        # the first service keeps an open guard so every task can act
+        pre = (
+            TRUE
+            if k == 0
+            else _condition(rng, cfg, schema, ids, nums, with_arith, true_weight=0.4)
+        )
+        post = _post_condition(rng, cfg, schema, ids, nums, with_arith)
+        update = SetUpdate.NONE
+        if set_variables:
+            update = rng.choices(
+                (SetUpdate.NONE, SetUpdate.INSERT, SetUpdate.RETRIEVE, SetUpdate.BOTH),
+                weights=(5, 2, 2, 1),
+            )[0]
+        services.append(
+            InternalService(name=f"{name}_s{k}", pre=pre, post=post, update=update)
+        )
+
+    return Task(
+        name=name,
+        variables=variables,
+        set_variables=set_variables,
+        services=tuple(services),
+        opening=opening,
+        closing=closing,
+        children=tuple(children),
+    )
+
+
+def _precondition(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    root: Task,
+    with_arith: bool,
+) -> Condition:
+    inputs = root.input_variables
+    if not inputs or rng.random() < 0.5:
+        return TRUE
+    input_ids = tuple(v for v in inputs if v.kind is VarKind.ID)
+    input_nums = tuple(v for v in inputs if v.kind is VarKind.NUMERIC)
+    if not input_ids and not input_nums:
+        return TRUE
+    # the atom pool needs at least one variable of each referenced kind
+    if not input_ids:
+        return _arith_atom(rng, cfg, input_nums) if with_arith else TRUE
+    if not input_nums:
+        return Eq(rng.choice(input_ids), NULL) if rng.random() < 0.5 else Not(
+            Eq(rng.choice(input_ids), NULL)
+        )
+    return _condition(rng, cfg, schema, input_ids, input_nums, with_arith, 0.2)
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+def _atom_formula(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    has_root: Task,
+    with_arith: bool,
+) -> Formula:
+    root_ids = tuple(v for v in has_root.variables if v.kind is VarKind.ID)
+    root_nums = tuple(v for v in has_root.variables if v.kind is VarKind.NUMERIC)
+    roll = rng.random()
+    if roll < cfg.child_prop_weight and has_root.children:
+        target = rng.choice(has_root.children)
+        inner_ids = tuple(v for v in target.variables if v.kind is VarKind.ID)
+        inner_nums = tuple(v for v in target.variables if v.kind is VarKind.NUMERIC)
+        body = cond(_condition(rng, cfg, schema, inner_ids, inner_nums, with_arith, 0.1))
+        return child_prop(target.name, Eventually(body))
+    if roll < cfg.child_prop_weight + 0.3:
+        refs = observable_services(has_root)
+        return service_prop(rng.choice(refs))
+    return cond(_condition(rng, cfg, schema, root_ids, root_nums, with_arith, 0.1))
+
+
+def _formula(
+    rng: random.Random,
+    cfg: GenConfig,
+    schema: DatabaseSchema,
+    has_root: Task,
+    with_arith: bool,
+    depth: int,
+) -> Formula:
+    if depth <= 0:
+        return _atom_formula(rng, cfg, schema, has_root, with_arith)
+    op = rng.choices(
+        ("always", "eventually", "until", "next", "and", "or", "not", "atom"),
+        weights=(4, 3, 1, 1, 2, 2, 1, 2),
+    )[0]
+    sub = lambda: _formula(rng, cfg, schema, has_root, with_arith, depth - 1)  # noqa: E731
+    if op == "always":
+        return Always(sub())
+    if op == "eventually":
+        return Eventually(sub())
+    if op == "until":
+        return Until(sub(), sub())
+    if op == "next":
+        return Next(sub())
+    if op == "and":
+        return AndF(sub(), sub())
+    if op == "or":
+        return OrF(sub(), sub())
+    if op == "not":
+        return NotF(sub())
+    return _atom_formula(rng, cfg, schema, has_root, with_arith)
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def generate_scenario(
+    seed: int, index: int = 0, config: GenConfig | None = None
+) -> Scenario:
+    """Generate scenario ``index`` of the campaign seeded with ``seed``.
+
+    Deterministic: the same ``(seed, index, config)`` triple always
+    yields byte-identical serialized models and databases."""
+    cfg = config or GenConfig()
+    rng = _stream(seed, index)
+    schema = _generate_schema(rng, cfg)
+    with_arith = rng.random() < cfg.arith_weight
+    counter = [0]
+    depth = rng.randint(1, max(1, cfg.max_depth))
+    root = _generate_task(rng, cfg, schema, counter, depth, with_arith, parent=None)
+    precondition = _precondition(rng, cfg, schema, root, with_arith)
+    name = f"fuzz-s{seed}-i{index}"
+    has = HAS(schema, root, precondition=precondition, name=name)
+    validate_has(has)
+    formula = _formula(rng, cfg, schema, root, with_arith, cfg.property_depth)
+    prop = HLTLProperty(HLTLSpec(root.name, formula), name=f"{name}-prop")
+    validate_property(prop, has)
+    databases = [
+        _generate_database(rng, schema, cfg) for _ in range(max(1, cfg.instances))
+    ]
+    return Scenario(
+        seed=seed, index=index, config=cfg, has=has, prop=prop, databases=databases
+    )

@@ -1,0 +1,101 @@
+"""Named, deliberately-injected verifier bugs.
+
+The differential oracle is only trustworthy if it demonstrably *fires*
+when the verifier is wrong.  Each mutation here patches one acceptance
+path of the symbolic engine; the fuzz smoke tests (and the
+``--inject-bug`` CLI flag) run a campaign under a mutation and assert
+how the oracle responds.  ``drop_lasso`` and ``spurious_violation`` are
+caught (missed_violation / non_concretizable); ``drop_blocking`` is the
+oracle's *documented blind spot* — the bounded reference checker only
+searches for lassos, so a missed blocking violation slips through
+(pinned by ``tests/test_fuzz.py`` so the gap stays visible until a
+blocking-direction oracle exists; see docs/testing.md).  Mutations
+restore the original behavior on exit — they exist for testing the
+oracle, never for production use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.verifier.engine import Verifier
+from repro.verifier.result import VerificationResult
+from repro.verifier.task_vass import TaskVASS
+
+
+@contextlib.contextmanager
+def _patched(owner, attribute: str, value) -> Iterator[None]:
+    original = getattr(owner, attribute)
+    setattr(owner, attribute, value)
+    try:
+        yield
+    finally:
+        setattr(owner, attribute, original)
+
+
+@contextlib.contextmanager
+def _drop_lasso() -> Iterator[None]:
+    """The verifier never accepts lasso counterexamples: genuinely
+    violated properties are reported as holding — the bounded reference
+    checker must catch the missed violation."""
+    with _patched(TaskVASS, "is_lasso_accepting", lambda self, state_id: False):
+        yield
+
+
+@contextlib.contextmanager
+def _drop_blocking() -> Iterator[None]:
+    """The verifier never accepts blocking counterexamples.
+
+    NOT currently caught by the differential oracle: the bounded
+    reference checker searches for lassos only, so a wrongly-holding
+    blocking scenario cross-checks as clean.  Kept (and pinned by a
+    test) to document the blind spot honestly."""
+    with _patched(TaskVASS, "is_blocking_accepting", lambda self, state_id: False):
+        yield
+
+
+@contextlib.contextmanager
+def _spurious_violation() -> Iterator[None]:
+    """Every 'holds' verdict is flipped to a fabricated lasso violation
+    with no symbolic trace: witness concretization cannot confirm it, so
+    the harness must flag the unconfirmable verdict."""
+    original = Verifier.verify
+
+    def verify(self, prop):
+        result = original(self, prop)
+        if result.holds:
+            return VerificationResult(
+                holds=False,
+                property_name=prop.name,
+                witness_kind="lasso",
+                stats=result.stats,
+            )
+        return result
+
+    with _patched(Verifier, "verify", verify):
+        yield
+
+
+MUTATIONS = {
+    "drop_lasso": _drop_lasso,
+    "drop_blocking": _drop_blocking,
+    "spurious_violation": _spurious_violation,
+}
+
+
+def mutation_names() -> tuple[str, ...]:
+    return tuple(sorted(MUTATIONS))
+
+
+@contextlib.contextmanager
+def inject(name: str) -> Iterator[None]:
+    """Apply the named mutation for the duration of the context."""
+    try:
+        mutation = MUTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {name!r} (known: {', '.join(mutation_names())})"
+        ) from None
+    with mutation():
+        yield

@@ -1,0 +1,435 @@
+"""Bounded explicit-state reference checking of HAS properties.
+
+An independent, brute-force oracle for the symbolic verifier: enumerate
+*all* concrete runs of a HAS over a small fixed database instance — the
+exact operational semantics of ``repro.runtime`` (the same successor
+enumeration the simulator samples from, explored exhaustively instead of
+randomly) — and look for an ultimately periodic run of the root task
+that violates the property.
+
+A violation candidate is a cycle in the global configuration graph: a
+path that revisits a complete configuration (every active task's
+valuation, artifact-relation contents, and segment bookkeeping, over the
+whole hierarchy) after emitting at least one further root-run letter.
+Such a path extends to the infinite run ``prefix·loop^ω``.  The
+candidate's word is evaluated with the reference LTL evaluators, and a
+hit is confirmed through :func:`repro.witness.replay.validate` — the
+same replay/LTL validation contract concrete witnesses must pass — so a
+reported violation is *ground truth*, independent of every line of the
+symbolic machinery.
+
+The search is bounded (root-word length, path depth, expansion and time
+budgets).  ``clean`` therefore means "no violation within bounds", not
+"holds"; the differential harness treats it accordingly.  Blocking
+violations (a finite root word kept maximal by a child that never
+returns) are out of scope here — the harness checks the symbolic
+verifier's blocking verdicts through witness concretization instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.database.instance import DatabaseInstance
+from repro.has.system import HAS
+from repro.has.task import Task
+from repro.hltl.formulas import ChildProp, HLTLProperty
+from repro.logic.terms import VarKind
+from repro.ltl.formulas import NotF, holds_infinite_lasso, propositions
+from repro.runtime import labels
+from repro.runtime.state import TaskState, initial_state
+from repro.runtime.transition import (
+    EnumerationLimits,
+    enumerate_post_valuations,
+    set_update_results,
+)
+from repro.witness.replay import build_word, validate
+from repro.witness.trace import ConcreteStep
+
+VERDICT_VIOLATED = "violated"
+VERDICT_CLEAN = "clean"
+VERDICT_BOXED = "boxed"
+VERDICT_UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class BoundedConfig:
+    """Budgets for the explicit-state search (per database instance)."""
+
+    max_root_steps: int = 10
+    """Longest root-run word considered (the opening instant included)."""
+
+    max_depth: int = 28
+    """Longest path of global transitions explored."""
+
+    max_expansions: int = 4_000
+    """Configuration-expansion budget; exceeding it yields ``boxed``."""
+
+    max_branch: int = 4
+    """Successor cap per (task, service) pair — mirrors the simulator's
+    ``max_choices_per_step``."""
+
+    max_root_inputs: int = 4
+    """Initial root valuations tried per instance."""
+
+    time_budget_seconds: float | None = 15.0
+    """Wall-clock budget across all instances; exceeding it yields
+    ``boxed``."""
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One active task instance: its state plus segment bookkeeping and
+    the (canonically sorted) active children — hashable, so a full
+    hierarchy configuration is one nested value."""
+
+    task: str
+    valuation: frozenset  # of (Variable, Value) pairs
+    set_contents: frozenset
+    opened: frozenset  # children opened in the current segment
+    children: tuple["_Node", ...]
+
+
+@dataclass
+class BoundedViolation:
+    """A confirmed concrete lasso counterexample found by the search."""
+
+    database: DatabaseInstance
+    steps: list[ConcreteStep]
+    loop_start: int
+    checks: dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass
+class BoundedResult:
+    verdict: str
+    violation: BoundedViolation | None = None
+    expansions: int = 0
+    lasso_candidates: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def _has_child_props(prop: HLTLProperty) -> bool:
+    return any(
+        isinstance(payload, ChildProp)
+        for payload in propositions(prop.root.formula)
+    )
+
+
+class _Search:
+    """Exhaustive bounded DFS over global configurations of one HAS on
+    one database instance."""
+
+    def __init__(
+        self,
+        has: HAS,
+        prop: HLTLProperty,
+        db: DatabaseInstance,
+        config: BoundedConfig,
+        deadline: float | None,
+    ):
+        self.has = has
+        self.prop = prop
+        self.db = db
+        self.config = config
+        self.deadline = deadline
+        self.limits = EnumerationLimits(max_results=config.max_branch)
+        self.expansions = 0
+        self.lasso_candidates = 0
+        self.boxed = False
+        self.notes: list[str] = []
+        self._internal_memo: dict[tuple, list[TaskState]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> BoundedViolation | None:
+        root = self.has.root
+        for inputs in self._root_inputs():
+            state = initial_state(root, inputs)
+            node = _Node(
+                root.name,
+                frozenset(state.valuation.items()),
+                frozenset(),
+                frozenset(),
+                (),
+            )
+            trace = [(labels.opening(root.name), state)]
+            found = self._dfs(node, trace, {node: 1}, 0)
+            if found is not None:
+                return found
+            if self.boxed:
+                return None
+        return None
+
+    def _root_inputs(self) -> list[dict]:
+        inputs = tuple(self.has.root.input_variables)
+        if not inputs:
+            return [{}]
+        # dedicated limits: self.limits caps per-service branching at
+        # max_branch, which would silently override max_root_inputs
+        limits = EnumerationLimits(max_results=self.config.max_root_inputs)
+        return list(
+            enumerate_post_valuations(
+                inputs, self.has.precondition, self.db, {}, limits
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _dfs(
+        self,
+        node: _Node,
+        trace: list,
+        on_path: dict[_Node, int],
+        depth: int,
+    ) -> BoundedViolation | None:
+        if self.boxed:
+            return None
+        if self.expansions >= self.config.max_expansions or (
+            self.deadline is not None and time.monotonic() > self.deadline
+        ):
+            self.boxed = True
+            return None
+        self.expansions += 1
+        for new_node, ref in self._successors(node):
+            if ref is not None:
+                step_state = TaskState(
+                    dict(new_node.valuation), new_node.set_contents
+                )
+                new_trace = trace + [(ref, step_state)]
+            else:
+                new_trace = trace
+            seen_at = on_path.get(new_node)
+            if seen_at is not None:
+                if len(new_trace) > seen_at:
+                    found = self._try_lasso(new_trace, seen_at)
+                    if found is not None:
+                        return found
+                continue
+            if len(new_trace) > self.config.max_root_steps:
+                continue
+            if depth + 1 >= self.config.max_depth:
+                continue
+            on_path[new_node] = len(new_trace)
+            found = self._dfs(new_node, new_trace, on_path, depth + 1)
+            del on_path[new_node]
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------------
+    # successor generation (the simulator's move set, exhaustively)
+    # ------------------------------------------------------------------
+    def _successors(self, node: _Node) -> list[tuple[_Node, labels.ServiceRef | None]]:
+        task = self.has.task(node.task)
+        valuation = dict(node.valuation)
+        state = TaskState(valuation, node.set_contents)
+        active = {c.task: c for c in node.children}
+        results: list[tuple[_Node, labels.ServiceRef | None]] = []
+
+        # internal services — only when no subtask is active (restriction 4)
+        if not node.children:
+            for service in task.services:
+                if not service.pre.evaluate(self.db, valuation):
+                    continue
+                for nxt in self._internal_candidates(task, service, node):
+                    results.append(
+                        (
+                            _Node(
+                                node.task,
+                                frozenset(nxt.valuation.items()),
+                                nxt.set_contents,
+                                frozenset(),  # internal move starts a new segment
+                                (),
+                            ),
+                            labels.internal(task.name, service.name),
+                        )
+                    )
+
+        # open a child (at most once per segment — restriction 8)
+        for child in task.children:
+            if child.name in active or child.name in node.opened:
+                continue
+            if not child.opening.pre.evaluate(self.db, valuation):
+                continue
+            inputs = {
+                child_var: valuation[parent_var]
+                for child_var, parent_var in child.opening.input_map.items()
+            }
+            child_state = initial_state(child, inputs)
+            child_node = _Node(
+                child.name,
+                frozenset(child_state.valuation.items()),
+                frozenset(),
+                frozenset(),
+                (),
+            )
+            results.append(
+                (
+                    _Node(
+                        node.task,
+                        node.valuation,
+                        node.set_contents,
+                        node.opened | {child.name},
+                        _sorted_children(node.children + (child_node,)),
+                    ),
+                    labels.opening(child.name),
+                )
+            )
+
+        # close an active child whose own subtree is quiescent
+        for child in task.children:
+            child_node = active.get(child.name)
+            if child_node is None or child_node.children:
+                continue
+            child_valuation = dict(child_node.valuation)
+            if not child.closing.pre.evaluate(self.db, child_valuation):
+                continue
+            new_valuation = dict(valuation)
+            for parent_var, child_var in sorted(
+                child.closing.output_map.items(), key=lambda kv: kv[0].name
+            ):
+                old = new_valuation[parent_var]
+                if parent_var.kind is VarKind.NUMERIC or old is None:
+                    new_valuation[parent_var] = child_valuation[child_var]
+            results.append(
+                (
+                    _Node(
+                        node.task,
+                        frozenset(new_valuation.items()),
+                        node.set_contents,
+                        node.opened,
+                        tuple(c for c in node.children if c.task != child.name),
+                    ),
+                    labels.closing(child.name),
+                )
+            )
+
+        # moves inside an active child — invisible in this task's run
+        for child_node in node.children:
+            others = tuple(c for c in node.children if c.task != child_node.task)
+            for new_child, _ref in self._successors(child_node):
+                results.append(
+                    (
+                        _Node(
+                            node.task,
+                            node.valuation,
+                            node.set_contents,
+                            node.opened,
+                            _sorted_children(others + (new_child,)),
+                        ),
+                        None,
+                    )
+                )
+        return results
+
+    def _internal_candidates(
+        self, task: Task, service, node: _Node
+    ) -> list[TaskState]:
+        memo_key = (task.name, service.name, node.valuation, node.set_contents)
+        cached = self._internal_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        state = TaskState(dict(node.valuation), node.set_contents)
+        preserved = {v: state.valuation[v] for v in task.input_variables}
+        candidates: list[TaskState] = []
+        for valuation in enumerate_post_valuations(
+            task.variables, service.post, self.db, preserved, self.limits
+        ):
+            for adjusted, contents in set_update_results(
+                task, service.update, state, valuation
+            ):
+                if any(adjusted[v] != preserved[v] for v in preserved):
+                    continue
+                if not service.post.evaluate(self.db, adjusted):
+                    continue
+                candidates.append(TaskState(adjusted, contents))
+                if len(candidates) >= self.config.max_branch:
+                    break
+            if len(candidates) >= self.config.max_branch:
+                break
+        self._internal_memo[memo_key] = candidates
+        return candidates
+
+    # ------------------------------------------------------------------
+    def _try_lasso(self, trace: list, loop_start: int) -> BoundedViolation | None:
+        self.lasso_candidates += 1
+        steps = [
+            ConcreteStep(
+                index=i,
+                service=ref,
+                valuation=dict(state.valuation),
+                set_contents=state.set_contents,
+            )
+            for i, (ref, state) in enumerate(trace)
+        ]
+        word = build_word(self.prop, steps, self.db)
+        prefix, loop = word[:loop_start], word[loop_start:]
+        formula = self.prop.root.formula
+        if not holds_infinite_lasso(NotF(formula), prefix, loop):
+            return None
+        checks, _notes = validate(
+            self.has, self.prop, "lasso", self.db, steps, loop_start
+        )
+        if not (checks and all(checks.values())):
+            failed = sorted(k for k, ok in checks.items() if not ok)
+            self.notes.append(
+                f"lasso candidate at depth {len(steps)} refuted by replay "
+                f"validation (failed: {', '.join(failed)})"
+            )
+            return None
+        return BoundedViolation(self.db, steps, loop_start, checks)
+
+
+def _sorted_children(children: tuple[_Node, ...]) -> tuple[_Node, ...]:
+    return tuple(sorted(children, key=lambda c: c.task))
+
+
+def bounded_check(
+    has: HAS,
+    prop: HLTLProperty,
+    databases: list[DatabaseInstance],
+    config: BoundedConfig | None = None,
+) -> BoundedResult:
+    """Search every instance for a confirmed concrete lasso violation.
+
+    Returns ``violated`` with the (replay-validated) counterexample,
+    ``clean`` when the bounded space was exhausted on every instance,
+    ``boxed`` when an expansion/time budget cut the search short, or
+    ``unsupported`` when the property carries child-task formulas (their
+    letters cannot be discharged concretely at the root)."""
+    cfg = config or BoundedConfig()
+    if _has_child_props(prop):
+        return BoundedResult(
+            VERDICT_UNSUPPORTED,
+            notes=["property contains [ψ]_Tc child formulas"],
+        )
+    deadline = (
+        time.monotonic() + cfg.time_budget_seconds
+        if cfg.time_budget_seconds is not None
+        else None
+    )
+    expansions = 0
+    candidates = 0
+    notes: list[str] = []
+    boxed = False
+    for db in databases:
+        search = _Search(has, prop, db, cfg, deadline)
+        violation = search.run()
+        expansions += search.expansions
+        candidates += search.lasso_candidates
+        notes.extend(search.notes)
+        if violation is not None:
+            return BoundedResult(
+                VERDICT_VIOLATED,
+                violation=violation,
+                expansions=expansions,
+                lasso_candidates=candidates,
+                notes=notes,
+            )
+        boxed = boxed or search.boxed
+    return BoundedResult(
+        VERDICT_BOXED if boxed else VERDICT_CLEAN,
+        expansions=expansions,
+        lasso_candidates=candidates,
+        notes=notes,
+    )

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Four subcommands drive the batch verification service:
+Five subcommands drive the batch verification service:
 
 * ``verify`` — one system + property (a built-in example, a job JSON
   file, or a suite job reference), printed as a full verdict with
@@ -13,7 +13,12 @@ Four subcommands drive the batch verification service:
 * ``suite`` — a named job suite through the batch runner, with workers,
   result cache, and JSONL export;
 * ``bench`` — the same suite at several worker counts, reporting batch
-  wall time and speedup (cache disabled so every run does the work).
+  wall time and speedup (cache disabled so every run does the work);
+* ``fuzz`` — the differential fuzzing campaign (``repro.fuzz``): seeded
+  random scenarios cross-checked between the symbolic verifier and the
+  bounded explicit-state reference checker, discrepancies shrunk and
+  written as replayable reports (``--replay``); exit codes 0 (all
+  agree), 1 (discrepancy found / replay reproduced), 2 (usage error).
 """
 
 from __future__ import annotations
@@ -346,6 +351,115 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing campaign / discrepancy replay."""
+    import contextlib
+
+    from repro.fuzz import (
+        BoundedConfig,
+        GenConfig,
+        corpus_entry,
+        load_report,
+        replay_report,
+        run_campaign,
+        write_corpus_entry,
+    )
+    from repro.fuzz.mutations import inject, mutation_names
+
+    if args.export_corpus and args.inject_bug:
+        raise _die(
+            "--export-corpus cannot be combined with --inject-bug: corpus "
+            "entries record expected verdicts, and a mutated verifier would "
+            "poison them"
+        )
+    if args.replay and args.export_corpus:
+        raise _die(
+            "--replay does not run a campaign and cannot export corpus "
+            "entries; drop --export-corpus (see docs/testing.md for the "
+            "discrepancy→corpus recipe)"
+        )
+    mutation = contextlib.nullcontext()
+    if args.inject_bug:
+        if args.inject_bug not in mutation_names():
+            raise _die(
+                f"unknown mutation {args.inject_bug!r} "
+                f"(known: {', '.join(mutation_names())})"
+            )
+        mutation = inject(args.inject_bug)
+
+    if args.replay:
+        if not Path(args.replay).exists():
+            raise _die(f"{args.replay}: report file not found")
+        try:
+            report = load_report(args.replay)
+        except ValueError as exc:
+            raise _die(str(exc)) from None
+        try:
+            with mutation:
+                reproduced, outcome, notes = replay_report(report)
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            # a malformed/truncated report is a usage error (exit 2) —
+            # exit 1 is reserved for "discrepancy reproduced"
+            raise _die(
+                f"{args.replay}: not a replayable report "
+                f"({type(exc).__name__}: {exc})"
+            ) from None
+        for note in notes:
+            print(f"  note: {note}")
+        print(outcome.one_line())
+        if notes:
+            print(f"replay of {report['name']}: NOT EXACT (see notes)")
+            return 2
+        if reproduced:
+            print(
+                f"replay of {report['name']}: discrepancy "
+                f"{report['kind']!r} REPRODUCED"
+            )
+            return 1
+        print(f"replay of {report['name']}: discrepancy no longer reproduces")
+        return 0
+
+    if args.count < 1:
+        raise _die("--count must be at least 1")
+    gen_config = GenConfig(max_depth=args.max_depth)
+    # --budget 0 disables the wall clock: verdicts then depend only on
+    # the deterministic km/expansion caps (what CI wants — no spurious
+    # discrepancies on slow runners)
+    wall = args.budget if args.budget > 0 else None
+    verifier_config = VerifierConfig(
+        km_budget=args.km_budget, time_limit_seconds=wall
+    )
+    bounded_config = BoundedConfig(time_budget_seconds=wall)
+    on_outcome = None
+    if args.verbose:
+        on_outcome = lambda outcome: print(  # noqa: E731
+            f"  {outcome.one_line()}", flush=True
+        )
+    with mutation:
+        campaign = run_campaign(
+            args.seed,
+            args.count,
+            gen_config=gen_config,
+            verifier_config=verifier_config,
+            bounded_config=bounded_config,
+            out_dir=args.out,
+            shrink=not args.no_shrink,
+            on_outcome=on_outcome,
+        )
+    print(campaign.format_report())
+    if args.export_corpus:
+        written = 0
+        for outcome in campaign.outcomes:
+            if outcome.discrepancy is None:
+                write_corpus_entry(
+                    args.export_corpus,
+                    corpus_entry(outcome, verifier_config, bounded_config),
+                )
+                written += 1
+        print(f"{written} corpus entries written to {args.export_corpus}")
+    return 1 if campaign.discrepancies else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -478,6 +592,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random scenarios cross-checked between "
+        "the symbolic verifier and a bounded explicit-state reference "
+        "checker (exit code: 0 all agree, 1 discrepancy/reproduced, 2 "
+        "usage error)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=25, help="scenarios to generate (default 25)"
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        help="per-scenario wall-clock budget in seconds, applied to both "
+        "checkers (default 10; 0 disables the wall clock so verdicts "
+        "depend only on the deterministic --km-budget/expansion caps — "
+        "use 0 in CI)",
+    )
+    fuzz.add_argument(
+        "--km-budget",
+        type=int,
+        default=20_000,
+        help="Karp–Miller node budget per scenario (default 20000)",
+    )
+    fuzz.add_argument(
+        "--max-depth",
+        type=int,
+        default=2,
+        help="maximum task-hierarchy depth of generated systems (default 2)",
+    )
+    fuzz.add_argument(
+        "--out",
+        default="fuzz-reports",
+        help="directory for discrepancy reports (default fuzz-reports)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip scenario shrinking on discrepancies",
+    )
+    fuzz.add_argument(
+        "--export-corpus",
+        metavar="DIR",
+        help="write each agreeing scenario as a regression corpus entry",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="REPORT",
+        help="replay a discrepancy report: regenerate its scenario from the "
+        "embedded seed + GenConfig and re-run the differential check "
+        "(exit 1 when the discrepancy reproduces, 0 when it no longer "
+        "does, 2 when regeneration is not exact)",
+    )
+    fuzz.add_argument(
+        "--inject-bug",
+        metavar="NAME",
+        help="apply a named verifier mutation (repro.fuzz.mutations) for "
+        "the campaign/replay — used to smoke-test the oracle itself",
+    )
+    fuzz.add_argument(
+        "--verbose", action="store_true", help="print each scenario as it finishes"
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

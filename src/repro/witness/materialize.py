@@ -86,6 +86,9 @@ class _Segment:
     store: ConstraintStore | None = None  # refined final store
     records: list[dict[Variable, object]] = field(default_factory=list)
     sample: StoreSample | None = None
+    forced: dict[Variable, object] = field(default_factory=dict)
+    """Values for variables with no store node (unconstrained): seam
+    variables freely set to their cycle-entry value."""
 
 
 def _default(variable: Variable):
@@ -224,13 +227,19 @@ def _refined_store_candidates(
 
 
 def _valuation_at(
-    record: Mapping[Variable, object], sample: StoreSample, task
+    record: Mapping[Variable, object],
+    sample: StoreSample,
+    task,
+    forced: Mapping[Variable, object] | None = None,
 ) -> dict[Variable, object]:
     valuation = {}
     for variable in task.variables:
         node = record.get(variable)
         if node is None:
-            valuation[variable] = _default(variable)
+            if forced and variable in forced:
+                valuation[variable] = forced[variable]
+            else:
+                valuation[variable] = _default(variable)
         else:
             valuation[variable] = sample.value_of(node)
     return valuation
@@ -280,6 +289,7 @@ class Materializer:
         current_set: frozenset[SetTuple] = frozenset()
         for seg_index, segment in enumerate(segments):
             pins: dict = {}
+            seam: Mapping[Variable, object] | None = None
             if segment is not anchor:
                 for v, value in input_values.items():
                     node = segment.records[-1].get(v)
@@ -289,7 +299,7 @@ class Materializer:
                     seam_values is not None
                     and seg_index == len(segments) - 1
                 ):
-                    self._add_seam_pins(segment, seam_values, pins)
+                    seam = seam_values
             current_set = self._sample_with_sets(
                 segment,
                 positions,
@@ -297,12 +307,15 @@ class Materializer:
                 pins,
                 current_set,
                 is_anchor=segment is anchor,
+                seam_values=seam,
             )
             # extract valuations and set contents for the segment
             assert segment.sample is not None
             for index in range(segment.start, segment.end + 1):
                 record = segment.records[index - segment.start]
-                valuations[index] = _valuation_at(record, segment.sample, self.task)
+                valuations[index] = _valuation_at(
+                    record, segment.sample, self.task, segment.forced
+                )
             current_set = self._update_sets(
                 segment, positions, valuations, set_contents, current_set
             )
@@ -340,34 +353,46 @@ class Materializer:
                 return index
         raise _Fail("anchor position outside every segment")
 
-    def _add_seam_pins(
-        self, segment: _Segment, seam_values: Mapping[Variable, object], pins: dict
-    ) -> None:
-        record = segment.records[-1]
-        for variable, value in seam_values.items():
-            node = record.get(variable)
-            if node is not None:
-                pins[node] = value
-            elif value != _default(variable):
-                raise _Fail(
-                    f"lasso seam variable {variable.name!r} has no value node "
-                    f"to pin (cycle-entry value {value!r})"
-                )
-
     # ------------------------------------------------------------------
     def _sample_segment(
-        self, segment: _Segment, positions: list[_Position], pins: dict
+        self,
+        segment: _Segment,
+        positions: list[_Position],
+        pins: dict,
+        seam_values: Mapping[Variable, object] | None = None,
     ) -> None:
         """Sample the segment's refined final store, trying refinement
-        branches transactionally against the shared database builder."""
+        branches transactionally against the shared database builder.
+
+        ``seam_values`` (lasso exit segments only) pins the final
+        position to the cycle-entry valuation.  Pin nodes are resolved
+        against each *refined* candidate — the next service's
+        pre-condition may be what binds a seam variable in the first
+        place — and a variable with no node even after refinement is
+        unconstrained, so it is freely *forced* to its entry value."""
         failures: list[str] = []
         for candidate in _refined_store_candidates(
             segment, positions, self.task, self.vass
         ):
+            attempt = dict(pins)
+            if seam_values is not None:
+                record = segment.records[-1]
+                forced: dict[Variable, object] = {}
+                for variable, value in seam_values.items():
+                    node = record.get(variable)
+                    if node is None:
+                        node = candidate.binding_of(variable)
+                    if node is not None:
+                        attempt[node] = value
+                    elif value != _default(variable):
+                        forced[variable] = value
             snapshot = self.db.snapshot()
             try:
-                segment.sample = sample_store(candidate, self.db, pins)
+                segment.sample = sample_store(candidate, self.db, attempt)
                 segment.store = candidate
+                if seam_values is not None:
+                    segment.forced = forced
+                self._absorb_refined_bindings(segment, candidate)
                 return
             except SamplingError as exc:
                 failures.append(str(exc))
@@ -377,6 +402,26 @@ class Materializer:
             f"realization: {failures[-1] if failures else 'no candidates'}"
         )
 
+    def _absorb_refined_bindings(
+        self, segment: _Segment, store: ConstraintStore
+    ) -> None:
+        """Bindings introduced by the next-pre refinement must reach the
+        segment's valuations: a variable left unconstrained by the segment's
+        own stores (services reassign non-input variables freely) may be
+        equated to a value by the *next* service's pre-condition, and
+        defaulting it to null would make the replayed pre-condition fail.
+        Such a variable was never rebound inside the segment (a child-return
+        overwrite always leaves a store binding), so its refined node applies
+        to every position of the segment."""
+        last = segment.records[-1]
+        for variable in self.task.variables:
+            if variable in last:
+                continue
+            node = store.binding_of(variable)
+            if node is not None:
+                for record in segment.records:
+                    record.setdefault(variable, node)
+
     def _sample_with_sets(
         self,
         segment: _Segment,
@@ -385,6 +430,7 @@ class Materializer:
         pins: dict,
         current_set: frozenset[SetTuple],
         is_anchor: bool,
+        seam_values: Mapping[Variable, object] | None = None,
     ) -> frozenset[SetTuple]:
         """Sample the segment; when its leading internal service retrieves
         from the artifact relation, pin ``s̄`` to each stored tuple in turn
@@ -397,7 +443,7 @@ class Materializer:
             service = self.task.service(lead.service.name)
             retrieves = service.update.retrieves and self.task.has_set
         if not retrieves:
-            self._sample_segment(segment, positions, pins)
+            self._sample_segment(segment, positions, pins, seam_values)
             return current_set
         # candidate pool: current contents plus (for BOTH) the tuple being
         # inserted, which is the previous position's s̄ value
@@ -422,7 +468,7 @@ class Materializer:
             if not ok:
                 continue
             try:
-                self._sample_segment(segment, positions, attempt)
+                self._sample_segment(segment, positions, attempt, seam_values)
                 return current_set
             except _Fail as exc:
                 errors.append(exc.reason)

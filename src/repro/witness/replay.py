@@ -72,6 +72,37 @@ def build_word(
     return word
 
 
+def _second_unrolling(
+    task, plan, steps: list[ConcreteStep], loop_start: int
+):
+    """``plan`` extended by one more loop iteration, with artifact-relation
+    contents recomputed forward (the prescribed loop states carry the
+    *first* iteration's contents, which differ when the loop inserts).
+
+    Returns ``(unrolled_plan, stabilized)`` where ``stabilized`` is True
+    when the recomputed contents end where the first iteration ended —
+    the induction step making every further unrolling identical; or
+    ``(None, False)`` when a retrieval cannot be satisfied."""
+    from repro.witness.materialize import apply_set_update
+
+    current = steps[-1].set_contents
+    extra = []
+    for offset in range(loop_start, len(steps)):
+        step = steps[offset]
+        if step.service.is_internal and task.has_set:
+            service = task.service(step.service.name)
+            previous = steps[offset - 1] if offset > loop_start else steps[-1]
+            inserted = tuple(previous.valuation[v] for v in task.set_variables)
+            retrieved = tuple(step.valuation[v] for v in task.set_variables)
+            current = apply_set_update(service.update, current, inserted, retrieved)
+            if current is None:
+                return None, False
+        extra.append(
+            (step.service, TaskState(dict(step.valuation), current))
+        )
+    return plan + extra, current == steps[-1].set_contents
+
+
 def validate(
     has: HAS,
     prop: HLTLProperty,
@@ -126,27 +157,48 @@ def validate(
         else:
             entry = steps[loop_start - 1]
             exit_ = steps[-1]
-            periodic = (
-                dict(entry.valuation) == dict(exit_.valuation)
-                and entry.set_contents == exit_.set_contents
-            )
+            # The valuation must repeat exactly at the seam.  The artifact
+            # relation need not: a loop may insert tuples every iteration
+            # (the symbolic cycle is a coverability cycle, counters may
+            # grow), and since verified properties carry no set atoms the
+            # run's word is periodic regardless of S.  What must hold is
+            # *stabilization*: replaying the loop once more — with set
+            # contents recomputed forward — reaches the same state again,
+            # so the run is genuinely ultimately periodic from the second
+            # unrolling on.
+            periodic = dict(entry.valuation) == dict(exit_.valuation)
             checks["lasso_seam"] = periodic
             if not periodic:
                 notes.append(
-                    "loop exit state differs from loop entry state "
+                    "loop exit valuation differs from loop entry valuation "
                     "(the run is not ultimately periodic)"
                 )
-            # state equality alone misses structural bookkeeping (e.g. a
-            # child left open across the seam would be reopened while
-            # active); replaying a second loop unrolling catches it
+            # replaying a second loop unrolling also catches structural
+            # bookkeeping the state equality misses (e.g. a child left
+            # open across the seam would be reopened while active)
             if periodic:
-                unrolled = plan + plan[loop_start:]
-                try:
-                    replay_root_run(has, db, unrolled)
-                    checks["loop_unrolling"] = True
-                except RunError as exc:
+                unrolled, stabilized = _second_unrolling(
+                    has.root, plan, steps, loop_start
+                )
+                if unrolled is None:
                     checks["loop_unrolling"] = False
-                    notes.append(f"second loop unrolling is illegal: {exc}")
+                    notes.append(
+                        "second loop unrolling has an unsatisfiable "
+                        "artifact-relation retrieval"
+                    )
+                elif not stabilized:
+                    checks["loop_unrolling"] = False
+                    notes.append(
+                        "artifact relation does not stabilize after one "
+                        "extra loop unrolling (the loop is not repeatable)"
+                    )
+                else:
+                    try:
+                        replay_root_run(has, db, unrolled)
+                        checks["loop_unrolling"] = True
+                    except RunError as exc:
+                        checks["loop_unrolling"] = False
+                        notes.append(f"second loop unrolling is illegal: {exc}")
 
     # 2. reference LTL evaluation of the negated property
     word = build_word(prop, steps, db)

@@ -65,8 +65,10 @@ class ConcreteStep:
             "bindings": self.bindings_rendered(),
         }
         if self.set_contents:
+            # tuples may hold nulls (None); sort on a None-safe key
             data["set_contents"] = sorted(
-                [render_value(v) for v in tup] for tup in self.set_contents
+                ([render_value(v) for v in tup] for tup in self.set_contents),
+                key=lambda rendered: [(value is None, value) for value in rendered],
             )
         if self.child_beta:
             data["child_beta"] = {

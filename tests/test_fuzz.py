@@ -1,0 +1,391 @@
+"""The differential fuzzing subsystem (``repro.fuzz``).
+
+Covers: generator determinism (in-process, and byte-identical across
+processes and hash seeds — the PR 3 subprocess pattern extended to the
+fuzzer), validity of everything generated, the bounded explicit-state
+reference checker, the differential harness's agreement on healthy
+seeds, the mutation smoke-test (a deliberately injected verifier bug
+must be caught as a shrunk, replayable discrepancy), and the fuzz CLI's
+exit-code contract (mirroring ``explain``'s).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    BoundedConfig,
+    GenConfig,
+    bounded_check,
+    check_scenario,
+    generate_scenario,
+    load_report,
+    replay_report,
+    run_campaign,
+)
+from repro.fuzz.harness import shrink_scenario
+from repro.fuzz.mutations import inject, mutation_names
+from repro.fuzz.reference import (
+    VERDICT_BOXED,
+    VERDICT_CLEAN,
+    VERDICT_UNSUPPORTED,
+    VERDICT_VIOLATED,
+)
+from repro.has.restrictions import validate_has
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, child, validate_property
+from repro.ltl.formulas import Always
+from repro.service.cli import main as cli_main
+from repro.service.jobs import VerificationJob
+from repro.service.serialize import canonical_json, to_dict
+from repro.hltl.formulas import cond
+from repro.logic.conditions import TRUE
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_byte_identical_models(self):
+        for index in range(8):
+            first = generate_scenario(5, index)
+            second = generate_scenario(5, index)
+            assert canonical_json(to_dict(first.has)) == canonical_json(
+                to_dict(second.has)
+            )
+            assert canonical_json(to_dict(first.prop)) == canonical_json(
+                to_dict(second.prop)
+            )
+            assert VerificationJob(
+                has=first.has, prop=first.prop, name=first.name
+            ).key() == VerificationJob(
+                has=second.has, prop=second.prop, name=second.name
+            ).key()
+
+    def test_indices_generate_distinct_scenarios(self):
+        rendered = {
+            canonical_json(to_dict(generate_scenario(0, i).has)) for i in range(10)
+        }
+        assert len(rendered) > 5
+
+    def test_generated_scenarios_are_valid(self):
+        for index in range(20):
+            scenario = generate_scenario(11, index)
+            validate_has(scenario.has)
+            validate_property(scenario.prop, scenario.has)
+            for db in scenario.databases:
+                db.validate()
+
+    def test_config_round_trips(self):
+        config = GenConfig(max_depth=3, numeric_pool=(1, 2, 3))
+        assert GenConfig.from_dict(config.to_dict()) == config
+
+    def test_generation_is_hash_seed_independent(self):
+        """Same seed ⇒ byte-identical serialized models and identical job
+        content hash across processes and PYTHONHASHSEED values (the
+        subprocess-determinism pattern of tests/test_perf.py, extended
+        to the fuzzer's generator)."""
+        script = (
+            "import json\n"
+            "from repro.fuzz import generate_scenario\n"
+            "from repro.service.jobs import VerificationJob\n"
+            "from repro.service.serialize import canonical_json, to_dict\n"
+            "out = []\n"
+            "for index in range(4):\n"
+            "    s = generate_scenario(0, index)\n"
+            "    job = VerificationJob(has=s.has, prop=s.prop, name=s.name)\n"
+            "    out.append([canonical_json(to_dict(s.has)),\n"
+            "                canonical_json(to_dict(s.prop)), job.key()])\n"
+            "print(json.dumps(out))\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+                cwd=str(Path(__file__).parent.parent),
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, f"hash-seed-dependent generation: {outputs}"
+
+
+class TestBoundedChecker:
+    def test_confirms_a_known_violation(self):
+        # fuzz-s0-i1 is symbolically violated with a concrete lasso in
+        # range of the bounded search (pinned by the corpus campaign)
+        scenario = generate_scenario(0, 1)
+        result = bounded_check(scenario.has, scenario.prop, scenario.databases)
+        assert result.verdict == VERDICT_VIOLATED
+        violation = result.violation
+        assert violation is not None
+        assert violation.checks and all(violation.checks.values())
+        assert 0 < violation.loop_start < len(violation.steps)
+
+    def test_clean_on_a_holding_scenario(self):
+        scenario = generate_scenario(0, 0)
+        result = bounded_check(scenario.has, scenario.prop, scenario.databases)
+        assert result.verdict == VERDICT_CLEAN
+        assert result.violation is None
+
+    def test_boxed_when_budget_exhausted(self):
+        scenario = generate_scenario(0, 1)
+        result = bounded_check(
+            scenario.has,
+            scenario.prop,
+            scenario.databases,
+            BoundedConfig(max_expansions=1),
+        )
+        assert result.verdict == VERDICT_BOXED
+
+    def test_child_prop_properties_are_unsupported(self):
+        scenario = None
+        for index in range(40):
+            candidate = generate_scenario(0, index)
+            if candidate.has.root.children:
+                scenario = candidate
+                break
+        assert scenario is not None
+        target = scenario.has.root.children[0]
+        prop = HLTLProperty(
+            HLTLSpec(
+                scenario.has.root.name,
+                Always(child(target.name, cond(TRUE))),
+            ),
+            name="child-prop",
+        )
+        result = bounded_check(scenario.has, prop, scenario.databases)
+        assert result.verdict == VERDICT_UNSUPPORTED
+
+
+class TestDifferentialHarness:
+    def test_healthy_campaign_has_no_discrepancies(self):
+        campaign = run_campaign(0, 15, shrink=False)
+        assert campaign.discrepancies == []
+        statuses = {o.symbolic_status for o in campaign.outcomes}
+        assert "holds" in statuses and "violated" in statuses
+        # every violated verdict carried a confirmed concrete witness
+        for outcome in campaign.outcomes:
+            if outcome.symbolic_status == "violated":
+                assert outcome.witness_status == "confirmed"
+
+    def test_bounded_violations_only_on_symbolic_violations(self):
+        campaign = run_campaign(1, 15, shrink=False)
+        assert campaign.discrepancies == []
+        for outcome in campaign.outcomes:
+            if outcome.bounded and outcome.bounded.verdict == VERDICT_VIOLATED:
+                assert outcome.symbolic_status == "violated"
+
+
+class TestMutationSmoke:
+    """A deliberately injected verifier bug must be caught as a
+    discrepancy with a shrunk, replayable report — the oracle's own
+    regression test (acceptance criterion of the fuzz subsystem)."""
+
+    def test_known_mutations_exist(self):
+        assert set(mutation_names()) >= {
+            "drop_lasso",
+            "drop_blocking",
+            "spurious_violation",
+        }
+
+    def test_drop_lasso_is_caught_shrunk_and_replayable(self, tmp_path):
+        with inject("drop_lasso"):
+            campaign = run_campaign(3, 8, out_dir=tmp_path, shrink=True)
+        kinds = {o.discrepancy.kind for o in campaign.discrepancies}
+        assert "missed_violation" in kinds
+        assert campaign.report_paths, "discrepancy reports must be written"
+        report = load_report(campaign.report_paths[0])
+        # the report embeds seed + GenConfig and the discrepancy evidence
+        assert report["seed"] == 3
+        assert GenConfig.from_dict(report["gen_config"]) == GenConfig()
+        assert report["witness"] is not None
+        assert report["witness"]["status"] == "confirmed"
+        # shrunk scenario rides along and is no larger than the original
+        assert "shrunk" in report
+        assert len(canonical_json(report["shrunk"]["has"])) <= len(
+            canonical_json(report["has"])
+        )
+        # replay: reproduces under the mutation, not without it
+        with inject("drop_lasso"):
+            reproduced, _outcome, notes = replay_report(report)
+        assert reproduced and not notes
+        reproduced_clean, _outcome, notes = replay_report(report)
+        assert not reproduced_clean and not notes
+
+    def test_spurious_violation_is_caught(self, tmp_path):
+        with inject("spurious_violation"):
+            campaign = run_campaign(0, 5, out_dir=tmp_path, shrink=False)
+        kinds = {o.discrepancy.kind for o in campaign.discrepancies}
+        assert "non_concretizable" in kinds
+
+    def test_drop_blocking_is_the_documented_blind_spot(self):
+        """The bounded checker searches lassos only, so a verifier that
+        silently drops *blocking* violations is NOT caught today.  This
+        test pins the gap: if a blocking-direction oracle is ever added,
+        it will start failing and the mutation docs (and docs/testing.md)
+        must be flipped to 'caught'."""
+        scenario = generate_scenario(2, 1)
+        healthy = check_scenario(scenario)
+        assert healthy.symbolic_status == "violated"
+        with inject("drop_blocking"):
+            mutated = check_scenario(scenario)
+        assert mutated.symbolic_status == "holds"
+        assert mutated.discrepancy is None, (
+            "a blocking-direction oracle now exists — update "
+            "repro/fuzz/mutations.py and docs/testing.md to claim the catch"
+        )
+
+    def test_mutations_restore_the_verifier(self):
+        scenario = generate_scenario(3, 4)
+        with inject("drop_lasso"):
+            mutated = check_scenario(scenario)
+        assert mutated.symbolic_status == "holds"
+        healthy = check_scenario(scenario)
+        assert healthy.symbolic_status == "violated"
+        assert healthy.witness_status == "confirmed"
+
+
+class TestScenarioShrinking:
+    def test_shrunk_scenario_still_reproduces(self):
+        scenario = generate_scenario(3, 4)
+        with inject("drop_lasso"):
+            outcome = check_scenario(scenario)
+            assert outcome.discrepancy is not None
+            smaller, smaller_outcome = shrink_scenario(
+                scenario, outcome.discrepancy.kind, max_attempts=20
+            )
+        if smaller_outcome is not None:
+            assert smaller_outcome.discrepancy is not None
+            assert smaller_outcome.discrepancy.kind == outcome.discrepancy.kind
+            assert len(canonical_json(to_dict(smaller.has))) <= len(
+                canonical_json(to_dict(scenario.has))
+            )
+            validate_has(smaller.has)
+            validate_property(smaller.prop, smaller.has)
+
+
+class TestFuzzCLI:
+    """Exit-code contract, tested like ``explain``'s: 0 all-agree /
+    not-reproduced, 1 discrepancy / reproduced, 2 usage error."""
+
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        code = cli_main(
+            ["fuzz", "--seed", "0", "--count", "3", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no discrepancies" in out
+
+    def test_mutated_campaign_exits_one_and_writes_report(self, tmp_path, capsys):
+        reports = tmp_path / "reports"
+        code = cli_main(
+            [
+                "fuzz",
+                "--seed",
+                "3",
+                "--count",
+                "5",
+                "--inject-bug",
+                "drop_lasso",
+                "--no-shrink",
+                "--out",
+                str(reports),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DISCREPANCY" in out
+        report_files = list(reports.glob("discrepancy-*.json"))
+        assert report_files
+
+    def test_replay_exit_codes(self, tmp_path, capsys):
+        reports = tmp_path / "reports"
+        assert (
+            cli_main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "3",
+                    "--count",
+                    "5",
+                    "--inject-bug",
+                    "drop_lasso",
+                    "--no-shrink",
+                    "--out",
+                    str(reports),
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        report = str(next(reports.glob("discrepancy-*.json")))
+        # the report embeds seed + GenConfig; --replay reproduces it
+        # exactly under the same mutation…
+        code = cli_main(["fuzz", "--replay", report, "--inject-bug", "drop_lasso"])
+        assert code == 1
+        assert "REPRODUCED" in capsys.readouterr().out
+        # …and reports the fix once the mutation is gone
+        code = cli_main(["fuzz", "--replay", report])
+        assert code == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["fuzz", "--inject-bug", "nonsense", "--count", "1"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["fuzz", "--replay", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"t": "something_else"}))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["fuzz", "--replay", str(bogus)])
+        assert excinfo.value.code == 2
+        # truncated report (right tag, missing fields): usage error, not
+        # a fake "reproduced" exit 1
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(json.dumps({"t": "fuzz_report"}))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["fuzz", "--replay", str(truncated)])
+        assert excinfo.value.code == 2
+        # a mutated verifier must never write corpus ground truth
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(
+                [
+                    "fuzz",
+                    "--count",
+                    "1",
+                    "--inject-bug",
+                    "drop_lasso",
+                    "--export-corpus",
+                    str(tmp_path / "corpus"),
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_export_corpus_writes_entries(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        code = cli_main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--count",
+                "2",
+                "--out",
+                str(tmp_path / "reports"),
+                "--export-corpus",
+                str(corpus),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        entries = sorted(corpus.glob("scenario-*.json"))
+        assert len(entries) == 2
+        data = json.loads(entries[0].read_text())
+        assert data["t"] == "fuzz_corpus_entry"
+        assert data["expected"]["symbolic"] in ("holds", "violated")

@@ -1,0 +1,47 @@
+"""Replay of the checked-in fuzz regression corpus (``tests/corpus``).
+
+Every entry regenerates its scenario from the embedded seed +
+GenConfig, must match the stored serialized models byte-for-byte
+(generator stability) and the stored job content hash, and must
+reproduce both checkers' recorded verdicts with no cross-check
+discrepancy.  The corpus is the fuzzer's long-term memory: a nightly
+discrepancy, once fixed, lands here as a permanent regression test
+(see docs/testing.md for the recipe).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus_entry, replay_corpus_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("scenario-*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 25
+
+
+def test_corpus_mixes_verdicts():
+    """The corpus must keep exercising all three symbolic outcomes and
+    both interesting bounded outcomes."""
+    symbolic = set()
+    bounded = set()
+    for path in CORPUS:
+        expected = json.loads(path.read_text())["expected"]
+        symbolic.add(expected["symbolic"])
+        bounded.add(expected["bounded"])
+    assert {"holds", "violated", "budget_exceeded"} <= symbolic
+    assert {"clean", "violated"} <= bounded
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_replays_with_agreeing_verdicts(path):
+    entry = load_corpus_entry(path)
+    outcome, notes = replay_corpus_entry(entry)
+    assert not notes, f"{path.name}: {notes}"
+    assert outcome.discrepancy is None

@@ -116,6 +116,7 @@ class TestInterleavings:
             assert open_count == {"A": 1, "B": 1}
 
 
+@pytest.mark.slow
 class TestSimulatedInterleavings:
     def test_simulated_travel_trees_have_concurrency(self):
         """The buggy travel-lite admits trees where AddHotel and Cancel are

@@ -20,6 +20,7 @@ def db():
     return travel_database()
 
 
+@pytest.mark.slow
 class TestSimulatorSoundness:
     def test_simulated_trees_validate(self, db):
         has = travel_lite(fixed=False)
@@ -40,6 +41,7 @@ class TestSimulatorSoundness:
         assert max(lengths) > 1
 
 
+@pytest.mark.slow
 class TestCrossValidation:
     def test_buggy_violation_realized_concretely(self, db):
         """The verifier says the lite policy is violated; random simulation
