@@ -1,0 +1,75 @@
+"""Quickstart for the ``.has`` scenario DSL (``repro.dsl``).
+
+Three steps:
+
+1. parse a scenario written as text and verify it;
+2. show the lossless round-trip: the parsed system pretty-prints back
+   to a parse fixed point and keeps its content-addressed job hash;
+3. load a shipped gallery scenario from disk and explain its bug.
+
+Run:  python examples/dsl_quickstart.py
+"""
+
+from repro.dsl import loads, render_document
+from repro.service.pool import execute_job
+from repro.service.suites import gallery_dir
+from repro.dsl import load_document
+
+# ----------------------------------------------------------------------
+# 1. a scenario as text
+# ----------------------------------------------------------------------
+SCENARIO = """
+system shop {
+  schema {
+    relation ITEMS(price: num)
+  }
+
+  task Shop {
+    vars item: id, price: num
+    service Pick {
+      post: ITEMS(item, price)
+    }
+  }
+}
+
+property "picked-row-exists" on Shop {
+  expect: holds
+  formula: G {item = null or ITEMS(item, price)}
+}
+
+property "prices-are-zero" on Shop {
+  expect: violated
+  formula: G {price = 0}
+}
+"""
+
+doc = loads(SCENARIO, source="shop.has")
+print(f"parsed system {doc.system.name!r}: "
+      f"{len(list(doc.system.tasks()))} task(s), "
+      f"{len(doc.properties)} properties")
+
+for job in doc.jobs():
+    outcome = execute_job(job)
+    print(f"  {outcome.one_line()}")
+
+# ----------------------------------------------------------------------
+# 2. the round-trip guarantees
+# ----------------------------------------------------------------------
+printed = render_document(doc)
+again = loads(printed, source="shop-reprinted.has")
+assert render_document(again) == printed, "pretty-print is a parse fixed point"
+assert [j.key() for j in again.jobs()] == [j.key() for j in doc.jobs()], (
+    "text and reparsed scenarios share content-addressed job hashes"
+)
+print("round-trip: parse -> print -> parse is a fixed point; job keys stable")
+
+# ----------------------------------------------------------------------
+# 3. a gallery scenario from disk
+# ----------------------------------------------------------------------
+path = gallery_dir() / "order_fulfillment.has"
+gallery_doc = load_document(path)
+outcome = execute_job(gallery_doc.jobs()[0])
+print(f"\ngallery scenario {path.name}: {outcome.one_line()}")
+print("see docs/dsl.md for the language reference, and run:")
+print("  python -m repro suite gallery")
+print(f"  python -m repro explain {path}")

@@ -9,9 +9,11 @@ Most-used entry points::
 
     from repro import HAS, Task, InternalService, verify
     from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond, child, service
+    from repro.dsl import load_document          # .has scenario files
 
 See README.md for a worked example, docs/architecture.md for the
-architecture, docs/tutorial.md for a narrated end-to-end session, and
+architecture, docs/tutorial.md for a narrated end-to-end session,
+docs/dsl.md for the ``.has`` scenario language and its gallery, and
 docs/performance.md for the hot-path caches and benchmark harness.
 """
 

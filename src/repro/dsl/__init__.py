@@ -1,0 +1,71 @@
+"""``repro.dsl`` — the human-readable ``.has`` scenario front-end.
+
+A ``.has`` file declares one complete verification scenario in text: a
+database schema with its foreign-key graph, the task hierarchy with
+services and opening/closing conditions, artifact (set) relations,
+HLTL-FO properties with expected verdicts, optional concrete database
+instances, and an optional verifier configuration.
+
+The format round-trips losslessly through the canonical serialization of
+:mod:`repro.service.serialize`: parsing the printed form of a model
+object yields an object with the identical tagged-dict form — and
+therefore the identical job content hash.  See ``docs/dsl.md`` for the
+language reference and ``src/repro/workloads/gallery/`` for a gallery of
+ready-to-run scenarios (``python -m repro suite gallery``).
+
+Typical use::
+
+    from repro.dsl import load_document, render_scenario
+
+    doc = load_document("workloads/gallery/loan_approval.has")
+    job = doc.jobs()[0]            # a content-addressed VerificationJob
+"""
+
+from repro.dsl.document import EXPECTATIONS, PropertyEntry, ScenarioDocument
+from repro.dsl.lexer import DslSyntaxError, tokenize
+from repro.dsl.loader import (
+    directory_jobs,
+    file_jobs,
+    load_directory,
+    load_document,
+    loads,
+    validate_document,
+)
+from repro.dsl.parser import parse_condition, parse_document, parse_formula
+from repro.dsl.printer import (
+    DslPrintError,
+    render_condition,
+    render_config,
+    render_document,
+    render_formula,
+    render_instance,
+    render_property,
+    render_scenario,
+    render_system,
+)
+
+__all__ = [
+    "EXPECTATIONS",
+    "PropertyEntry",
+    "ScenarioDocument",
+    "DslSyntaxError",
+    "DslPrintError",
+    "tokenize",
+    "parse_document",
+    "parse_condition",
+    "parse_formula",
+    "loads",
+    "load_document",
+    "load_directory",
+    "directory_jobs",
+    "file_jobs",
+    "validate_document",
+    "render_document",
+    "render_system",
+    "render_property",
+    "render_instance",
+    "render_config",
+    "render_condition",
+    "render_formula",
+    "render_scenario",
+]

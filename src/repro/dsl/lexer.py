@@ -1,0 +1,167 @@
+"""Tokenizer for the ``.has`` scenario language.
+
+The lexer is deliberately small: identifiers, rational/float numbers,
+double-quoted strings, a fixed set of punctuation, and ``#`` line
+comments.  Keywords are *contextual* — the parser checks token text where
+the grammar expects a keyword, so ``U``, ``open``, ``pre`` … remain legal
+variable and relation names everywhere else.  Every token carries its
+line/column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+
+class DslSyntaxError(SpecificationError):
+    """A lexical or syntactic error in a ``.has`` document."""
+
+    def __init__(self, message: str, source: str, line: int, column: int):
+        super().__init__(f"{source}:{line}:{column}: {message}")
+        self.source = source
+        self.line = line
+        self.column = column
+
+
+#: Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+OP = "op"
+EOF = "eof"
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<-",
+    "->",
+    "!=",
+    "<=",
+    ">=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ":",
+    ".",
+    "@",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r}@{self.line}:{self.column})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str, source: str = "<string>") -> list[Token]:
+    """Tokenize a ``.has`` document; raises :class:`DslSyntaxError`."""
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_part(text[j]):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            # one of:  123   123/456   123.456   1.5e-3
+            if j < n and text[j] == "/" and j + 1 < n and text[j + 1].isdigit():
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            elif j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                if j < n and text[j] in "eE":
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        j = k
+                        while j < n and text[j].isdigit():
+                            j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            value: list[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise DslSyntaxError(
+                        "unterminated string", source, start_line, start_col
+                    )
+                if text[j] == "\\" and j + 1 < n:
+                    value.append(text[j + 1])
+                    j += 2
+                else:
+                    value.append(text[j])
+                    j += 1
+            if j >= n:
+                raise DslSyntaxError(
+                    "unterminated string", source, start_line, start_col
+                )
+            tokens.append(Token(STRING, "".join(value), start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(OP, op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise DslSyntaxError(
+                f"unexpected character {ch!r}", source, start_line, start_col
+            )
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,102 @@
+"""Loading ``.has`` files and directories of them.
+
+* :func:`load_document` — parse + statically validate one file
+  (:func:`repro.has.restrictions.validate_has` on the system,
+  :func:`repro.hltl.formulas.validate_property` on every property);
+* :func:`load_directory` — every ``*.has`` file in a directory, sorted
+  by file name so suites built from a directory are deterministic;
+* :func:`directory_jobs` — the flattened job list of a directory, the
+  building block of the ``gallery`` suite
+  (:func:`repro.service.suites.build_suite`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.dsl.document import ScenarioDocument
+from repro.dsl.parser import parse_document
+from repro.errors import ReproError, SpecificationError
+from repro.has.restrictions import validate_has
+from repro.hltl.formulas import validate_property
+from repro.verifier.config import VerifierConfig
+
+
+def loads(text: str, source: str = "<string>", validate: bool = True) -> ScenarioDocument:
+    """Parse (and by default validate) a ``.has`` document from a string."""
+    doc = parse_document(text, source)
+    if validate:
+        validate_document(doc)
+    return doc
+
+
+def load_document(path: Path | str, validate: bool = True) -> ScenarioDocument:
+    """Parse (and by default validate) one ``.has`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecificationError(f"{path}: cannot read ({exc})") from exc
+    return loads(text, source=str(path), validate=validate)
+
+
+def validate_document(doc: ScenarioDocument) -> None:
+    """Run the model layer's static validators over a parsed document."""
+    try:
+        validate_has(doc.system)
+        for entry in doc.properties:
+            validate_property(entry.prop, doc.system)
+    except ReproError as exc:
+        raise SpecificationError(f"{doc.source}: {exc}") from exc
+
+
+def load_directory(
+    directory: Path | str, validate: bool = True
+) -> list[ScenarioDocument]:
+    """All ``*.has`` documents in ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise SpecificationError(f"{directory}: not a directory")
+    paths = sorted(directory.glob("*.has"))
+    if not paths:
+        raise SpecificationError(f"{directory}: no .has files found")
+    return [load_document(path, validate=validate) for path in paths]
+
+
+def _jobs_or_error(doc: ScenarioDocument, default_config) -> list:
+    """A suite scenario with nothing to verify is a mistake, not an
+    empty contribution — a deleted property block must not turn a
+    suite green."""
+    if not doc.properties:
+        raise SpecificationError(
+            f"{doc.source}: scenario declares no properties (nothing to verify)"
+        )
+    return doc.jobs(default_config)
+
+
+def file_jobs(
+    path: Path | str,
+    default_config: VerifierConfig | None = None,
+    validate: bool = True,
+) -> list:
+    """The job list of one ``.has`` file; errors when it declares no
+    properties."""
+    return _jobs_or_error(load_document(path, validate=validate), default_config)
+
+
+def directory_jobs(
+    directory: Path | str,
+    default_config: VerifierConfig | None = None,
+    validate: bool = True,
+) -> list:
+    """One flat job list for every scenario in ``directory``.
+
+    File-level ``config`` blocks win over ``default_config`` (budget-boxed
+    scenarios carry their own budgets); everything else runs under the
+    caller's suite defaults.  A file without properties is an error, as
+    in :func:`file_jobs`.
+    """
+    jobs = []
+    for doc in load_directory(directory, validate=validate):
+        jobs.extend(_jobs_or_error(doc, default_config))
+    return jobs

@@ -32,12 +32,14 @@ from repro.fuzz.harness import (
     ScenarioOutcome,
     check_scenario,
     corpus_entry,
+    corpus_entry_has,
     load_corpus_entry,
     load_report,
     replay_corpus_entry,
     replay_report,
     run_campaign,
     write_corpus_entry,
+    write_corpus_entry_has,
 )
 from repro.fuzz.reference import BoundedConfig, BoundedResult, bounded_check
 
@@ -52,6 +54,7 @@ __all__ = [
     "bounded_check",
     "check_scenario",
     "corpus_entry",
+    "corpus_entry_has",
     "generate_scenario",
     "load_corpus_entry",
     "load_report",
@@ -59,4 +62,5 @@ __all__ = [
     "replay_report",
     "run_campaign",
     "write_corpus_entry",
+    "write_corpus_entry_has",
 ]

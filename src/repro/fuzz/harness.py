@@ -578,6 +578,60 @@ def write_corpus_entry(directory: Path | str, entry: Mapping[str, Any]) -> Path:
     return path
 
 
+def corpus_entry_has(
+    outcome: ScenarioOutcome,
+    verifier_config: VerifierConfig | None = None,
+) -> str:
+    """The scenario as a readable ``.has`` document (``repro.dsl``).
+
+    The emitted text is self-contained regression material: the system,
+    the property with its ``expect:`` set to the campaign's symbolic
+    verdict, the generated concrete instances, and the recorded budgets
+    (wall clock stripped, same corpus-grade rule as :func:`corpus_entry`)
+    — loadable by ``python -m repro verify/suite`` like any hand-written
+    scenario.  A header comment records the generation coordinates; the
+    body round-trips through the serializer, so the job content hash is
+    the JSON corpus entry's ``job_key``."""
+    from repro.dsl import render_scenario
+
+    scenario = outcome.scenario
+    recorded = dataclasses.replace(
+        verifier_config or DEFAULT_VERIFIER_CONFIG, time_limit_seconds=None
+    )
+    expect = (
+        outcome.symbolic_status
+        if outcome.symbolic_status
+        in (SYMBOLIC_HOLDS, SYMBOLIC_VIOLATED, SYMBOLIC_BUDGET)
+        else None
+    )
+    bounded = outcome.bounded.verdict if outcome.bounded else "-"
+    header = (
+        f"# {scenario.name}: generated by `python -m repro fuzz "
+        f"--export-corpus --corpus-format has`\n"
+        f"# seed={scenario.seed} index={scenario.index} "
+        f"symbolic={outcome.symbolic_status} bounded={bounded}\n\n"
+    )
+    return header + render_scenario(
+        scenario.has,
+        properties=[(scenario.prop, expect)],
+        instances=[(f"db{k}", db) for k, db in enumerate(scenario.databases)],
+        config=recorded,
+    )
+
+
+def write_corpus_entry_has(
+    directory: Path | str,
+    outcome: ScenarioOutcome,
+    verifier_config: VerifierConfig | None = None,
+) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    scenario = outcome.scenario
+    path = directory / f"scenario-s{scenario.seed}-i{scenario.index}.has"
+    path.write_text(corpus_entry_has(outcome, verifier_config))
+    return path
+
+
 def load_corpus_entry(path: Path | str) -> dict:
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict) or data.get("t") != "fuzz_corpus_entry":

@@ -2,10 +2,11 @@
 
 Five subcommands drive the batch verification service:
 
-* ``verify`` — one system + property (a built-in example, a job JSON
-  file, or a suite job reference), printed as a full verdict with
-  witness, or as structured JSON with ``--json``; exit codes 0 (holds),
-  1 (violated), 2 (budget-exceeded / error) for scripts and CI;
+* ``verify`` — one system + property (a built-in example, a ``.has``
+  scenario file, a job JSON file, or a suite job reference), printed as
+  a full verdict with witness, or as structured JSON with ``--json``;
+  exit codes 0 (holds), 1 (violated), 2 (budget-exceeded / error) for
+  scripts and CI;
 * ``explain`` — the same targets, but on violation prints the concrete
   counterexample: a finite database plus a step-by-step run, validated
   by the simulator and the reference LTL evaluators and minimized
@@ -112,9 +113,43 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir)
 
 
+def _job_from_has_target(target: str, config: VerifierConfig) -> VerificationJob:
+    """A job from a ``.has`` scenario file; ``file.has::prop`` selects one
+    of several properties by name.  A ``config`` block in the file wins
+    over the CLI budget flags (budget-boxed scenarios depend on that)."""
+    from repro.dsl import load_document
+
+    path_text, _, selector = target.partition("::")
+    path = Path(path_text)
+    if not path.is_file():
+        raise _die(f"{path}: scenario file not found")
+    try:
+        doc = load_document(path)
+    except ReproError as exc:
+        raise _die(str(exc)) from None
+    if not doc.properties:
+        raise _die(f"{path}: the scenario declares no properties")
+    jobs = doc.jobs(default_config=config)
+    if selector:
+        try:
+            entry = doc.property_named(selector)
+        except ReproError as exc:
+            raise _die(str(exc)) from None
+        return jobs[doc.properties.index(entry)]
+    if len(jobs) > 1:
+        known = ", ".join(e.prop.name for e in doc.properties)
+        raise _die(
+            f"{path} declares {len(jobs)} properties; pick one with "
+            f"{path}::<name> (declared: {known})"
+        )
+    return jobs[0]
+
+
 def _job_from_target(target: str, config: VerifierConfig) -> VerificationJob:
-    """A job from a job JSON file, a ``suite/selector`` reference, or a
-    built-in example name."""
+    """A job from a job JSON file, a ``.has`` scenario file, a
+    ``suite/selector`` reference, or a built-in example name."""
+    if target.partition("::")[0].endswith(".has"):
+        return _job_from_has_target(target, config)
     if Path(target).suffix == ".json":
         if not Path(target).exists():
             raise _die(f"{target}: job file not found")
@@ -230,6 +265,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         jobs = build_suite(args.name, quick=args.quick, config=config)
     except KeyError as exc:
         raise _die(exc.args[0]) from None
+    except ReproError as exc:
+        # a .has file in the suite path failed to parse or validate
+        raise _die(str(exc)) from None
     cache = _cache_from_args(args)
     print(
         f"suite {args.name!r}: {len(jobs)} jobs, workers={args.workers}, "
@@ -260,6 +298,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         jobs = build_suite(args.name or "table1", quick=args.quick, config=config)
     except KeyError as exc:
         raise _die(exc.args[0]) from None
+    except ReproError as exc:
+        raise _die(str(exc)) from None
     workers_list = [int(w) for w in args.workers_list.split(",")]
     print(f"bench suite {args.name!r}: {len(jobs)} jobs at workers={workers_list}")
     baseline = None
@@ -363,6 +403,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         replay_report,
         run_campaign,
         write_corpus_entry,
+        write_corpus_entry_has,
     )
     from repro.fuzz.mutations import inject, mutation_names
 
@@ -451,12 +492,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         written = 0
         for outcome in campaign.outcomes:
             if outcome.discrepancy is None:
-                write_corpus_entry(
-                    args.export_corpus,
-                    corpus_entry(outcome, verifier_config, bounded_config),
-                )
+                if args.corpus_format == "has":
+                    write_corpus_entry_has(
+                        args.export_corpus, outcome, verifier_config
+                    )
+                else:
+                    write_corpus_entry(
+                        args.export_corpus,
+                        corpus_entry(outcome, verifier_config, bounded_config),
+                    )
                 written += 1
-        print(f"{written} corpus entries written to {args.export_corpus}")
+        print(
+            f"{written} {args.corpus_format} corpus entries written to "
+            f"{args.export_corpus}"
+        )
     return 1 if campaign.discrepancies else 0
 
 
@@ -469,8 +518,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     target_help = (
         "built-in example (travel-lite, travel-lite-fixed, travel, "
-        "travel-fixed), a job JSON file, or a suite job reference "
-        "(<suite>/<index> or <suite>/<name-substring>)"
+        "travel-fixed), a .has scenario file (file.has, or "
+        "file.has::<property> when it declares several), a job JSON "
+        "file, or a suite job reference (<suite>/<index> or "
+        "<suite>/<name-substring>)"
     )
 
     verify = sub.add_parser(
@@ -517,7 +568,8 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         nargs="?",
         default="quick",
-        help=f"suite name: {', '.join(suite_names())} (default: quick)",
+        help=f"suite name: {', '.join(suite_names())} (default: quick), "
+        "or a path to a .has scenario file / a directory of them",
     )
     suite.add_argument("--workers", type=int, default=1, help="process pool size")
     suite.add_argument(
@@ -641,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-corpus",
         metavar="DIR",
         help="write each agreeing scenario as a regression corpus entry",
+    )
+    fuzz.add_argument(
+        "--corpus-format",
+        choices=("json", "has"),
+        default="json",
+        help="corpus entry format: machine-replayable JSON (default) or "
+        "readable .has scenario files (repro.dsl; loadable by verify/suite)",
     )
     fuzz.add_argument(
         "--replay",

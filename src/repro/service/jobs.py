@@ -40,11 +40,31 @@ class VerificationJob:
     config: VerifierConfig = field(default_factory=VerifierConfig)
     name: str = ""
     expected_holds: bool | None = None
+    expected_status: str | None = None
+    """The full-status expectation (any of the four STATUS_* values) —
+    unlike the boolean ``expected_holds`` it can also pin
+    ``budget_exceeded`` (the DSL's ``expect:`` verdicts).  Derived from
+    ``expected_holds`` when not given explicitly."""
 
     def __post_init__(self) -> None:
         if not self.name:
             object.__setattr__(
                 self, "name", f"{self.has.name}::{self.prop.name}"
+            )
+        if self.expected_status is None and self.expected_holds is not None:
+            object.__setattr__(
+                self,
+                "expected_status",
+                STATUS_HOLDS if self.expected_holds else STATUS_VIOLATED,
+            )
+        if self.expected_status is not None and self.expected_status not in (
+            STATUS_HOLDS,
+            STATUS_VIOLATED,
+            STATUS_BUDGET_EXCEEDED,
+            STATUS_ERROR,
+        ):
+            raise SpecificationError(
+                f"{self.name}: invalid expected_status {self.expected_status!r}"
             )
         object.__setattr__(self, "_key", None)
 
@@ -60,6 +80,7 @@ class VerificationJob:
             "config": to_dict(self.config),
             "name": self.name,
             "expected_holds": self.expected_holds,
+            "expected_status": self.expected_status,
             "key": self.key(),
         }
 
@@ -89,6 +110,7 @@ class VerificationJob:
             config=from_dict(payload["config"]),
             name=payload.get("name", ""),
             expected_holds=payload.get("expected_holds"),
+            expected_status=payload.get("expected_status"),
         )
         if payload.get("key"):
             object.__setattr__(job, "_key", payload["key"])
@@ -134,6 +156,7 @@ class JobOutcome:
     cache_hit: bool = False
     error: str = ""
     expected_holds: bool | None = None
+    expected_status: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -142,7 +165,15 @@ class JobOutcome:
 
     @property
     def as_expected(self) -> bool | None:
-        """Verdict vs. the job's expectation; None when no expectation."""
+        """Verdict vs. the job's expectation; None when no expectation.
+
+        A full-status expectation compares statuses directly — so a
+        ``budget_exceeded`` expectation (the DSL's budget-boxed
+        scenarios) is *enforced*: finishing within budget flips the job
+        to UNEXPECTED.  The boolean ``expected_holds`` keeps its legacy
+        contract (undecided outcomes are not judged)."""
+        if self.expected_status is not None:
+            return self.status == self.expected_status
         if self.expected_holds is None or not self.ok:
             return None
         return self.holds == self.expected_holds
@@ -166,6 +197,7 @@ class JobOutcome:
             "cache_hit": self.cache_hit,
             "error": self.error,
             "expected_holds": self.expected_holds,
+            "expected_status": self.expected_status,
         }
 
     @staticmethod
@@ -185,6 +217,7 @@ class JobOutcome:
             cache_hit=data.get("cache_hit", False),
             error=data.get("error", ""),
             expected_holds=data.get("expected_holds"),
+            expected_status=data.get("expected_status"),
         )
 
     def semantic_dict(self) -> dict:
@@ -216,6 +249,7 @@ class JobOutcome:
             summaries=result.stats.summaries,
             wall_seconds=wall_seconds,
             expected_holds=job.expected_holds,
+            expected_status=job.expected_status,
         )
 
     def one_line(self) -> str:

@@ -36,11 +36,15 @@ def execute_payload(payload: dict) -> dict:
     name = str(payload.get("name", "?")) if isinstance(payload, dict) else "?"
     key = str(payload.get("key", "")) if isinstance(payload, dict) else ""
     expected = payload.get("expected_holds") if isinstance(payload, dict) else None
+    expected_status = (
+        payload.get("expected_status") if isinstance(payload, dict) else None
+    )
     try:
         from repro.verifier.engine import Verifier
 
         job = VerificationJob.from_payload(payload)
-        name, key, expected = job.name, job.key(), job.expected_holds
+        name, key = job.name, job.key()
+        expected, expected_status = job.expected_holds, job.expected_status
         result = Verifier(job.has, job.config).verify(job.prop)
     except BudgetExceeded as exc:
         outcome = JobOutcome(
@@ -51,6 +55,7 @@ def execute_payload(payload: dict) -> dict:
             wall_seconds=time.monotonic() - started,
             error=str(exc),
             expected_holds=expected,
+            expected_status=expected_status,
         )
     except Exception as exc:  # noqa: BLE001 — converted to a structured outcome
         outcome = JobOutcome(
@@ -60,6 +65,7 @@ def execute_payload(payload: dict) -> dict:
             wall_seconds=time.monotonic() - started,
             error=f"{type(exc).__name__}: {exc}",
             expected_holds=expected,
+            expected_status=expected_status,
         )
     else:
         # wall_seconds measures verification; concretization runs after

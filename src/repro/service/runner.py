@@ -178,6 +178,7 @@ def run_batch(
             # provenance is per-request: keep this job's name/expectation
             cached.name = job.name
             cached.expected_holds = job.expected_holds
+            cached.expected_status = job.expected_status
             outcomes[index] = cached
             if on_outcome is not None:
                 on_outcome(cached)
@@ -211,6 +212,7 @@ def run_batch(
         copy.cache_hit = True
         copy.name = jobs[index].name
         copy.expected_holds = jobs[index].expected_holds
+        copy.expected_status = jobs[index].expected_status
         outcomes[index] = copy
         if on_outcome is not None:
             on_outcome(copy)

@@ -1,8 +1,9 @@
 """Named job suites: a realistic verification traffic mix.
 
 Suites assemble :class:`VerificationJob` batches from the Table 1 /
-Table 2 workload families (``repro.workloads``) and the travel-booking
-example (``repro.examples.travel``):
+Table 2 workload families (``repro.workloads``), the travel-booking
+example (``repro.examples.travel``), and the ``.has`` scenario gallery
+(``repro.dsl`` + ``src/repro/workloads/gallery/``):
 
 * ``table1`` — every Table-1 cell (3 schema classes × sets × verdict),
   plus navigation-chain and depth-3 variants;
@@ -10,16 +11,28 @@ example (``repro.examples.travel``):
 * ``travel`` — the travel-lite policy on the buggy and fixed variants,
   plus the full six-task system under a tight time budget (exercises
   graceful ``BudgetExceeded`` capture);
+* ``gallery`` — every scenario in the shipped ``.has`` gallery
+  (order fulfillment, loan approval, insurance claims, … — see
+  docs/dsl.md); each file's own ``config`` block wins over the suite
+  defaults, so the budget-boxed entries stay boxed;
 * ``mixed`` — the service's kitchen-sink traffic: all of the above;
 * ``quick`` — a four-job smoke suite for CI.
 
+:func:`build_suite` also accepts a path instead of a suite name: a
+single ``.has`` file, or a directory of them (sorted by file name) —
+``python -m repro suite workloads/my-scenarios/`` runs a user's own
+gallery through the batch service.
+
 ``--quick`` (the ``quick`` flag here) trims every suite to its fastest
-representatives so CI smoke runs stay in seconds.
+representatives so CI smoke runs stay in seconds (the gallery is
+all-quick by construction and is never trimmed).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
+from pathlib import Path
 
 from repro.database.fkgraph import SchemaClass
 from repro.examples.travel import (
@@ -122,14 +135,32 @@ def _quick_jobs(config: VerifierConfig) -> list[VerificationJob]:
     return jobs
 
 
+def gallery_dir() -> Path:
+    """The shipped ``.has`` scenario gallery (next to ``repro.workloads``)."""
+    import repro.workloads
+
+    return Path(repro.workloads.__file__).parent / "gallery"
+
+
+def _gallery_jobs(quick: bool, config: VerifierConfig) -> list[VerificationJob]:
+    # every gallery scenario is quick-sized by construction, so --quick
+    # is the identity here; file-level config blocks win over the suite
+    # default (the budget-boxed entries depend on that)
+    from repro.dsl import directory_jobs
+
+    return directory_jobs(gallery_dir(), default_config=config)
+
+
 _SUITES = {
     "table1": lambda quick, config: _table_jobs(table1_workload, quick, config),
     "table2": lambda quick, config: _table_jobs(table2_workload, quick, config),
     "travel": _travel_jobs,
+    "gallery": _gallery_jobs,
     "mixed": lambda quick, config: (
         _table_jobs(table1_workload, quick, config)
         + _table_jobs(table2_workload, quick, config)
         + _travel_jobs(quick, config)
+        + _gallery_jobs(quick, config)
     ),
     "quick": lambda quick, config: _quick_jobs(config),
 }
@@ -144,7 +175,24 @@ def build_suite(
     quick: bool = False,
     config: VerifierConfig | None = None,
 ) -> list[VerificationJob]:
-    """The named suite's jobs; raises ``KeyError`` for unknown names."""
+    """The named suite's jobs; raises ``KeyError`` for unknown names.
+
+    ``name`` may also be a filesystem path: a single ``.has`` scenario
+    file (all its properties become jobs) or a directory of ``.has``
+    files (sorted by file name).  File-level ``config`` blocks win over
+    ``config``; scenarios without one run under the suite defaults.
+    """
+    if name not in _SUITES and _looks_like_path(name):
+        from repro.dsl import directory_jobs, file_jobs
+
+        path = Path(name)
+        if path.suffix == ".has":
+            if not path.is_file():
+                raise KeyError(f"{name}: scenario file not found")
+            return file_jobs(path, config or _DEFAULT_CONFIG)
+        if path.is_dir():
+            return directory_jobs(path, default_config=config or _DEFAULT_CONFIG)
+        raise KeyError(f"{name}: not a .has file or a directory of them")
     try:
         builder = _SUITES[name]
     except KeyError:
@@ -152,3 +200,12 @@ def build_suite(
         # note: str(KeyError) adds repr quotes; CLI callers use .args[0]
         raise KeyError(f"unknown suite {name!r} (known: {known})") from None
     return builder(quick, config or _DEFAULT_CONFIG)
+
+
+def _looks_like_path(name: str) -> bool:
+    return (
+        name.endswith(".has")
+        or os.sep in name
+        or (os.altsep is not None and os.altsep in name)
+        or Path(name).is_dir()
+    )

@@ -1,0 +1,135 @@
+"""Documentation that executes: doc examples cannot rot.
+
+Extracts fenced code blocks from the README and ``docs/tutorial.md``
+and runs them in the quick lane:
+
+* ``python`` blocks are executed in one shared namespace per document
+  (tutorial steps build on each other), in a temp working directory;
+* ``sh``/``console`` blocks follow the transcript convention — lines
+  starting with ``$ `` are commands (only ``python -m repro …`` ones are
+  executed), the lines after them are expected output.  A ``$ echo $?``
+  line asserts the previous command's exit code, and expected-output
+  lines that begin with a verdict keyword (``HOLDS``/``VIOLATED``/
+  ``property``) must appear in the actual output.
+
+Blocks in other languages (``jsonc`` schemas, bare ``sh`` install
+snippets without ``$`` prompts) are display-only and are skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+DOCS = [REPO / "README.md", REPO / "docs" / "tutorial.md"]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+@dataclass
+class Block:
+    lang: str
+    text: str
+    line: int  # 1-based line of the opening fence
+
+
+def extract_blocks(path: Path) -> list[Block]:
+    blocks: list[Block] = []
+    lines = path.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE.match(lines[i])
+        if match:
+            lang = match.group(1)
+            start = i + 1
+            j = start
+            while j < len(lines) and not lines[j].startswith("```"):
+                j += 1
+            blocks.append(Block(lang, "\n".join(lines[start:j]), i + 1))
+            i = j + 1
+        else:
+            i += 1
+    return blocks
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(REPO))
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=_doc_id)
+def test_python_blocks_execute(doc, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    blocks = [b for b in extract_blocks(doc) if b.lang == "python"]
+    assert blocks, f"{doc.name}: expected runnable python blocks"
+    namespace: dict = {}
+    for block in blocks:
+        code = compile(block.text, f"{doc.name}:{block.line}", "exec")
+        exec(code, namespace)  # noqa: S102 — executing our own docs is the point
+
+
+def _run(command: str, cwd: Path) -> subprocess.CompletedProcess:
+    argv = shlex.split(command)
+    assert argv[0] == "python"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, *argv[1:]],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=_doc_id)
+def test_console_blocks_execute(doc, tmp_path):
+    ran = 0
+    last: subprocess.CompletedProcess | None = None
+    for block in extract_blocks(doc):
+        if block.lang not in ("sh", "console", "shell", "bash"):
+            continue
+        lines = block.text.splitlines()
+        for index, line in enumerate(lines):
+            if not line.startswith("$ "):
+                continue  # expected output, handled with its command
+            command = line[2:].strip()
+            if command.startswith("echo $?"):
+                assert last is not None, f"{doc.name}:{block.line}: $? before a command"
+                expected = lines[index + 1].strip()
+                assert str(last.returncode) == expected, (
+                    f"{doc.name}:{block.line}: `{command}` documents exit "
+                    f"{expected}, got {last.returncode}\n{last.stdout}{last.stderr}"
+                )
+                continue
+            if not command.startswith("python -m repro"):
+                continue  # non-repro commands (pip, …) are display-only
+            last = _run(command, tmp_path)
+            ran += 1
+            # verdict keywords in the documented transcript must appear
+            expected_output = []
+            for follow in lines[index + 1 :]:
+                if follow.startswith("$ "):
+                    break
+                expected_output.append(follow)
+            for follow in expected_output:
+                keyword = follow.split(maxsplit=1)[0] if follow.split() else ""
+                if keyword in ("HOLDS", "VIOLATED", "BUDGET", "property"):
+                    assert keyword in last.stdout, (
+                        f"{doc.name}:{block.line}: `{command}` output lost "
+                        f"{keyword!r}:\n{last.stdout}{last.stderr}"
+                    )
+    if doc.name == "tutorial.md":
+        assert ran >= 3, f"{doc.name}: the tutorial transcript must actually run"

@@ -1,0 +1,236 @@
+"""The shipped ``.has`` scenario gallery (``src/repro/workloads/gallery``).
+
+Acceptance criteria for every gallery scenario:
+
+* it parses and statically validates;
+* its pretty-printed form is a parse fixed point;
+* it loads to the same job content hash as its serialized-dict form;
+* it verifies to the verdict its ``expect:`` documents (and every
+  violated verdict carries a confirmed concrete witness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl import load_directory, load_document, loads, render_document
+from repro.service.cli import main as cli_main
+from repro.service.jobs import (
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_HOLDS,
+    STATUS_VIOLATED,
+    VerificationJob,
+)
+from repro.service.pool import execute_job
+from repro.service.serialize import canonical_json, from_dict, to_dict
+from repro.service.suites import build_suite, gallery_dir, suite_names
+from repro.verifier.config import VerifierConfig
+
+GALLERY = sorted(gallery_dir().glob("*.has"))
+
+_EXPECT_TO_STATUS = {
+    "holds": STATUS_HOLDS,
+    "violated": STATUS_VIOLATED,
+    "budget_exceeded": STATUS_BUDGET_EXCEEDED,
+}
+
+
+def test_gallery_exists_and_is_substantial():
+    assert len(GALLERY) >= 8, "the gallery ships at least eight scenarios"
+
+
+@pytest.mark.parametrize("path", GALLERY, ids=lambda p: p.stem)
+class TestGalleryScenario:
+    def test_parses_and_validates(self, path):
+        doc = load_document(path)
+        assert doc.properties, f"{path.name} declares no properties"
+        for entry in doc.properties:
+            assert entry.expect is not None, (
+                f"{path.name}: gallery scenarios document their verdicts"
+            )
+
+    def test_pretty_print_is_parse_fixed_point(self, path):
+        doc = load_document(path)
+        text = render_document(doc)
+        again = loads(text, source=f"{path.name}#reprinted")
+        assert render_document(again) == text
+        assert canonical_json(to_dict(again.system)) == canonical_json(
+            to_dict(doc.system)
+        )
+
+    def test_same_job_hash_as_dict_form(self, path):
+        doc = load_document(path)
+        for job in doc.jobs():
+            rebuilt = VerificationJob(
+                has=from_dict(to_dict(job.has)),
+                prop=from_dict(to_dict(job.prop)),
+                config=from_dict(to_dict(job.config)),
+            )
+            assert rebuilt.key() == job.key()
+
+    def test_verifies_to_documented_verdict(self, path):
+        doc = load_document(path)
+        config = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+        for entry, job in zip(doc.properties, doc.jobs(config)):
+            outcome = execute_job(job)
+            expected = _EXPECT_TO_STATUS[entry.expect]
+            assert outcome.status == expected, (
+                f"{path.name}::{entry.prop.name}: documented {entry.expect}, "
+                f"got {outcome.status} ({outcome.error})"
+            )
+            if outcome.status == STATUS_VIOLATED:
+                assert outcome.witness_json is not None
+                assert outcome.witness_json.get("status") == "confirmed", (
+                    f"{path.name}::{entry.prop.name}: violated without a "
+                    f"confirmed concrete witness"
+                )
+
+
+class TestGallerySuite:
+    def test_registered_as_named_suite(self):
+        assert "gallery" in suite_names()
+        jobs = build_suite("gallery")
+        docs = load_directory(gallery_dir())
+        assert len(jobs) == sum(len(d.properties) for d in docs)
+        assert len({job.key() for job in jobs}) == len(jobs)
+
+    def test_quick_flag_is_identity_for_gallery(self):
+        assert [j.key() for j in build_suite("gallery", quick=True)] == [
+            j.key() for j in build_suite("gallery")
+        ]
+
+    def test_mixed_suite_includes_gallery(self):
+        mixed = {job.key() for job in build_suite("mixed")}
+        assert {job.key() for job in build_suite("gallery")} <= mixed
+
+    def test_directory_path_suite(self):
+        jobs = build_suite(str(gallery_dir()))
+        assert [j.key() for j in jobs] == [j.key() for j in build_suite("gallery")]
+
+    def test_single_file_suite(self):
+        path = gallery_dir() / "ticketing_escalation.has"
+        jobs = build_suite(str(path))
+        assert len(jobs) == 2
+
+    def test_budget_boxed_scenario_keeps_its_own_config(self):
+        # the suite default must not undo the file's tight budget
+        jobs = build_suite("gallery", config=VerifierConfig(km_budget=60_000))
+        boxed = [j for j in jobs if j.name.startswith("payroll_budget")]
+        assert boxed and boxed[0].config.km_budget == 40
+
+    def test_budget_expectation_is_enforced_not_just_documented(self):
+        # if the boxed scenario ever finishes within budget, the batch
+        # must flag it UNEXPECTED — expect: budget_exceeded is a promise
+        import dataclasses
+
+        from repro.service.runner import run_batch
+
+        job = next(
+            j
+            for j in build_suite("gallery")
+            if j.name.startswith("payroll_budget")
+        )
+        assert job.expected_status == STATUS_BUDGET_EXCEEDED
+        boxed_report = run_batch([job], cache=None)
+        assert not boxed_report.unexpected
+        unboxed = dataclasses.replace(
+            job, config=dataclasses.replace(job.config, km_budget=60_000)
+        )
+        unboxed_report = run_batch([unboxed], cache=None)
+        assert unboxed_report.outcomes[0].status == STATUS_HOLDS
+        assert unboxed_report.unexpected, (
+            "a budget-boxed scenario that finished within budget must be "
+            "reported as UNEXPECTED"
+        )
+
+    def test_unknown_suite_name_still_raises(self):
+        with pytest.raises(KeyError):
+            build_suite("no-such-suite")
+        with pytest.raises(KeyError):
+            build_suite("no/such/dir.has")
+
+
+class TestGalleryCli:
+    def test_suite_gallery_smoke(self, capsys, tmp_path):
+        jsonl = tmp_path / "gallery.jsonl"
+        code = cli_main(
+            ["suite", "gallery", "--no-cache", "--jsonl", str(jsonl)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 errors" in out
+        assert jsonl.exists()
+
+    def test_verify_has_file_exit_codes(self, capsys):
+        holds = gallery_dir() / "loan_approval.has"
+        assert cli_main(["verify", str(holds)]) == 0
+        violated = gallery_dir() / "order_fulfillment.has"
+        assert cli_main(["verify", str(violated)]) == 1
+        boxed = gallery_dir() / "payroll_budget.has"
+        assert cli_main(["verify", str(boxed)]) == 2
+        capsys.readouterr()
+
+    def test_verify_multi_property_file_needs_selector(self, capsys):
+        path = gallery_dir() / "ticketing_escalation.has"
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["verify", str(path)])
+        assert excinfo.value.code == 2
+        assert "pick one with" in capsys.readouterr().err
+        assert cli_main(["verify", f"{path}::picked_ticket_exists"]) == 0
+        assert cli_main(["verify", f"{path}::severity_bounded"]) == 1
+        capsys.readouterr()
+
+    def test_verify_unknown_property_selector(self, capsys):
+        path = gallery_dir() / "ticketing_escalation.has"
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["verify", f"{path}::nope"])
+        assert excinfo.value.code == 2
+        assert "no property 'nope'" in capsys.readouterr().err
+
+    def test_verify_missing_file(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["verify", "does-not-exist.has"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_explain_gallery_violation_is_confirmed(self, capsys):
+        path = gallery_dir() / "insurance_claim.has"
+        code = cli_main(["explain", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "confirmed" in out
+
+    def test_suite_parse_error_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "broken.has"
+        bad.write_text("system oops {")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["suite", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "broken.has" in capsys.readouterr().err
+
+    def test_propertyless_scenario_fails_suite_not_silently_green(
+        self, tmp_path, capsys
+    ):
+        # a deleted property block must not turn a suite smoke green
+        empty = tmp_path / "empty.has"
+        empty.write_text(
+            "system s { schema { relation R(a: num) } task T { vars x: id } }\n"
+        )
+        for target in (str(empty), str(tmp_path)):
+            with pytest.raises(SystemExit) as excinfo:
+                cli_main(["suite", target])
+            assert excinfo.value.code == 2
+            assert "declares no properties" in capsys.readouterr().err
+
+    def test_json_job_file_with_has_in_name_routes_as_json(
+        self, tmp_path, capsys
+    ):
+        # ".has" substring in a .json path must not hijack the target
+        import json
+
+        doc = load_document(gallery_dir() / "loan_approval.has")
+        payload = doc.jobs()[0].payload()
+        job_file = tmp_path / "my.has.json"
+        job_file.write_text(json.dumps(payload))
+        assert cli_main(["verify", str(job_file)]) == 0
+        capsys.readouterr()
