@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""CI gate: tracing must cost <3% of wall time on travel-lite.
+
+Runs interleaved (untraced, traced) repetitions of a bench family via
+:func:`repro.perf.bench.measure_trace_overhead` and compares the
+best-of-N walls.  Exits 1 when the measured overhead exceeds the
+budget — the observability contract in docs/observability.md says the
+instrumentation is cheap enough to leave on, and this is the check
+that keeps that sentence true.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_overhead.py [--family F]
+        [--reps N] [--budget 0.03]
+
+The default budget (3%) is deliberately generous for CI noise: the
+interleaved min-vs-min estimator absorbs most scheduler jitter, and a
+genuine hot-path regression (a per-call timer where a sampled one
+belongs, say) overshoots 3% by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--family", default="travel-lite")
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.03,
+        help="maximum relative traced-vs-untraced slowdown (default 0.03)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf.bench import measure_trace_overhead
+
+    result = measure_trace_overhead(args.family, reps=args.reps)
+    overhead = result["overhead"]
+    print(
+        f"trace overhead on {result['family']} (best of {result['reps']}): "
+        f"untraced {result['untraced_seconds']:.3f}s, "
+        f"traced {result['traced_seconds']:.3f}s, "
+        f"overhead {overhead:+.2%} (budget {args.budget:.0%})"
+    )
+    if overhead > args.budget:
+        print(
+            f"FAIL: tracing costs {overhead:.2%} > {args.budget:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.linexpr import LinExpr, Unknown
 from repro.perf.counters import COUNTERS
+from repro.perf.phases import PHASES
 
 
 @dataclass(frozen=True)
@@ -250,7 +251,12 @@ def _component_satisfiable(component: list[Constraint]) -> bool:
         COUNTERS.fm_sat_hits += 1
         return cached
     COUNTERS.fm_sat_misses += 1
-    result = _is_satisfiable_uncached(component)
+    # only misses do real work, so only misses are timed (sampled)
+    token = PHASES.begin("fm")
+    try:
+        result = _is_satisfiable_uncached(component)
+    finally:
+        PHASES.end("fm", token)
     if len(_SAT_CACHE) >= _SAT_CACHE_LIMIT:
         _SAT_CACHE.clear()
     _SAT_CACHE[key] = result
@@ -322,7 +328,11 @@ def project_components(
         kept, exact = cached
         return list(kept), exact
     COUNTERS.fm_proj_misses += 1
-    kept_list, exact = project_components_uncached(material, keep_effective)
+    token = PHASES.begin("fm")
+    try:
+        kept_list, exact = project_components_uncached(material, keep_effective)
+    finally:
+        PHASES.end("fm", token)
     if len(_PROJ_CACHE) >= _PROJ_CACHE_LIMIT:
         _PROJ_CACHE.clear()
     _PROJ_CACHE[key] = (tuple(kept_list), exact)

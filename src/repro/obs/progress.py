@@ -1,0 +1,74 @@
+"""Live heartbeat rendering for the ``--progress`` flag.
+
+A :class:`Heartbeat` is a tracer listener (:func:`repro.obs.trace.add_listener`)
+that turns the event stream into terse, throttled status lines on a
+stream (stderr by default, so stdout stays parseable):
+
+* ``→ <job>`` when a job starts, and a one-line verdict when it ends;
+* during long explorations, at most one line per ``interval`` seconds::
+
+      [  42.3s] travel::discount-policy · summary of Flight: km nodes=18230 frontier=511
+
+  carrying the elapsed trace time, the current job, the exploration the
+  verifier is inside (root search or a named child summary), and the
+  Karp–Miller node/frontier counts from the latest ``km_progress``
+  event.
+
+The heartbeat only *reads* the event stream; it never influences the
+traced computation, and throttling applies to printing only (the trace
+file always receives every event).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+
+class Heartbeat:
+    """Render trace events as throttled progress lines."""
+
+    def __init__(self, stream: IO[str] | None = None, interval: float = 1.0):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._last_beat: float | None = None
+        self._job: str = ""
+
+    def _write(self, line: str) -> None:
+        try:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # pragma: no cover — closed stream
+            pass
+
+    def __call__(self, record: dict) -> None:
+        kind = record.get("ev")
+        if kind == "job_start":
+            self._job = str(record.get("name", ""))
+            self._last_beat = record.get("t")
+            self._write(f"→ {self._job}")
+        elif kind == "job_finish":
+            name = record.get("name", self._job)
+            status = record.get("status", "?")
+            km = record.get("km_nodes", 0)
+            wall = record.get("wall_seconds", 0.0)
+            self._write(f"  {name}: {status} km={km} {wall:.1f}s")
+            self._job = ""
+        elif kind == "km_progress":
+            now = record.get("t", 0.0)
+            if (
+                self._last_beat is not None
+                and now - self._last_beat < self.interval
+            ):
+                return
+            self._last_beat = now
+            context = " · ".join(
+                part
+                for part in (self._job, str(record.get("label", "")))
+                if part
+            )
+            self._write(
+                f"[{now:7.1f}s] {context}: "
+                f"km nodes={record.get('nodes', 0)} "
+                f"frontier={record.get('frontier', 0)}"
+            )

@@ -43,12 +43,18 @@ from repro.examples.travel import (
     travel_lite,
 )
 from repro.perf.counters import COUNTERS, PerfCounters
+from repro.perf.phases import PHASES, PhaseTimers
 from repro.verifier.config import VerifierConfig
 from repro.verifier.engine import Verifier
 from repro.workloads import table1_workload, table2_workload
 
 #: Bump when the BENCH_*.json layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the sampled per-phase timing block (``"phases"``) and
+#: null rates for never-consulted caches; v1 records stay loadable.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_record` accepts (old baselines included).
+_ACCEPTED_SCHEMA_VERSIONS = frozenset({1, BENCH_SCHEMA_VERSION})
 
 _ALL_CLASSES = (
     SchemaClass.ACYCLIC,
@@ -189,12 +195,15 @@ def run_family(name: str, reps: int = 3) -> dict:
     km_nodes = 0
     outcomes: list[dict] = []
     counters: dict[str, int] = {}
+    phases: dict[str, dict] = {}
     for rep in range(max(1, reps)):
         baseline = COUNTERS.snapshot()
+        phases_baseline = PHASES.snapshot()
         wall, km, out = _run_jobs(jobs)
         walls.append(wall)
         if rep == 0:
             counters = COUNTERS.since(baseline)
+            phases = PHASES.since(phases_baseline)
             km_nodes, outcomes = km, out
         elif deterministic and out != outcomes:
             raise RuntimeError(
@@ -210,14 +219,75 @@ def run_family(name: str, reps: int = 3) -> dict:
         "wall_seconds_all_reps": walls,
         "km_nodes": km_nodes,
         "counters": counters,
+        # null = the cache was never consulted this family (not 0%)
         "rates": {
-            cache: round(rate, 4)
+            cache: None if rate is None else round(rate, 4)
             for cache, rate in PerfCounters.rates(counters).items()
+        },
+        # sampled per-phase timings from rep 0 (calls/timed/seconds raw,
+        # estimate extrapolated) — see docs/observability.md
+        "phases": {
+            "raw": phases,
+            "estimate_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in PhaseTimers.estimate(phases).items()
+            },
         },
         "env": {
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
+    }
+
+
+def measure_trace_overhead(
+    family: str = "travel-lite", reps: int = 3
+) -> dict:
+    """Measure tracing's wall-time overhead on one family.
+
+    Runs ``reps`` interleaved (untraced, traced) pairs — interleaving
+    cancels thermal/cache drift that back-to-back blocks would bake into
+    one side — and compares best-of-``reps`` walls (min vs min, the same
+    estimator ``run_family`` uses).  The traced side writes real JSONL to
+    a scratch sink, so the cost of serialization is included.
+
+    Returns ``{"untraced_seconds", "traced_seconds", "overhead"}`` where
+    ``overhead`` is the relative slowdown (0.03 = 3%, the documented
+    budget in docs/observability.md); negative values (noise) count as 0
+    for gating purposes but are reported raw.
+    """
+    import io
+
+    from repro.obs import trace
+
+    jobs = _FAMILIES[family]()
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    untraced: list[float] = []
+    traced: list[float] = []
+    for _rep in range(max(1, reps)):
+        for mode in ("untraced", "traced"):
+            fm.clear_caches()
+            symbolic_store.clear_canonical_caches()
+            if mode == "traced":
+                trace.start(io.StringIO())
+            try:
+                wall, _km, _out = _run_jobs(jobs)
+            finally:
+                if mode == "traced":
+                    trace.stop()
+            (traced if mode == "traced" else untraced).append(wall)
+    best_untraced = min(untraced)
+    best_traced = min(traced)
+    return {
+        "family": family,
+        "reps": reps,
+        "untraced_seconds": best_untraced,
+        "traced_seconds": best_traced,
+        "overhead": (best_traced - best_untraced) / best_untraced
+        if best_untraced > 0
+        else 0.0,
     }
 
 
@@ -247,10 +317,11 @@ def record_families(
 
 def load_record(path: str | Path) -> dict:
     data = json.loads(Path(path).read_text())
-    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+    if data.get("schema_version") not in _ACCEPTED_SCHEMA_VERSIONS:
+        accepted = "/".join(str(v) for v in sorted(_ACCEPTED_SCHEMA_VERSIONS))
         raise ValueError(
             f"{path}: bench schema {data.get('schema_version')!r}, "
-            f"expected {BENCH_SCHEMA_VERSION}"
+            f"expected one of {accepted}"
         )
     return data
 

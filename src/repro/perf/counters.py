@@ -74,12 +74,14 @@ class PerfCounters:
         }
 
     @staticmethod
-    def rates(counters: dict[str, int]) -> dict[str, float]:
+    def rates(counters: dict[str, int]) -> dict[str, float | None]:
         """Hit rates per cache from a snapshot/delta dict.
 
-        A cache that was never consulted reports a rate of 0.0.
+        A cache that was never consulted reports ``None`` — distinct from
+        a true 0% hit rate (consulted, every lookup missed).  Renderers
+        (``bench``, ``report``, suite reports) show ``None`` as ``n/a``.
         """
-        rates: dict[str, float] = {}
+        rates: dict[str, float | None] = {}
         for name in _COUNTER_NAMES:
             if not name.endswith("_hits"):
                 continue
@@ -87,7 +89,7 @@ class PerfCounters:
             hits = counters.get(name, 0)
             misses = counters.get(f"{cache}_misses", 0)
             total = hits + misses
-            rates[cache] = hits / total if total else 0.0
+            rates[cache] = hits / total if total else None
         return rates
 
 

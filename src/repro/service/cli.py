@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -111,6 +112,52 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="write a structured trace (spans, km progress, per-job "
+        "events) to FILE.jsonl; analyze with `python -m repro report`",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream heartbeat lines to stderr while the run is live "
+        "(elapsed, km nodes, current exploration)",
+    )
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace):
+    """Enable the tracer/heartbeat around a command, per its flags.
+
+    Tracing is observationally invisible: verdicts, witnesses, node
+    counts, and job hashes are identical with or without these flags
+    (docs/observability.md)."""
+    from repro.obs import trace
+
+    trace_path = getattr(args, "trace", None)
+    progress = getattr(args, "progress", False)
+    if not trace_path and not progress:
+        yield
+        return
+    heartbeat = None
+    if progress:
+        from repro.obs.progress import Heartbeat
+
+        heartbeat = Heartbeat()
+        trace.add_listener(heartbeat)
+    trace.start(trace_path)
+    try:
+        yield
+    finally:
+        trace.stop()
+        if heartbeat is not None:
+            trace.remove_listener(heartbeat)
+        if trace_path:
+            print(f"trace written to {trace_path}", file=sys.stderr)
 
 
 def _job_from_has_target(target: str, config: VerifierConfig) -> VerificationJob:
@@ -203,7 +250,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     job = _job_from_target(args.target, config)
     if not args.json:
         print(f"verifying {job.name}  (key {job.key()[:16]}…)")
-    outcome = execute_job(job)
+    with _tracing(args):
+        outcome = execute_job(job)
     if args.json:
         print(json.dumps(outcome.to_dict(), sort_keys=True, indent=1))
     else:
@@ -278,7 +326,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         on_outcome = lambda outcome: print(  # noqa: E731
             f"  done: {outcome.one_line()}", flush=True
         )
-    report = run_batch(jobs, workers=args.workers, cache=cache, on_outcome=on_outcome)
+    with _tracing(args):
+        report = run_batch(
+            jobs, workers=args.workers, cache=cache, on_outcome=on_outcome
+        )
     print(report.format_report())
     if args.jsonl:
         report.to_jsonl(args.jsonl)
@@ -476,7 +527,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         on_outcome = lambda outcome: print(  # noqa: E731
             f"  {outcome.one_line()}", flush=True
         )
-    with mutation:
+    with mutation, _tracing(args):
         campaign = run_campaign(
             args.seed,
             args.count,
@@ -507,6 +558,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"{args.export_corpus}"
         )
     return 1 if campaign.discrepancies else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_events, render, summarize
+    from repro.perf.counters import PerfCounters
+
+    try:
+        events = load_events(args.trace)
+    except OSError as exc:
+        raise _die(f"{args.trace}: cannot read trace ({exc.strerror or exc})")
+    except ValueError as exc:
+        raise _die(str(exc))
+    summary = summarize(events)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "events": summary.events,
+                    "jobs": len(summary.jobs),
+                    "wall_seconds": summary.wall_seconds,
+                    "phases": summary.phases,
+                    "breakdown": [
+                        {"phase": label, "seconds": seconds, "calls": calls}
+                        for label, seconds, calls in summary.phase_breakdown()
+                    ],
+                    "counters": summary.counters,
+                    "rates": PerfCounters.rates(summary.counters),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render(summary, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -541,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the job's serialized payload to PATH",
     )
     _add_budget_arguments(verify)
+    _add_trace_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
 
     explain = sub.add_parser(
@@ -581,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(suite)
     _add_budget_arguments(suite)
+    _add_trace_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
 
     bench = sub.add_parser(
@@ -718,7 +805,27 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--verbose", action="store_true", help="print each scenario as it finishes"
     )
+    _add_trace_arguments(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize a --trace JSONL file: per-phase time breakdown, "
+        "cache hit rates, slowest jobs (exit 2 on a missing/bad file)",
+    )
+    report.add_argument("trace", metavar="FILE.jsonl", help="trace file to analyze")
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of the table",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="number of slowest jobs to list (default 5)",
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -157,6 +157,22 @@ class JobOutcome:
     error: str = ""
     expected_holds: bool | None = None
     expected_status: str | None = None
+    stats: dict | None = None
+    """The full :class:`~repro.verifier.result.VerificationStats` dict
+    (``verify --json`` exposes it); None for budget/error outcomes and
+    records predating the field."""
+    counters: dict | None = None
+    """This job's :mod:`repro.perf.counters` deltas, snapshotted in the
+    process that ran it — the worker's, under ``workers>1`` — so batch
+    aggregation sees every process's cache traffic, not just the
+    parent's.  None on cache hits (the job did no work this run)."""
+    phases: dict | None = None
+    """This job's sampled per-phase timings
+    (:meth:`repro.perf.phases.PhaseTimers.since` delta), captured like
+    ``counters``; covers verification *and* witness concretization."""
+    total_seconds: float = 0.0
+    """Wall clock for the whole job including witness concretization
+    (``wall_seconds`` measures verification only)."""
 
     @property
     def ok(self) -> bool:
@@ -198,6 +214,10 @@ class JobOutcome:
             "error": self.error,
             "expected_holds": self.expected_holds,
             "expected_status": self.expected_status,
+            "stats": self.stats,
+            "counters": self.counters,
+            "phases": self.phases,
+            "total_seconds": self.total_seconds,
         }
 
     @staticmethod
@@ -218,15 +238,26 @@ class JobOutcome:
             error=data.get("error", ""),
             expected_holds=data.get("expected_holds"),
             expected_status=data.get("expected_status"),
+            stats=data.get("stats"),
+            counters=data.get("counters"),
+            phases=data.get("phases"),
+            total_seconds=data.get("total_seconds", 0.0),
         )
 
     def semantic_dict(self) -> dict:
         """The run-independent slice of the outcome: everything except
-        timing and cache provenance.  Two runs of the same job — serial or
-        parallel, cached or not — must agree on this dict exactly."""
+        timing, metrics, and cache provenance.  Two runs of the same job —
+        serial or parallel, cached or not — must agree on this dict
+        exactly.  ``counters`` are excluded because per-job cache traffic
+        depends on what ran earlier in the same process; ``stats`` and
+        ``phases`` because they embed sampled wall seconds."""
         data = self.to_dict()
         del data["wall_seconds"]
         del data["cache_hit"]
+        del data["stats"]
+        del data["counters"]
+        del data["phases"]
+        del data["total_seconds"]
         return data
 
     def semantic_bytes(self) -> bytes:
@@ -250,6 +281,7 @@ class JobOutcome:
             wall_seconds=wall_seconds,
             expected_holds=job.expected_holds,
             expected_status=job.expected_status,
+            stats=result.stats.to_dict(),
         )
 
     def one_line(self) -> str:

@@ -16,6 +16,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import BudgetExceeded
+from repro.obs import trace
+from repro.perf.counters import COUNTERS
+from repro.perf.phases import PHASES
 from repro.service.jobs import (
     JobOutcome,
     STATUS_BUDGET_EXCEEDED,
@@ -31,14 +34,23 @@ def execute_payload(payload: dict) -> dict:
     Nothing short of interpreter death escapes as an exception: budget
     exhaustion, malformed payloads, and unexpected verifier errors all
     come back as structured outcomes so one job can never poison a batch.
+
+    Every outcome carries the executing process's cache-counter and
+    phase-timer deltas (``JobOutcome.counters`` / ``.phases``) — workers
+    die with their process-global ``COUNTERS``, so the snapshot riding
+    the outcome is the only way suite-level hit rates stay correct under
+    ``workers>1``.
     """
     started = time.monotonic()
+    counters_baseline = COUNTERS.snapshot()
+    phases_baseline = PHASES.snapshot()
     name = str(payload.get("name", "?")) if isinstance(payload, dict) else "?"
     key = str(payload.get("key", "")) if isinstance(payload, dict) else ""
     expected = payload.get("expected_holds") if isinstance(payload, dict) else None
     expected_status = (
         payload.get("expected_status") if isinstance(payload, dict) else None
     )
+    trace.event("job_start", name=name, key=key)
     try:
         from repro.verifier.engine import Verifier
 
@@ -76,6 +88,20 @@ def execute_payload(payload: dict) -> dict:
             witness_json = _concretize_witness(job, result)
         outcome = JobOutcome.from_result(job, result, wall_seconds=verify_seconds)
         outcome.witness_json = witness_json
+    outcome.total_seconds = time.monotonic() - started
+    outcome.counters = COUNTERS.since(counters_baseline)
+    outcome.phases = PHASES.since(phases_baseline)
+    trace.event(
+        "job_finish",
+        name=outcome.name,
+        key=outcome.key,
+        status=outcome.status,
+        km_nodes=outcome.km_nodes,
+        wall_seconds=outcome.wall_seconds,
+        total_seconds=outcome.total_seconds,
+        counters=outcome.counters,
+        phases=outcome.phases,
+    )
     return outcome.to_dict()
 
 
@@ -136,12 +162,32 @@ def run_payloads(
             executor.submit(execute_payload, payload): index
             for index, payload in enumerate(payloads)
         }
+        # worker processes never write the parent's trace (the tracer is
+        # PID-guarded), so re-emit per-job events here from the outcome
+        # dicts the workers sent back
+        for payload in payloads:
+            trace.event(
+                "job_submit",
+                name=str(payload.get("name", "?")),
+                key=str(payload.get("key", "")),
+            )
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 index = pending.pop(future)
                 outcome = future.result()
                 results[index] = outcome
+                trace.event(
+                    "job_finish",
+                    name=outcome.get("name", "?"),
+                    key=outcome.get("key", ""),
+                    status=outcome.get("status", "?"),
+                    km_nodes=outcome.get("km_nodes", 0),
+                    wall_seconds=outcome.get("wall_seconds", 0.0),
+                    total_seconds=outcome.get("total_seconds", 0.0),
+                    counters=outcome.get("counters"),
+                    phases=outcome.get("phases"),
+                )
                 if on_outcome is not None:
                     on_outcome(index, outcome)
     assert all(r is not None for r in results)

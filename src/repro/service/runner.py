@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.perf.counters import PerfCounters
 from repro.service.cache import ResultCache
 from repro.service.jobs import (
     JobOutcome,
@@ -90,14 +91,55 @@ class BatchReport:
         """Search statistics summed across the batch."""
         stats = VerificationStats()
         for outcome in self.outcomes:
+            per_job = outcome.stats or {}
             stats.merge(
                 VerificationStats(
                     km_nodes=outcome.km_nodes,
                     summaries=outcome.summaries,
                     wall_seconds=outcome.wall_seconds,
+                    summary_hits=per_job.get("summary_hits", 0),
+                    fm_seconds=per_job.get("fm_seconds", 0.0),
+                    canon_seconds=per_job.get("canon_seconds", 0.0),
+                    expand_seconds=per_job.get("expand_seconds", 0.0),
                 )
             )
         return stats
+
+    def merged_counters(self) -> dict[str, int]:
+        """Cache hit/miss counters summed across every process that did
+        work this run — each live outcome carries the deltas snapshotted
+        in the process that executed it (``JobOutcome.counters``), so
+        worker-process cache traffic is counted even though the workers'
+        ``COUNTERS`` died with them.  Cache hits are excluded: their
+        stored deltas describe the run that populated the cache, not
+        this one."""
+        totals: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.cache_hit or not outcome.counters:
+                continue
+            for name, value in outcome.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def merged_rates(self) -> dict[str, float | None]:
+        """Suite-level cache hit rates (None = never consulted)."""
+        return PerfCounters.rates(self.merged_counters())
+
+    def merged_phases(self) -> dict[str, dict]:
+        """Sampled per-phase timings summed across live outcomes (same
+        exclusion rules as :meth:`merged_counters`)."""
+        totals: dict[str, dict] = {}
+        for outcome in self.outcomes:
+            if outcome.cache_hit or not outcome.phases:
+                continue
+            for name, entry in outcome.phases.items():
+                bucket = totals.setdefault(
+                    name, {"calls": 0, "timed": 0, "seconds": 0.0}
+                )
+                bucket["calls"] += entry.get("calls", 0)
+                bucket["timed"] += entry.get("timed", 0)
+                bucket["seconds"] += entry.get("seconds", 0.0)
+        return totals
 
     # ------------------------------------------------------------------
     # rendering / export
@@ -117,6 +159,13 @@ class BatchReport:
             f"job wall Σ {stats.wall_seconds:.3f}s  "
             f"km nodes Σ {stats.km_nodes}  summaries Σ {stats.summaries}"
         )
+        rates = self.merged_rates()
+        if any(rate is not None for rate in rates.values()):
+            rendered = "  ".join(
+                f"{cache} {'n/a' if rate is None else format(rate, '.1%')}"
+                for cache, rate in sorted(rates.items())
+            )
+            lines.append(f"cache rates (all processes): {rendered}")
         if self.unexpected:
             lines.append(
                 "UNEXPECTED verdicts: "
@@ -145,6 +194,11 @@ class BatchReport:
                         "wall_seconds": self.wall_seconds,
                         "km_nodes": stats.km_nodes,
                         "summaries": stats.summaries,
+                        # cross-process metrics: counters/phases from every
+                        # executing process, rates with null = unconsulted
+                        "counters": self.merged_counters(),
+                        "rates": self.merged_rates(),
+                        "phases": self.merged_phases(),
                     },
                     sort_keys=True,
                 )
@@ -175,10 +229,14 @@ def run_batch(
     for index, (job, key) in enumerate(zip(jobs, keys)):
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
-            # provenance is per-request: keep this job's name/expectation
+            # provenance is per-request: keep this job's name/expectation;
+            # drop the stored metrics — a cache hit did no work this run,
+            # so its counters/phases describe the run that filled the cache
             cached.name = job.name
             cached.expected_holds = job.expected_holds
             cached.expected_status = job.expected_status
+            cached.counters = None
+            cached.phases = None
             outcomes[index] = cached
             if on_outcome is not None:
                 on_outcome(cached)
@@ -213,6 +271,8 @@ def run_batch(
         copy.name = jobs[index].name
         copy.expected_holds = jobs[index].expected_holds
         copy.expected_status = jobs[index].expected_status
+        copy.counters = None
+        copy.phases = None
         outcomes[index] = copy
         if on_outcome is not None:
             on_outcome(copy)

@@ -39,6 +39,7 @@ from repro.arith.constraints import Constraint, Rel
 from repro.arith.fm import is_satisfiable, project_components
 from repro.arith.linexpr import LinExpr
 from repro.perf.counters import COUNTERS
+from repro.perf.phases import PHASES
 from repro.database.schema import AttributeKind, DatabaseSchema
 from repro.logic.terms import Variable, VarKind
 from repro.symbolic.nodes import (
@@ -820,6 +821,15 @@ class ConstraintStore:
             COUNTERS.store_key_hits += 1
             return self._canon_cache
         COUNTERS.store_key_misses += 1
+        # misses do the real canonicalization work; hits are one attribute
+        # read, so only misses feed the sampled "canon" phase timer
+        token = PHASES.begin("canon")
+        try:
+            return self._canonical_key_uncached()
+        finally:
+            PHASES.end("canon", token)
+
+    def _canonical_key_uncached(self) -> tuple:
         paths = self.access_paths()
         label_of = {root: ps[0] for root, ps in paths.items()}
         classes = _intern_key(

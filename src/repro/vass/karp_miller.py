@@ -37,8 +37,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Protocol
 
 from repro.errors import BudgetExceeded
+from repro.obs import trace
 
 OMEGA = math.inf
+
+#: Emit a ``km_progress`` trace event every this many expansions (when a
+#: trace is active).  Count-based, not time-based, so the trace content
+#: stays deterministic for a deterministic exploration.
+PROGRESS_EVERY = 1_000
 Dim = Hashable
 SparseVector = dict[Dim, float]  # values: non-negative ints or OMEGA
 FrozenVector = frozenset
@@ -149,6 +155,9 @@ class _Frontier:
     def __bool__(self) -> bool:
         return bool(self._items)
 
+    def __len__(self) -> int:
+        return len(self._items)
+
 
 def build_km_graph(
     system: ImplicitVASS,
@@ -156,6 +165,7 @@ def build_km_graph(
     budget: int = 50_000,
     stop_on: Callable[[KMNode], bool] | None = None,
     order: str = "lifo",
+    progress_label: str = "",
 ) -> KMGraph:
     """Construct the Karp–Miller graph from the start configuration(s).
 
@@ -163,6 +173,10 @@ def build_km_graph(
     of (state, vector, payload) triples.  ``stop_on`` short-circuits the
     construction once a node satisfies it (used for plain reachability).
     ``order`` picks the frontier discipline (:class:`_Frontier`).
+    ``progress_label`` names this exploration in the periodic
+    ``km_progress`` trace events (one every :data:`PROGRESS_EVERY`
+    expansions while a trace is active — the ``--progress`` heartbeat's
+    raw feed); it never affects the constructed graph.
 
     Duplicate successor edges — the same tag leading to the same label
     from the same node, which condition case-splitting produces freely —
@@ -195,6 +209,14 @@ def build_km_graph(
             graph.budget_exhausted = True
             break
         expansions += 1
+        if expansions % PROGRESS_EVERY == 0 and trace.enabled():
+            trace.event(
+                "km_progress",
+                label=progress_label,
+                expansions=expansions,
+                nodes=len(graph.nodes),
+                frontier=len(worklist),
+            )
         current = thaw(node.vector)
         seen_edges: set[tuple] = set()
         for delta, next_state, tag in system.successors(node.state, current):

@@ -15,7 +15,9 @@ from typing import Mapping
 
 from repro.errors import BudgetExceeded, SpecificationError, VerificationError
 from repro.has.restrictions import validate_has
+from repro.obs import trace
 from repro.perf.counters import COUNTERS
+from repro.perf.phases import PHASES, PhaseTimers
 from repro.has.system import HAS
 from repro.has.task import Task
 from repro.hltl.formulas import (
@@ -69,13 +71,22 @@ class Verifier:
     # ------------------------------------------------------------------
     def _explore(self, vass: TaskVASS, starts, what: str) -> KMGraph:
         """Karp–Miller exploration with the configured node budget; a
-        single choke point for the budget-exhausted diagnostics."""
-        graph = build_km_graph(
-            vass,
-            starts,
-            budget=self.config.km_budget,
-            order=self.config.km_order,
-        )
+        single choke point for the budget-exhausted diagnostics (and for
+        the ``expand`` phase timer and exploration trace spans)."""
+        with trace.span("explore", what=what) as extra:
+            token = PHASES.begin("expand")
+            try:
+                graph = build_km_graph(
+                    vass,
+                    starts,
+                    budget=self.config.km_budget,
+                    order=self.config.km_order,
+                    progress_label=what,
+                )
+            finally:
+                PHASES.end("expand", token)
+            extra["nodes"] = len(graph.nodes)
+            extra["budget_exhausted"] = graph.budget_exhausted
         if graph.budget_exhausted:
             # don't count the truncated graph in stats: the exception
             # already carries its node count (states_explored), and
@@ -152,27 +163,31 @@ class Verifier:
         summary = TaskSummary()
         # placeholder first: defends against (impossible) recursive loops
         self._summaries[key] = summary
-        try:
-            graph = self._explore(vass, starts, f"summary of {task_name}")
-        except BaseException:
-            # never memoize a truncated summary: the memo outlives this
-            # verify() call, and an empty placeholder left behind by a
-            # budget/deadline abort would silently drop the child's
-            # behaviors from a later run
-            self._summaries.pop(key, None)
-            raise
-        for node in graph.nodes:
-            if vass.is_returning_accepting(node.state):
-                out = vass.output_of(node.state)
-                out_key = out.canonical_key()
-                if len(summary.outputs) < self.config.max_outputs_per_summary:
-                    summary.outputs.setdefault(out_key, out)
-            elif vass.is_blocking_accepting(node.state):
-                summary.nonreturning = True
-        if not summary.nonreturning:
-            if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
-                summary.nonreturning = True
-        summary.km_nodes = len(graph.nodes)
+        with trace.span("summary", task=task_name) as extra:
+            try:
+                graph = self._explore(vass, starts, f"summary of {task_name}")
+            except BaseException:
+                # never memoize a truncated summary: the memo outlives this
+                # verify() call, and an empty placeholder left behind by a
+                # budget/deadline abort would silently drop the child's
+                # behaviors from a later run
+                self._summaries.pop(key, None)
+                raise
+            for node in graph.nodes:
+                if vass.is_returning_accepting(node.state):
+                    out = vass.output_of(node.state)
+                    out_key = out.canonical_key()
+                    if len(summary.outputs) < self.config.max_outputs_per_summary:
+                        summary.outputs.setdefault(out_key, out)
+                elif vass.is_blocking_accepting(node.state):
+                    summary.nonreturning = True
+            if not summary.nonreturning:
+                if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
+                    summary.nonreturning = True
+            summary.km_nodes = len(graph.nodes)
+            extra["km_nodes"] = summary.km_nodes
+            extra["outputs"] = len(summary.outputs)
+            extra["nonreturning"] = summary.nonreturning
         self.stats.summaries += 1
         return summary
 
@@ -197,6 +212,31 @@ class Verifier:
         _reject_set_atoms(prop)
         self.compiled = CompiledProperty(self.has, prop)
         self.stats = VerificationStats()
+        phases_baseline = PHASES.snapshot()
+        try:
+            with trace.span("verify", property=prop.name) as extra:
+                result = self._verify_compiled(prop)
+                extra["holds"] = result.holds
+                extra["witness_kind"] = result.witness_kind
+                extra["km_nodes"] = self.stats.km_nodes
+                extra["summaries"] = self.stats.summaries
+                phases_delta = PHASES.since(phases_baseline)
+                extra["phases"] = phases_delta
+        finally:
+            # attribute phase time even when the budget aborted the search
+            # (the pool reports partial stats for budget-exceeded jobs)
+            self._record_phase_seconds(phases_baseline)
+        self.stats.wall_seconds = time.monotonic() - started
+        return result
+
+    def _record_phase_seconds(self, baseline: dict) -> None:
+        estimate = PhaseTimers.estimate(PHASES.since(baseline))
+        self.stats.fm_seconds = estimate.get("fm", 0.0)
+        self.stats.canon_seconds = estimate.get("canon", 0.0)
+        self.stats.expand_seconds = estimate.get("expand", 0.0)
+
+    def _verify_compiled(self, prop: HLTLProperty) -> VerificationResult:
+        """The search proper: root exploration plus witness extraction."""
         automaton = self.compiled.root_negated_automaton()
         root = self.has.root
         vass = TaskVASS(self, root, automaton, is_root=True, config=self.config)
@@ -227,7 +267,6 @@ class Verifier:
                 result.witness = _steps_of(path) + _steps_of(cycle)
                 result.loop_start = len(path)
                 result.symbolic_trace = SymbolicTrace(vass, start, path, cycle)
-        self.stats.wall_seconds = time.monotonic() - started
         return result
 
     def _root_initial_stores(self) -> list[ConstraintStore]:

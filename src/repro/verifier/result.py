@@ -60,6 +60,16 @@ class VerificationStats:
     summary_hits: int = 0
     condition_branches: int = 0
     wall_seconds: float = 0.0
+    fm_seconds: float = 0.0
+    """Estimated wall seconds in Fourier–Motzkin decisions/projections
+    (sampled; see :mod:`repro.perf.phases`)."""
+    canon_seconds: float = 0.0
+    """Estimated wall seconds recomputing store canonical keys."""
+    expand_seconds: float = 0.0
+    """Wall seconds inside Karp–Miller graph construction (outermost
+    explorations only — child-summary expansions nested in a parent's
+    are not double-counted; fm/canon time is *included*, so subtract
+    them for the exclusive expansion cost)."""
 
     def merge(self, other: "VerificationStats") -> "VerificationStats":
         """Accumulate another run's statistics into this one (batch
@@ -69,7 +79,23 @@ class VerificationStats:
         self.summary_hits += other.summary_hits
         self.condition_branches += other.condition_branches
         self.wall_seconds += other.wall_seconds
+        self.fm_seconds += other.fm_seconds
+        self.canon_seconds += other.canon_seconds
+        self.expand_seconds += other.expand_seconds
         return self
+
+    def to_dict(self) -> dict:
+        """Every field as plain JSON (``verify --json`` exposes this)."""
+        return {
+            "km_nodes": self.km_nodes,
+            "summaries": self.summaries,
+            "summary_hits": self.summary_hits,
+            "condition_branches": self.condition_branches,
+            "wall_seconds": self.wall_seconds,
+            "fm_seconds": self.fm_seconds,
+            "canon_seconds": self.canon_seconds,
+            "expand_seconds": self.expand_seconds,
+        }
 
 
 @dataclass

@@ -24,6 +24,8 @@ import time
 from repro.errors import ReproError
 from repro.has.system import HAS
 from repro.hltl.formulas import HLTLProperty
+from repro.obs import trace as obs_trace
+from repro.perf.phases import PHASES
 from repro.verifier.result import VerificationResult, WitnessStep
 from repro.witness.materialize import materialize
 from repro.witness.minimize import minimize
@@ -57,19 +59,32 @@ def concretize(
 
     ``time_budget`` (seconds) bounds the minimization passes — they stop
     accepting candidates once it is spent, keeping post-verdict work
-    within the same order as the verification budget itself."""
-    outcome = materialize(has, result)
-    if isinstance(outcome, NonConcretizable):
-        return outcome
-    db_builder, steps, loop_start, notes = outcome
-    try:
-        database = db_builder.build()
-    except ReproError as exc:
-        return NonConcretizable(
-            f"materialized rows form no valid instance: {exc}",
-            property_name=result.property_name,
-            kind=result.witness_kind,
-        )
+    within the same order as the verification budget itself.
+
+    Each of the three passes runs under its own trace span and phase
+    timer (``materialize`` / ``replay`` / ``minimize`` — see
+    docs/observability.md), so a slow concretization is attributable."""
+    with obs_trace.span("witness.materialize") as extra:
+        token = PHASES.begin("materialize")
+        try:
+            outcome = materialize(has, result)
+            if isinstance(outcome, NonConcretizable):
+                extra["status"] = "non_concretizable"
+                return outcome
+            db_builder, steps, loop_start, notes = outcome
+            try:
+                database = db_builder.build()
+            except ReproError as exc:
+                extra["status"] = "non_concretizable"
+                return NonConcretizable(
+                    f"materialized rows form no valid instance: {exc}",
+                    property_name=result.property_name,
+                    kind=result.witness_kind,
+                )
+            extra["status"] = "materialized"
+            extra["steps"] = len(steps)
+        finally:
+            PHASES.end("materialize", token)
     witness = ConcreteWitness(
         kind=result.witness_kind,
         property_name=result.property_name,
@@ -79,18 +94,32 @@ def concretize(
         raw_length=len(steps),
         notes=list(notes),
     )
-    checks, check_notes = validate(
-        has, prop, witness.kind, database, steps, loop_start
-    )
-    witness.checks = checks
-    witness.notes.extend(check_notes)
+    with obs_trace.span("witness.replay") as extra:
+        token = PHASES.begin("replay")
+        try:
+            checks, check_notes = validate(
+                has, prop, witness.kind, database, steps, loop_start
+            )
+        finally:
+            PHASES.end("replay", token)
+        witness.checks = checks
+        witness.notes.extend(check_notes)
+        extra["confirmed"] = witness.confirmed
     if witness.confirmed and shrink:
-        deadline = (
-            time.monotonic() + time_budget if time_budget is not None else None
-        )
-        saved_notes = witness.notes
-        witness = minimize(has, prop, witness, deadline)
-        witness.notes = saved_notes
+        with obs_trace.span("witness.minimize") as extra:
+            token = PHASES.begin("minimize")
+            try:
+                deadline = (
+                    time.monotonic() + time_budget
+                    if time_budget is not None
+                    else None
+                )
+                saved_notes = witness.notes
+                witness = minimize(has, prop, witness, deadline)
+                witness.notes = saved_notes
+            finally:
+                PHASES.end("minimize", token)
+            extra["steps"] = len(witness.steps)
     return witness
 
 
