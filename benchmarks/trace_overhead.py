@@ -1,10 +1,18 @@
 #!/usr/bin/env python
-"""CI gate: tracing must cost <3% of wall time on travel-lite.
+"""CI gate: instrumentation must cost <3% of wall time on travel-lite.
 
-Runs interleaved (untraced, traced) repetitions of a bench family via
-:func:`repro.perf.bench.measure_trace_overhead` and compares the
-best-of-N walls.  Exits 1 when the measured overhead exceeds the
-budget — the observability contract in docs/observability.md says the
+Two measurements, each against the same budget:
+
+* **tracing** — interleaved (untraced, traced) repetitions via
+  :func:`repro.perf.bench.measure_trace_overhead`, best-of-N walls;
+* **attribution** — interleaved (disabled, enabled) repetitions of the
+  always-on search-attribution registry via
+  :func:`repro.perf.bench.measure_attribution_overhead`; unlike the
+  tracer it has no off switch in production, so its cost is gated
+  separately rather than hidden inside the traced side.
+
+Exits 1 when either measured overhead exceeds the budget — the
+observability contract in docs/observability.md says the
 instrumentation is cheap enough to leave on, and this is the check
 that keeps that sentence true.
 
@@ -37,8 +45,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.perf.bench import measure_trace_overhead
+    from repro.perf.bench import (
+        measure_attribution_overhead,
+        measure_trace_overhead,
+    )
 
+    failed = False
     result = measure_trace_overhead(args.family, reps=args.reps)
     overhead = result["overhead"]
     print(
@@ -52,6 +64,25 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: tracing costs {overhead:.2%} > {args.budget:.0%} budget",
             file=sys.stderr,
         )
+        failed = True
+
+    result = measure_attribution_overhead(args.family, reps=args.reps)
+    overhead = result["overhead"]
+    print(
+        f"attribution overhead on {result['family']} "
+        f"(best of {result['reps']}): "
+        f"disabled {result['disabled_seconds']:.3f}s, "
+        f"enabled {result['enabled_seconds']:.3f}s, "
+        f"overhead {overhead:+.2%} (budget {args.budget:.0%})"
+    )
+    if overhead > args.budget:
+        print(
+            f"FAIL: attribution costs {overhead:.2%} > {args.budget:.0%} budget",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
         return 1
     print("ok: within budget")
     return 0

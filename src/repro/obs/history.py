@@ -1,0 +1,258 @@
+"""The cross-run metrics ledger: append-only NDJSON of trace summaries.
+
+``BENCH_*.json`` baselines answer "is this commit slower than the pinned
+point?"; the history ledger answers the longitudinal question — *is this
+suite getting slower over time, and did its search change shape?*  Each
+``repro report FILE --append-history DIR`` appends one record to
+``DIR/history.ndjson``; ``repro report --history DIR`` renders per-job
+trend lines and flags drift against the ledger median.  The record is
+also the per-job metrics schema a future persistent verification server
+would serve (ROADMAP: "persistent server" frontier).
+
+Record schema (``schema_version`` 1) — one JSON object per line:
+
+* ``suite`` — hex fingerprint of the *sorted job content keys*: two
+  records compare run-over-run exactly when they verified the same
+  (system, property, config) set, regardless of job order or names;
+* ``jobs`` — per-job ``{name, key, status, km_nodes, wall_seconds,
+  total_seconds}``, sorted by name;
+* ``counters`` / ``phases`` / ``attribution`` — the suite-level merged
+  metrics of :class:`repro.obs.report.TraceSummary`;
+* ``wall_seconds``, ``events``, ``label`` (caller-supplied, e.g. a
+  commit id), ``recorded_unix``.
+
+Drift rules (:func:`trends`), per job name, latest record vs the
+*median of the prior* records:
+
+* **wall** — relative change beyond ±25% (wall clock is noisy; the
+  median across the ledger absorbs one-off spikes);
+* **km** — *any* change in ``km_nodes`` between records whose job key is
+  unchanged is flagged: the search is deterministic, so same inputs must
+  explore the same graph — km drift means nondeterminism crept in;
+* a changed job key is reported as ``content changed`` and exempts the
+  job from drift flags (different inputs legitimately cost differently);
+* **hit-rate** — per cache, a drop of more than 0.1 in the suite-level
+  hit rate (a cache that stopped hitting is how perf regressions start).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from statistics import median
+from typing import Iterable
+
+from repro.obs.report import TraceSummary, summarize
+from repro.perf.counters import PerfCounters
+
+#: Bump on incompatible record changes; readers skip newer majors.
+HISTORY_SCHEMA_VERSION = 1
+
+#: The ledger file inside the ``--append-history`` / ``--history`` DIR.
+LEDGER_NAME = "history.ndjson"
+
+#: Relative wall-clock change (vs the ledger median) that flags drift.
+WALL_DRIFT = 0.25
+
+#: Absolute hit-rate drop (vs the ledger median) that flags drift.
+RATE_DRIFT = 0.10
+
+
+def suite_fingerprint(job_keys: Iterable[str]) -> str:
+    """Content fingerprint of a suite: order- and name-independent."""
+    canonical = json.dumps(sorted(str(k) for k in job_keys))
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]
+
+
+def build_record(summary: TraceSummary, label: str = "") -> dict:
+    """One ledger record from a trace summary (pure, except the clock)."""
+    jobs = sorted(
+        (
+            {
+                "name": str(job.get("name", "?")),
+                "key": str(job.get("key", "")),
+                "status": str(job.get("status", "?")),
+                "km_nodes": int(job.get("km_nodes", 0) or 0),
+                "wall_seconds": float(job.get("wall_seconds", 0.0) or 0.0),
+                "total_seconds": float(
+                    job.get("total_seconds", job.get("wall_seconds", 0.0)) or 0.0
+                ),
+            }
+            for job in summary.jobs
+        ),
+        key=lambda entry: (entry["name"], entry["key"]),
+    )
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "suite": suite_fingerprint(job["key"] for job in jobs),
+        "label": label,
+        "jobs": jobs,
+        "wall_seconds": summary.wall_seconds,
+        "events": summary.events,
+        "counters": summary.counters,
+        "phases": summary.phases,
+        "attribution": summary.attribution,
+        "recorded_unix": int(time.time()),
+    }
+
+
+def append_history(
+    events: list[dict], directory: str | Path, label: str = ""
+) -> dict:
+    """Summarize ``events`` and append one record to the ledger in
+    ``directory`` (created if missing); returns the appended record."""
+    record = build_record(summarize(events), label=label)
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with (path / LEDGER_NAME).open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(directory: str | Path) -> list[dict]:
+    """All ledger records, oldest first; raises ValueError on a corrupt
+    line (append-only files fail loudly, not silently) and skips records
+    from a newer schema instead of misreading them."""
+    ledger = Path(directory) / LEDGER_NAME
+    if not ledger.exists():
+        return []
+    records: list[dict] = []
+    with ledger.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{ledger}:{lineno}: not JSON ({exc})") from None
+            if not isinstance(record, dict) or "schema_version" not in record:
+                raise ValueError(f"{ledger}:{lineno}: not a ledger record")
+            if record["schema_version"] > HISTORY_SCHEMA_VERSION:
+                continue
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# trends
+# ----------------------------------------------------------------------
+def trends(records: list[dict]) -> dict:
+    """Structured trend analysis of a ledger: the latest record compared,
+    per job name and per cache, against the median of the prior records.
+    Returns ``{runs, suite, jobs: [...], rates: [...], flags: [...]}``;
+    see the module docstring for the drift rules."""
+    result: dict = {"runs": len(records), "jobs": [], "rates": [], "flags": []}
+    if not records:
+        return result
+    latest = records[-1]
+    prior = records[:-1]
+    result["suite"] = latest.get("suite", "")
+    result["label"] = latest.get("label", "")
+
+    prior_jobs: dict[str, list[dict]] = {}
+    for record in prior:
+        for job in record.get("jobs", ()):
+            prior_jobs.setdefault(str(job.get("name")), []).append(job)
+
+    for job in latest.get("jobs", ()):
+        name = str(job.get("name"))
+        history = prior_jobs.get(name, [])
+        entry: dict = {
+            "name": name,
+            "runs": len(history) + 1,
+            "wall_seconds": job.get("wall_seconds", 0.0),
+            "km_nodes": job.get("km_nodes", 0),
+            "status": job.get("status"),
+        }
+        same_key = [h for h in history if h.get("key") == job.get("key")]
+        if history and not same_key:
+            entry["content_changed"] = True
+        elif same_key:
+            med_wall = median(h.get("wall_seconds", 0.0) for h in same_key)
+            entry["median_wall_seconds"] = med_wall
+            if med_wall > 0:
+                change = (job.get("wall_seconds", 0.0) - med_wall) / med_wall
+                entry["wall_change"] = change
+                if abs(change) > WALL_DRIFT:
+                    entry["wall_drift"] = True
+                    result["flags"].append(
+                        f"{name}: wall {change:+.0%} vs ledger median"
+                    )
+            km_values = {h.get("km_nodes", 0) for h in same_key}
+            if km_values != {job.get("km_nodes", 0)}:
+                entry["km_drift"] = True
+                result["flags"].append(
+                    f"{name}: km_nodes changed on identical inputs "
+                    f"({sorted(km_values)} -> {job.get('km_nodes', 0)}) — "
+                    "the search is deterministic; this should be impossible"
+                )
+        result["jobs"].append(entry)
+
+    latest_rates = PerfCounters.rates(latest.get("counters") or {})
+    prior_rates: dict[str, list[float]] = {}
+    for record in prior:
+        for cache, rate in PerfCounters.rates(record.get("counters") or {}).items():
+            if rate is not None:
+                prior_rates.setdefault(cache, []).append(rate)
+    for cache in sorted(latest_rates):
+        rate = latest_rates[cache]
+        if rate is None or cache not in prior_rates:
+            continue
+        med_rate = median(prior_rates[cache])
+        entry = {"cache": cache, "rate": rate, "median_rate": med_rate}
+        if med_rate - rate > RATE_DRIFT:
+            entry["rate_drift"] = True
+            result["flags"].append(
+                f"{cache}: hit rate {rate:.1%} vs ledger median {med_rate:.1%}"
+            )
+        result["rates"].append(entry)
+    return result
+
+
+def render_trends(records: list[dict]) -> str:
+    """The human-readable trend report for a ledger."""
+    analysis = trends(records)
+    if not analysis["runs"]:
+        return "history: no runs recorded"
+    lines = [
+        f"history: {analysis['runs']} runs recorded "
+        f"(suite {analysis.get('suite', '?')}"
+        + (f", latest label {analysis['label']}" if analysis.get("label") else "")
+        + ")"
+    ]
+    lines.append(
+        f"  {'job':<44s} {'wall':>9s} {'vs median':>10s} {'km':>9s} {'runs':>5s}"
+    )
+    for entry in analysis["jobs"]:
+        if entry.get("content_changed"):
+            versus = "(content changed)"
+        elif "wall_change" in entry:
+            versus = f"{entry['wall_change']:+.0%}"
+        else:
+            versus = "—"
+        flags = []
+        if entry.get("wall_drift"):
+            flags.append("WALL DRIFT")
+        if entry.get("km_drift"):
+            flags.append("KM DRIFT")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {entry['name']:<44s} {entry['wall_seconds']:8.3f}s "
+            f"{versus:>10s} {entry['km_nodes']:>9d} {entry['runs']:>5d}{suffix}"
+        )
+    drifting = [e for e in analysis["rates"] if e.get("rate_drift")]
+    if drifting:
+        lines.append("  cache hit-rate drift:")
+        for entry in drifting:
+            lines.append(
+                f"    {entry['cache']:<18s} {entry['rate']:6.1%} "
+                f"(ledger median {entry['median_rate']:6.1%})"
+            )
+    if analysis["flags"]:
+        lines.append("DRIFT: " + "; ".join(analysis["flags"]))
+    else:
+        lines.append("no drift against the ledger median")
+    return "\n".join(lines)

@@ -4,7 +4,9 @@ A :class:`Heartbeat` is a tracer listener (:func:`repro.obs.trace.add_listener`)
 that turns the event stream into terse, throttled status lines on a
 stream (stderr by default, so stdout stays parseable):
 
-* ``→ <job>`` when a job starts, and a one-line verdict when it ends;
+* ``→ <job>`` when a job starts, and a one-line verdict when it ends —
+  with a ``[k/N]`` suite progress counter once a ``suite_start`` event
+  announced the batch size;
 * during long explorations, at most one line per ``interval`` seconds::
 
       [  42.3s] travel::discount-policy · summary of Flight: km nodes=18230 frontier=511
@@ -12,7 +14,15 @@ stream (stderr by default, so stdout stays parseable):
   carrying the elapsed trace time, the current job, the exploration the
   verifier is inside (root search or a named child summary), and the
   Karp–Miller node/frontier counts from the latest ``km_progress``
-  event.
+  event;
+* a final one-line suite summary from ``suite_done`` (the only reliable
+  completion signal: cache-hit jobs never emit per-job events, so
+  counting ``job_finish`` lines under-reports).
+
+In-flight jobs are keyed by their content key, never by "the" current
+job: under ``--workers N`` the parent re-emits ``job_submit`` /
+``job_finish`` events for many jobs at once, and a single current-job
+slot would label finish lines with whichever job started last.
 
 The heartbeat only *reads* the event stream; it never influences the
 traced computation, and throttling applies to printing only (the trace
@@ -32,7 +42,13 @@ class Heartbeat:
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
         self._last_beat: float | None = None
-        self._job: str = ""
+        # in-flight jobs by content key; _started keeps start order so
+        # km_progress lines (serial: one running job, the newest) label
+        # correctly even while earlier jobs are still in flight
+        self._jobs: dict[str, str] = {}
+        self._started: list[str] = []
+        self._total = 0
+        self._done = 0
 
     def _write(self, line: str) -> None:
         try:
@@ -41,19 +57,52 @@ class Heartbeat:
         except (OSError, ValueError):  # pragma: no cover — closed stream
             pass
 
+    def _suffix(self) -> str:
+        """The ``[k/N]`` progress counter, once the batch size is known."""
+        return f"  [{self._done}/{self._total}]" if self._total else ""
+
+    def _finish_job(self, record: dict) -> None:
+        key = str(record.get("key", ""))
+        name = str(record.get("name", "") or self._jobs.get(key, ""))
+        self._jobs.pop(key, None)
+        if key in self._started:
+            self._started.remove(key)
+        self._done += 1
+        status = record.get("status", "?")
+        km = record.get("km_nodes", 0)
+        wall = record.get("wall_seconds", 0.0)
+        self._write(f"  {name}: {status} km={km} {wall:.1f}s{self._suffix()}")
+
     def __call__(self, record: dict) -> None:
         kind = record.get("ev")
-        if kind == "job_start":
-            self._job = str(record.get("name", ""))
+        if kind == "suite_start":
+            self._total = int(record.get("total", 0) or 0)
+            self._done = 0
+        elif kind == "job_submit":
+            # parallel runs announce every job upfront; track silently —
+            # a submit is queued, not running, so no ``→`` line
+            self._jobs[str(record.get("key", ""))] = str(record.get("name", ""))
+        elif kind == "job_start":
+            key = str(record.get("key", ""))
+            name = str(record.get("name", ""))
+            self._jobs[key] = name
+            self._started.append(key)
             self._last_beat = record.get("t")
-            self._write(f"→ {self._job}")
+            self._write(f"→ {name}")
         elif kind == "job_finish":
-            name = record.get("name", self._job)
-            status = record.get("status", "?")
-            km = record.get("km_nodes", 0)
-            wall = record.get("wall_seconds", 0.0)
-            self._write(f"  {name}: {status} km={km} {wall:.1f}s")
-            self._job = ""
+            self._finish_job(record)
+        elif kind == "suite_done":
+            total = record.get("total", 0)
+            self._write(
+                f"suite done: {total} jobs"
+                f" · {record.get('cache_hits', 0)} cached"
+                f" · {record.get('violations', 0)} violated"
+                f" · {record.get('budget_exceeded', 0)} over budget"
+                f" · {record.get('errors', 0)} errors"
+                f" · {record.get('wall_seconds', 0.0):.1f}s"
+            )
+            self._jobs.clear()
+            self._started.clear()
         elif kind == "km_progress":
             now = record.get("t", 0.0)
             if (
@@ -62,9 +111,10 @@ class Heartbeat:
             ):
                 return
             self._last_beat = now
+            current = self._jobs.get(self._started[-1], "") if self._started else ""
             context = " · ".join(
                 part
-                for part in (self._job, str(record.get("label", "")))
+                for part in (current, str(record.get("label", "")))
                 if part
             )
             self._write(

@@ -11,6 +11,11 @@ Reads a trace written by :mod:`repro.obs.trace` and renders
 * a **cache-rate table** — hit/miss totals and rates per hot-path cache,
   rendering caches that were never consulted as ``n/a`` (distinct from a
   true 0% hit rate);
+* a **hotspot table** — the per-(task, service) search attribution from
+  :mod:`repro.obs.attribution`: which scenario construct the KM
+  expansions, generated successors, and sampled FM/canonicalization
+  time belong to ("service ``book_flight``: 61% of expansions, 54% of
+  FM time") — the direct answer to *which part of my scenario is slow*;
 * the slowest jobs, for picking what to dig into next.
 
 :func:`scrub_event` strips the timing fields from a record; what remains
@@ -25,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs.attribution import UNATTRIBUTED, merge_attribution
 from repro.perf.counters import PerfCounters
 from repro.perf.phases import PHASE_NAMES, PhaseTimers
 
@@ -69,6 +75,7 @@ class TraceSummary:
     wall_seconds: float = 0.0
     phases: dict[str, dict] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    attribution: dict[str, dict] = field(default_factory=dict)
     events: int = 0
 
     def phase_breakdown(self) -> list[tuple[str, float, int]]:
@@ -140,6 +147,7 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
             summary.wall_seconds += record.get("dur", 0.0)
         _merge_phases(summary.phases, record.get("phases") or {})
         _merge_counters(summary.counters, record.get("counters") or {})
+        merge_attribution(summary.attribution, record.get("attribution") or {})
     return summary
 
 
@@ -148,6 +156,64 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
 # ----------------------------------------------------------------------
 def _format_rate(rate: float | None) -> str:
     return "n/a" if rate is None else f"{rate:6.1%}"
+
+
+#: Hotspot rows rendered before the rest collapses into ``(+N more)``.
+_HOTSPOT_ROWS = 12
+
+
+def render_attribution(attribution: dict[str, dict], rows: int = _HOTSPOT_ROWS) -> list[str]:
+    """The search-hotspot table: one row per (task, service) construct,
+    sorted by expansion count, with each construct's share of the total
+    expansions and of the *sampled* fm/canon seconds (shares, not
+    absolute times — the samples are uniform across constructs, so the
+    ratios are meaningful while the raw sums are not)."""
+    total_exp = sum(e.get("expansions", 0) for e in attribution.values())
+    total_fm = sum(e.get("fm_sampled_seconds", 0.0) for e in attribution.values())
+    total_canon = sum(
+        e.get("canon_sampled_seconds", 0.0) for e in attribution.values()
+    )
+    unattributed = attribution.get(UNATTRIBUTED[1], {}).get("expansions", 0)
+    attributed = total_exp - unattributed
+    lines = ["search hotspots (by construct):"]
+    lines.append(
+        f"  {'task':<14s} {'service':<22s} {'expand':>8s} {'share':>7s} "
+        f"{'succ':>8s} {'fm':>7s} {'canon':>7s} {'depth':>7s}"
+    )
+    ordered = sorted(
+        attribution.items(),
+        key=lambda kv: (-kv[1].get("expansions", 0), kv[0]),
+    )
+    for label, entry in ordered[:rows]:
+        expansions = entry.get("expansions", 0)
+        share = expansions / total_exp if total_exp else 0.0
+        fm_share = (
+            entry.get("fm_sampled_seconds", 0.0) / total_fm if total_fm else 0.0
+        )
+        canon_share = (
+            entry.get("canon_sampled_seconds", 0.0) / total_canon
+            if total_canon
+            else 0.0
+        )
+        depth = entry.get("depth_sum", 0) / expansions if expansions else 0.0
+        task = entry.get("task", "") or "—"
+        service = label
+        if label.startswith(f"{task}."):
+            service = label[len(task) + 1 :]
+        lines.append(
+            f"  {task:<14s} {service:<22s} {expansions:>8d} {share:>7.1%} "
+            f"{entry.get('successors', 0):>8d} {fm_share:>7.1%} "
+            f"{canon_share:>7.1%} {depth:>7.1f}"
+        )
+    if len(ordered) > rows:
+        lines.append(f"  (+{len(ordered) - rows} more constructs)")
+    if total_exp:
+        lines.append(
+            f"  attributed {attributed / total_exp:.1%} of {total_exp} "
+            f"expansions to {sum(1 for k in attribution if k != UNATTRIBUTED[1])} "
+            f"(task, service) pairs"
+        )
+    return lines
 
 
 def render(summary: TraceSummary, top: int = 5) -> str:
@@ -180,6 +246,9 @@ def render(summary: TraceSummary, top: int = 5) -> str:
                 f"  {cache:<18s} {hits:>10d} {misses:>10d} "
                 f"{_format_rate(rates[cache]):>7s}"
             )
+    if summary.attribution:
+        lines.append("")
+        lines.extend(render_attribution(summary.attribution))
     slow = sorted(
         summary.jobs,
         key=lambda r: r.get("total_seconds", r.get("wall_seconds", 0.0)),

@@ -291,6 +291,49 @@ def measure_trace_overhead(
     }
 
 
+def measure_attribution_overhead(
+    family: str = "travel-lite", reps: int = 3
+) -> dict:
+    """Measure the always-on attribution registry's wall-time overhead.
+
+    Same interleaved best-of-``reps`` protocol as
+    :func:`measure_trace_overhead`, but the A/B variable is
+    ``ATTRIBUTION.enabled`` with tracing *off* on both sides — isolating
+    the cost of the per-expansion recording and the sampled-phase
+    observer hook, which (unlike the tracer) cannot be turned off in
+    production runs and must therefore clear the same budget on its own.
+    """
+    from repro.obs.attribution import ATTRIBUTION
+
+    jobs = _FAMILIES[family]()
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    try:
+        for _rep in range(max(1, reps)):
+            for mode in ("disabled", "enabled"):
+                fm.clear_caches()
+                symbolic_store.clear_canonical_caches()
+                ATTRIBUTION.enabled = mode == "enabled"
+                wall, _km, _out = _run_jobs(jobs)
+                (enabled if mode == "enabled" else disabled).append(wall)
+    finally:
+        ATTRIBUTION.enabled = True
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    return {
+        "family": family,
+        "reps": reps,
+        "disabled_seconds": best_disabled,
+        "enabled_seconds": best_enabled,
+        "overhead": (best_enabled - best_disabled) / best_disabled
+        if best_disabled > 0
+        else 0.0,
+    }
+
+
 def record_families(
     out_dir: str | Path,
     families: Iterable[str] | None = None,

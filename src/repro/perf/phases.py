@@ -72,12 +72,20 @@ class PhaseTimers:
             ...  # the work
         finally:
             PHASES.end("fm", token)
+
+    An optional :attr:`observer` callable ``(name, seconds)`` is invoked
+    for every *timed* (outermost, sampled-in) activation as it ends —
+    the hook the attribution registry uses to credit sampled fm/canon
+    seconds to the scenario construct currently being explored.  It runs
+    only on sampled activations, so it inherits the sampling schedule's
+    overhead bound.
     """
 
-    __slots__ = ("_timers",)
+    __slots__ = ("_timers", "observer")
 
     def __init__(self) -> None:
         self._timers: dict[str, _Timer] = {}
+        self.observer = None
 
     def _get(self, name: str) -> _Timer:
         timer = self._timers.get(name)
@@ -107,7 +115,10 @@ class PhaseTimers:
             timer.depth -= 1
         if token is not None:
             timer.timed += 1
-            timer.seconds += perf_counter() - token
+            elapsed = perf_counter() - token
+            timer.seconds += elapsed
+            if self.observer is not None:
+                self.observer(name, elapsed)
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Directly account fully-measured time to a phase (used when a

@@ -149,7 +149,16 @@ def _tracing(args: argparse.Namespace):
 
         heartbeat = Heartbeat()
         trace.add_listener(heartbeat)
-    trace.start(trace_path)
+    try:
+        trace.start(trace_path)
+    except OSError as exc:
+        # an unwritable --trace path is a usage error (exit 2), not a
+        # traceback — same contract as a missing report file
+        if heartbeat is not None:
+            trace.remove_listener(heartbeat)
+        raise _die(
+            f"{trace_path}: cannot write trace ({exc.strerror or exc})"
+        ) from None
     try:
         yield
     finally:
@@ -275,27 +284,30 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     job = _job_from_target(args.target, config)
     print(f"explaining {job.name}  (key {job.key()[:16]}…)")
-    try:
-        result = Verifier(job.has, job.config).verify(job.prop)
-    except ReproError as exc:
-        print(f"  {type(exc).__name__}: {exc}")
-        return 2
-    if result.holds:
-        print(result.explain())
-        print("nothing to explain: no counterexample exists within the model")
-        return 0
-    try:
-        witness = concretize(
-            job.has,
-            job.prop,
-            result,
-            shrink=not args.no_minimize,
-            time_budget=config.time_limit_seconds,
-        )
-    except Exception as exc:  # noqa: BLE001 — exit contract: 2, not a traceback
-        print(result.explain())
-        print(f"concretization failed: {type(exc).__name__}: {exc}")
-        return 2
+    with _tracing(args):
+        try:
+            result = Verifier(job.has, job.config).verify(job.prop)
+        except ReproError as exc:
+            print(f"  {type(exc).__name__}: {exc}")
+            return 2
+        if result.holds:
+            print(result.explain())
+            print("nothing to explain: no counterexample exists within the model")
+            return 0
+        try:
+            # traced: the witness materialize/replay/minimize spans are
+            # only reachable through this pipeline
+            witness = concretize(
+                job.has,
+                job.prop,
+                result,
+                shrink=not args.no_minimize,
+                time_budget=config.time_limit_seconds,
+            )
+        except Exception as exc:  # noqa: BLE001 — exit contract: 2, not a traceback
+            print(result.explain())
+            print(f"concretization failed: {type(exc).__name__}: {exc}")
+            return 2
     print(witness.render())
     if args.export:
         Path(args.export).write_text(
@@ -341,7 +353,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.record or args.compare:
-        return _cmd_bench_record(args)
+        with _tracing(args):
+            return _cmd_bench_record(args)
     if args.families:
         raise _die("--families requires --record or --compare")
     config = _config_from_args(args)
@@ -354,16 +367,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     workers_list = [int(w) for w in args.workers_list.split(",")]
     print(f"bench suite {args.name!r}: {len(jobs)} jobs at workers={workers_list}")
     baseline = None
-    for workers in workers_list:
-        report = run_batch(jobs, workers=workers, cache=None)
-        if baseline is None:
-            baseline = report.wall_seconds
-        speedup = baseline / report.wall_seconds if report.wall_seconds else 0.0
-        print(
-            f"  workers={workers:<3d} wall {report.wall_seconds:8.3f}s  "
-            f"speedup ×{speedup:.2f}  "
-            f"({report.violations} violated, {report.budget_exceeded} over budget)"
-        )
+    with _tracing(args):
+        for workers in workers_list:
+            report = run_batch(jobs, workers=workers, cache=None)
+            if baseline is None:
+                baseline = report.wall_seconds
+            speedup = baseline / report.wall_seconds if report.wall_seconds else 0.0
+            print(
+                f"  workers={workers:<3d} wall {report.wall_seconds:8.3f}s  "
+                f"speedup ×{speedup:.2f}  "
+                f"({report.violations} violated, {report.budget_exceeded} over budget)"
+            )
     return 0
 
 
@@ -564,6 +578,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import load_events, render, summarize
     from repro.perf.counters import PerfCounters
 
+    if not args.trace and not args.history:
+        raise _die("report: pass a trace file, --history DIR, or both")
+    if args.export and not args.trace:
+        raise _die("--export needs a trace file to convert")
+    if args.export and not args.out:
+        raise _die("--export needs --out FILE for the converted trace")
+    if args.out and not args.export:
+        raise _die("--out only makes sense with --export")
+    if args.append_history and not args.trace:
+        raise _die("--append-history needs a trace file to summarize")
+
+    history_records = None
+    if args.history:
+        from repro.obs.history import load_history
+
+        try:
+            history_records = load_history(args.history)
+        except OSError as exc:
+            raise _die(f"{args.history}: cannot read ledger ({exc.strerror or exc})")
+        except ValueError as exc:
+            raise _die(str(exc))
+
+    if not args.trace:
+        from repro.obs.history import render_trends, trends
+
+        if args.json:
+            print(json.dumps(trends(history_records), sort_keys=True))
+        else:
+            print(render_trends(history_records))
+        return 0
+
     try:
         events = load_events(args.trace)
     except OSError as exc:
@@ -571,26 +616,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise _die(str(exc))
     summary = summarize(events)
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "events": summary.events,
-                    "jobs": len(summary.jobs),
-                    "wall_seconds": summary.wall_seconds,
-                    "phases": summary.phases,
-                    "breakdown": [
-                        {"phase": label, "seconds": seconds, "calls": calls}
-                        for label, seconds, calls in summary.phase_breakdown()
-                    ],
-                    "counters": summary.counters,
-                    "rates": PerfCounters.rates(summary.counters),
-                },
-                sort_keys=True,
+
+    if args.export:
+        from repro.obs.export import export_trace
+
+        try:
+            export_trace(events, args.export, args.out)
+        except OSError as exc:
+            raise _die(f"{args.out}: cannot write export ({exc.strerror or exc})")
+
+    appended = None
+    if args.append_history:
+        from repro.obs.history import append_history
+
+        try:
+            appended = append_history(events, args.append_history, label=args.label)
+        except OSError as exc:
+            raise _die(
+                f"{args.append_history}: cannot write ledger "
+                f"({exc.strerror or exc})"
             )
-        )
+
+    if args.json:
+        document = {
+            "events": summary.events,
+            "jobs": len(summary.jobs),
+            "wall_seconds": summary.wall_seconds,
+            "phases": summary.phases,
+            "breakdown": [
+                {"phase": label, "seconds": seconds, "calls": calls}
+                for label, seconds, calls in summary.phase_breakdown()
+            ],
+            "counters": summary.counters,
+            "rates": PerfCounters.rates(summary.counters),
+            "attribution": summary.attribution,
+        }
+        if history_records is not None:
+            from repro.obs.history import trends
+
+            document["history"] = trends(history_records)
+        print(json.dumps(document, sort_keys=True))
     else:
         print(render(summary, top=args.top))
+        if args.export:
+            print(f"{args.export} export written to {args.out}")
+        if appended is not None:
+            print(
+                f"history record appended (suite {appended['suite']}, "
+                f"{len(appended['jobs'])} jobs)"
+            )
+        if history_records is not None:
+            from repro.obs.history import render_trends
+
+            print()
+            print(render_trends(history_records))
     return 0
 
 
@@ -647,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip trace minimization (print the raw materialized run)",
     )
     _add_budget_arguments(explain)
+    _add_trace_arguments(explain)
     explain.set_defaults(func=_cmd_explain)
 
     suite = sub.add_parser("suite", help="run a named job suite")
@@ -730,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.15 = 15%%)",
     )
     _add_budget_arguments(bench)
+    _add_trace_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     fuzz = sub.add_parser(
@@ -811,9 +892,16 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="summarize a --trace JSONL file: per-phase time breakdown, "
-        "cache hit rates, slowest jobs (exit 2 on a missing/bad file)",
+        "cache hit rates, search hotspots, slowest jobs; export to "
+        "Chrome/speedscope; maintain a cross-run metrics ledger "
+        "(exit 2 on a missing/bad file)",
     )
-    report.add_argument("trace", metavar="FILE.jsonl", help="trace file to analyze")
+    report.add_argument(
+        "trace",
+        metavar="FILE.jsonl",
+        nargs="?",
+        help="trace file to analyze (optional with --history)",
+    )
     report.add_argument(
         "--json",
         action="store_true",
@@ -824,6 +912,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="number of slowest jobs to list (default 5)",
+    )
+    report.add_argument(
+        "--export",
+        choices=("chrome", "speedscope"),
+        help="convert the trace: 'chrome' writes trace-event JSON "
+        "(open in ui.perfetto.dev or chrome://tracing), 'speedscope' "
+        "writes a speedscope.app profile; requires --out",
+    )
+    report.add_argument(
+        "--out",
+        metavar="FILE",
+        help="output path for the --export conversion",
+    )
+    report.add_argument(
+        "--append-history",
+        metavar="DIR",
+        help="append this trace's summary to the metrics ledger "
+        "(DIR/history.ndjson, created if missing)",
+    )
+    report.add_argument(
+        "--history",
+        metavar="DIR",
+        help="render per-job trends and drift flags from the metrics "
+        "ledger in DIR (works with or without a trace file)",
+    )
+    report.add_argument(
+        "--label",
+        default="",
+        help="label stored with --append-history records (e.g. a commit id)",
     )
     report.set_defaults(func=_cmd_report)
     return parser

@@ -170,6 +170,10 @@ class JobOutcome:
     """This job's sampled per-phase timings
     (:meth:`repro.perf.phases.PhaseTimers.since` delta), captured like
     ``counters``; covers verification *and* witness concretization."""
+    attribution: dict | None = None
+    """Per-(task, service) search-cost attribution
+    (:meth:`repro.obs.attribution.AttributionRegistry.since` delta),
+    captured like ``counters``; None on cache hits."""
     total_seconds: float = 0.0
     """Wall clock for the whole job including witness concretization
     (``wall_seconds`` measures verification only)."""
@@ -217,6 +221,7 @@ class JobOutcome:
             "stats": self.stats,
             "counters": self.counters,
             "phases": self.phases,
+            "attribution": self.attribution,
             "total_seconds": self.total_seconds,
         }
 
@@ -241,6 +246,7 @@ class JobOutcome:
             stats=data.get("stats"),
             counters=data.get("counters"),
             phases=data.get("phases"),
+            attribution=data.get("attribution"),
             total_seconds=data.get("total_seconds", 0.0),
         )
 
@@ -249,14 +255,16 @@ class JobOutcome:
         timing, metrics, and cache provenance.  Two runs of the same job —
         serial or parallel, cached or not — must agree on this dict
         exactly.  ``counters`` are excluded because per-job cache traffic
-        depends on what ran earlier in the same process; ``stats`` and
-        ``phases`` because they embed sampled wall seconds."""
+        depends on what ran earlier in the same process; ``stats``,
+        ``phases``, and ``attribution`` because they embed sampled wall
+        seconds."""
         data = self.to_dict()
         del data["wall_seconds"]
         del data["cache_hit"]
         del data["stats"]
         del data["counters"]
         del data["phases"]
+        del data["attribution"]
         del data["total_seconds"]
         return data
 

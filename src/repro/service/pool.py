@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import BudgetExceeded
 from repro.obs import trace
+from repro.obs.attribution import ATTRIBUTION
 from repro.perf.counters import COUNTERS
 from repro.perf.phases import PHASES
 from repro.service.jobs import (
@@ -44,6 +45,7 @@ def execute_payload(payload: dict) -> dict:
     started = time.monotonic()
     counters_baseline = COUNTERS.snapshot()
     phases_baseline = PHASES.snapshot()
+    attribution_baseline = ATTRIBUTION.snapshot()
     name = str(payload.get("name", "?")) if isinstance(payload, dict) else "?"
     key = str(payload.get("key", "")) if isinstance(payload, dict) else ""
     expected = payload.get("expected_holds") if isinstance(payload, dict) else None
@@ -91,6 +93,7 @@ def execute_payload(payload: dict) -> dict:
     outcome.total_seconds = time.monotonic() - started
     outcome.counters = COUNTERS.since(counters_baseline)
     outcome.phases = PHASES.since(phases_baseline)
+    outcome.attribution = ATTRIBUTION.since(attribution_baseline)
     trace.event(
         "job_finish",
         name=outcome.name,
@@ -101,6 +104,7 @@ def execute_payload(payload: dict) -> dict:
         total_seconds=outcome.total_seconds,
         counters=outcome.counters,
         phases=outcome.phases,
+        attribution=outcome.attribution,
     )
     return outcome.to_dict()
 
@@ -187,6 +191,7 @@ def run_payloads(
                     total_seconds=outcome.get("total_seconds", 0.0),
                     counters=outcome.get("counters"),
                     phases=outcome.get("phases"),
+                    attribution=outcome.get("attribution"),
                 )
                 if on_outcome is not None:
                     on_outcome(index, outcome)

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs import trace
+from repro.obs.attribution import merge_attribution
 from repro.perf.counters import PerfCounters
 from repro.service.cache import ResultCache
 from repro.service.jobs import (
@@ -141,6 +143,16 @@ class BatchReport:
                 bucket["seconds"] += entry.get("seconds", 0.0)
         return totals
 
+    def merged_attribution(self) -> dict[str, dict]:
+        """Per-(task, service) search attribution summed across live
+        outcomes (same exclusion rules as :meth:`merged_counters`)."""
+        totals: dict[str, dict] = {}
+        for outcome in self.outcomes:
+            if outcome.cache_hit or not outcome.attribution:
+                continue
+            merge_attribution(totals, outcome.attribution)
+        return totals
+
     # ------------------------------------------------------------------
     # rendering / export
     # ------------------------------------------------------------------
@@ -199,6 +211,7 @@ class BatchReport:
                         "counters": self.merged_counters(),
                         "rates": self.merged_rates(),
                         "phases": self.merged_phases(),
+                        "attribution": self.merged_attribution(),
                     },
                     sort_keys=True,
                 )
@@ -221,6 +234,11 @@ def run_batch(
     started = time.monotonic()
     keys = [job.key() for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    # bracket the batch for trace listeners: the heartbeat reads the
+    # total from here for its [k/N] counters and renders the final suite
+    # summary from suite_done (cache hits never emit job events, so
+    # listeners can't infer completion from job_finish counts alone)
+    trace.event("suite_start", total=len(jobs), workers=workers)
 
     # cache pass — also dedupe identical jobs within the batch
     miss_indices: list[int] = []
@@ -237,6 +255,7 @@ def run_batch(
             cached.expected_status = job.expected_status
             cached.counters = None
             cached.phases = None
+            cached.attribution = None
             outcomes[index] = cached
             if on_outcome is not None:
                 on_outcome(cached)
@@ -273,13 +292,24 @@ def run_batch(
         copy.expected_status = jobs[index].expected_status
         copy.counters = None
         copy.phases = None
+        copy.attribution = None
         outcomes[index] = copy
         if on_outcome is not None:
             on_outcome(copy)
 
     assert all(o is not None for o in outcomes)
-    return BatchReport(
+    report = BatchReport(
         outcomes=[o for o in outcomes if o is not None],
         workers=workers,
         wall_seconds=time.monotonic() - started,
     )
+    trace.event(
+        "suite_done",
+        total=report.total,
+        cache_hits=report.cache_hits,
+        violations=report.violations,
+        budget_exceeded=report.budget_exceeded,
+        errors=report.errors,
+        wall_seconds=report.wall_seconds,
+    )
+    return report

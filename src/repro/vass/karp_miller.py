@@ -38,6 +38,7 @@ from typing import Callable, Hashable, Iterable, Iterator, Mapping, Protocol
 
 from repro.errors import BudgetExceeded
 from repro.obs import trace
+from repro.obs.attribution import ATTRIBUTION
 
 OMEGA = math.inf
 
@@ -81,6 +82,7 @@ class KMNode:
     parent: "KMNode | None" = None
     parent_tag: object = None
     index: int = 0
+    depth: int = 0
     successors: list[tuple[object, "KMNode"]] = field(default_factory=list)
 
     @property
@@ -209,6 +211,7 @@ def build_km_graph(
             graph.budget_exhausted = True
             break
         expansions += 1
+        ATTRIBUTION.record_expansion(node.parent_tag, node.depth)
         if expansions % PROGRESS_EVERY == 0 and trace.enabled():
             trace.event(
                 "km_progress",
@@ -233,6 +236,7 @@ def build_km_graph(
                 next_vector[dim] = value
             if not enabled:
                 continue
+            ATTRIBUTION.record_successor(tag)
             # acceleration against path ancestors
             ancestor = node
             while ancestor is not None:
@@ -266,6 +270,7 @@ def build_km_graph(
                 payload=None,
                 parent=node,
                 parent_tag=tag,
+                depth=node.depth + 1,
             )
             child.index = len(graph.nodes)
             graph.nodes.append(child)

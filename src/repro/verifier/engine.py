@@ -16,6 +16,7 @@ from typing import Mapping
 from repro.errors import BudgetExceeded, SpecificationError, VerificationError
 from repro.has.restrictions import validate_has
 from repro.obs import trace
+from repro.obs.attribution import ATTRIBUTION
 from repro.perf.counters import COUNTERS
 from repro.perf.phases import PHASES, PhaseTimers
 from repro.has.system import HAS
@@ -74,6 +75,10 @@ class Verifier:
         single choke point for the budget-exhausted diagnostics (and for
         the ``expand`` phase timer and exploration trace spans)."""
         with trace.span("explore", what=what) as extra:
+            # snapshot only when a trace wants the delta: the attribution
+            # registry itself is always on, but snapshot/diff per
+            # exploration is pure reporting cost
+            attr_base = ATTRIBUTION.snapshot() if trace.enabled() else None
             token = PHASES.begin("expand")
             try:
                 graph = build_km_graph(
@@ -85,8 +90,14 @@ class Verifier:
                 )
             finally:
                 PHASES.end("expand", token)
+                # don't let this exploration's last construct soak up
+                # post-exploration fm/canon time (witness pipeline, or a
+                # parent VASS that hasn't re-entered a branch yet)
+                ATTRIBUTION.clear_context()
             extra["nodes"] = len(graph.nodes)
             extra["budget_exhausted"] = graph.budget_exhausted
+            if attr_base is not None:
+                extra["attribution"] = ATTRIBUTION.since(attr_base)
         if graph.budget_exhausted:
             # don't count the truncated graph in stats: the exception
             # already carries its node count (states_explored), and
@@ -213,6 +224,7 @@ class Verifier:
         self.compiled = CompiledProperty(self.has, prop)
         self.stats = VerificationStats()
         phases_baseline = PHASES.snapshot()
+        attr_baseline = ATTRIBUTION.snapshot() if trace.enabled() else None
         try:
             with trace.span("verify", property=prop.name) as extra:
                 result = self._verify_compiled(prop)
@@ -222,6 +234,8 @@ class Verifier:
                 extra["summaries"] = self.stats.summaries
                 phases_delta = PHASES.since(phases_baseline)
                 extra["phases"] = phases_delta
+                if attr_baseline is not None:
+                    extra["attribution"] = ATTRIBUTION.since(attr_baseline)
         finally:
             # attribute phase time even when the budget aborted the search
             # (the pool reports partial stats for budget-exceeded jobs)

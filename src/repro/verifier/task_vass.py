@@ -42,6 +42,7 @@ from repro.has.task import Task
 from repro.hltl.formulas import ChildProp, CondProp, ServiceProp
 from repro.logic.conditions import Not
 from repro.logic.terms import Variable, VarKind
+from repro.obs.attribution import ATTRIBUTION
 from repro.perf.counters import COUNTERS
 from repro.ltl.automaton import Automaton, Transition
 from repro.runtime import labels
@@ -333,6 +334,7 @@ class TaskVASS:
             return  # restriction (4)
         for service in self.task.services:
             ref = labels.internal(self.task.name, service.name)
+            ATTRIBUTION.set_context(self.task.name, ref)
             for pre_store in itertools.islice(
                 apply_condition(state.store, service.pre),
                 self.config.max_condition_branches,
@@ -448,6 +450,7 @@ class TaskVASS:
             if state.status_of(child.name) != INIT:
                 continue  # at most one call per segment (restriction 8)
             ref = labels.opening(child.name)
+            ATTRIBUTION.set_context(self.task.name, ref)
             for pre_store in itertools.islice(
                 apply_condition(state.store, child.opening.pre),
                 self.config.max_condition_branches,
@@ -457,6 +460,10 @@ class TaskVASS:
                 )
                 for beta in self.engine.compiled.betas(child.name):
                     summary = self.engine.summary(child.name, input_store, beta)
+                    # the summary may have recursively explored the child
+                    # VASS (which owns the context while it runs, and
+                    # clears it on exit) — re-enter this opening's scope
+                    ATTRIBUTION.set_context(self.task.name, ref)
                     outcomes: list[tuple] = [
                         ("out", out_key) for out_key in sorted(summary.outputs, key=repr)
                     ]
@@ -500,10 +507,11 @@ class TaskVASS:
             if outcome == BOT:
                 continue  # never returns
             child = self.task.child(child_name)
+            ref = labels.closing(child_name)
+            ATTRIBUTION.set_context(self.task.name, ref)
             out_store = self.engine.output_store(
                 child_name, input_key, beta_items, outcome[1]
             )
-            ref = labels.closing(child_name)
             for merged in self._merge_child_output(state.store, child, out_store):
                 o_bar = state.with_status(child_name, CLOSED)
                 for refined, q in self._buchi_step(state, merged, ref):
@@ -593,6 +601,7 @@ class TaskVASS:
         if self.is_root or state.active_children():
             return
         ref = labels.closing(self.task.name)
+        ATTRIBUTION.set_context(self.task.name, ref)
         for pre_store in itertools.islice(
             apply_condition(state.store, self.task.closing.pre),
             self.config.max_condition_branches,

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate the golden export files from the synthetic trace fixture
+in ``tests/test_obs_analysis.py``:
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this after an *intentional* change to the export formats, and
+review the diff — the goldens pin the exporters' exact bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+sys.path.insert(0, str(HERE.parent))
+
+from test_obs_analysis import _synthetic_serial_events  # noqa: E402
+
+from repro.obs.export import export_trace  # noqa: E402
+
+
+def main() -> None:
+    events = _synthetic_serial_events()
+    for fmt in ("chrome", "speedscope"):
+        out = HERE / f"trace_serial.{fmt}.json"
+        export_trace(events, fmt, out)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

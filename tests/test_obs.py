@@ -309,6 +309,31 @@ class TestHeartbeat:
         assert "frontier=2" in lines[1]
         assert lines[2] == "  jobA: holds km=9 1.6s"
 
+    def test_parallel_jobs_keyed_not_mislabeled(self):
+        """Under --workers N many jobs are in flight at once; finish
+        lines must carry each job's own name (looked up by content key),
+        a [k/N] suite counter, and a final suite summary."""
+        out = io.StringIO()
+        beat = Heartbeat(stream=out, interval=1.0)
+        beat({"ev": "suite_start", "t": 0.0, "total": 3, "workers": 2})
+        # submits are queued, not running: registered silently, no → line
+        beat({"ev": "job_submit", "t": 0.01, "name": "a", "key": "ka"})
+        beat({"ev": "job_submit", "t": 0.01, "name": "b", "key": "kb"})
+        beat({"ev": "job_finish", "t": 0.5, "name": "b", "key": "kb",
+              "status": "holds", "km_nodes": 5, "wall_seconds": 0.4})
+        beat({"ev": "job_finish", "t": 0.6, "name": "a", "key": "ka",
+              "status": "violated", "km_nodes": 7, "wall_seconds": 0.5})
+        beat({"ev": "suite_done", "t": 0.7, "total": 3, "cache_hits": 1,
+              "violations": 1, "budget_exceeded": 0, "errors": 0,
+              "wall_seconds": 0.7})
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "  b: holds km=5 0.4s  [1/3]"
+        assert lines[1] == "  a: violated km=7 0.5s  [2/3]"
+        assert lines[2] == (
+            "suite done: 3 jobs · 1 cached · 1 violated"
+            " · 0 over budget · 0 errors · 0.7s"
+        )
+
 
 # ======================================================================
 # stats / outcome plumbing

@@ -1,0 +1,724 @@
+"""The analysis layer on top of the trace substrate: search-cost
+attribution, standard-format exports (Chrome trace-event / speedscope),
+and the cross-run history ledger.
+
+The attribution contract mirrors the tracer's: always on, semantically
+invisible (A/B-tested with the registry disabled), and — minus its
+sampled-seconds fields — deterministic across runs and PYTHONHASHSEED
+values.  The exporters are pure functions of the parsed event list, so
+golden files in ``tests/golden/`` pin their exact output bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.examples.travel import discount_policy_property_lite, travel_lite
+from repro.obs import trace
+from repro.obs.attribution import (
+    ATTRIBUTION,
+    UNATTRIBUTED,
+    AttributionRegistry,
+    merge_attribution,
+)
+from repro.obs.export import (
+    MAIN_PID,
+    WORKERS_PID,
+    export_trace,
+    to_chrome,
+    to_speedscope,
+)
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    LEDGER_NAME,
+    append_history,
+    load_history,
+    render_trends,
+    suite_fingerprint,
+    trends,
+)
+from repro.obs.report import render, scrub_event, summarize
+from repro.service.jobs import VerificationJob
+from repro.verifier.config import VerifierConfig
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off():
+    """Every test starts and ends with the tracer inactive."""
+    trace.stop()
+    yield
+    trace.stop()
+
+
+def _tag(task, service):
+    """A StepTag-shaped object (duck typing is the registry's contract)."""
+    return SimpleNamespace(task=task, service=service)
+
+
+def _lite_job(name="lite"):
+    has = travel_lite(False)
+    return VerificationJob(
+        has=has,
+        prop=discount_policy_property_lite(has),
+        config=VerifierConfig(km_budget=60_000),
+        name=name,
+    )
+
+
+# ======================================================================
+# the attribution registry (unit)
+# ======================================================================
+class TestAttributionRegistry:
+    def test_expansions_and_successors_by_key(self):
+        reg = AttributionRegistry()
+        reg.record_expansion(_tag("T", "T.svc"), depth=2)
+        reg.record_expansion(_tag("T", "T.svc"), depth=4)
+        reg.record_successor(_tag("T", "T.svc"))
+        reg.record_expansion(None, depth=0)  # root node: no tag
+        snap = reg.snapshot()
+        assert set(snap) == {"'T.svc'", UNATTRIBUTED[1]}
+        entry = snap["'T.svc'"]
+        assert entry["task"] == "T"
+        assert entry["expansions"] == 2
+        assert entry["successors"] == 1
+        assert entry["depth_sum"] == 6
+        assert snap[UNATTRIBUTED[1]]["expansions"] == 1
+
+    def test_foreign_tags_fall_into_unattributed(self):
+        reg = AttributionRegistry()
+        reg.record_expansion("opaque string tag", depth=1)
+        reg.record_expansion(SimpleNamespace(task="T"), depth=1)  # no service
+        assert set(reg.snapshot()) == {UNATTRIBUTED[1]}
+        assert reg.snapshot()[UNATTRIBUTED[1]]["expansions"] == 2
+
+    def test_snapshot_keys_sorted(self):
+        reg = AttributionRegistry()
+        for service in ("zz", "aa", "mm"):
+            reg.record_expansion(_tag("T", service), depth=0)
+        assert list(reg.snapshot()) == ["'aa'", "'mm'", "'zz'"]
+
+    def test_phase_samples_credited_to_context(self):
+        reg = AttributionRegistry()
+        reg._on_phase_sample("fm", 0.5)  # no context: dropped
+        reg.set_context("T", "T.svc")
+        reg._on_phase_sample("fm", 0.25)
+        reg._on_phase_sample("canon", 0.125)
+        reg._on_phase_sample("expand", 9.0)  # only fm/canon are credited
+        reg.clear_context()
+        reg._on_phase_sample("fm", 0.5)  # context cleared: dropped
+        (entry,) = reg.snapshot().values()
+        assert entry["fm_sampled_seconds"] == pytest.approx(0.25)
+        assert entry["fm_samples"] == 1
+        assert entry["canon_sampled_seconds"] == pytest.approx(0.125)
+        assert entry["canon_samples"] == 1
+
+    def test_disabled_registry_records_nothing(self):
+        reg = AttributionRegistry()
+        reg.enabled = False
+        reg.record_expansion(_tag("T", "s"), depth=1)
+        reg.record_successor(_tag("T", "s"))
+        reg.set_context("T", "s")
+        reg._on_phase_sample("fm", 1.0)
+        assert reg.snapshot() == {}
+
+    def test_since_reports_deltas_and_drops_idle_rows(self):
+        reg = AttributionRegistry()
+        reg.record_expansion(_tag("A", "a"), depth=1)
+        reg.record_expansion(_tag("B", "b"), depth=1)
+        baseline = reg.snapshot()
+        reg.record_expansion(_tag("B", "b"), depth=3)
+        delta = reg.since(baseline)
+        assert list(delta) == ["'b'"]  # 'a' saw no activity in the window
+        assert delta["'b'"]["expansions"] == 1
+        assert delta["'b'"]["depth_sum"] == 3
+        assert delta["'b'"]["task"] == "B"
+
+    def test_merge_attribution_accumulates(self):
+        into: dict = {}
+        delta = {
+            "'s'": {
+                "task": "T", "expansions": 2, "successors": 3,
+                "depth_sum": 4, "fm_sampled_seconds": 0.5, "fm_samples": 1,
+                "canon_sampled_seconds": 0.0, "canon_samples": 0,
+            }
+        }
+        merge_attribution(into, delta)
+        merge_attribution(into, delta)
+        assert into["'s'"]["expansions"] == 4
+        assert into["'s'"]["fm_sampled_seconds"] == pytest.approx(1.0)
+        assert into["'s'"]["task"] == "T"
+        merge_attribution(into, "not a dict")  # defensive: ignored
+        merge_attribution(into, {"'s'": "not a dict"})
+        assert into["'s'"]["expansions"] == 4
+
+    def test_scrub_drops_sampled_seconds_keeps_counts(self):
+        record = {
+            "ev": "job_finish",
+            "attribution": {
+                "'s'": {
+                    "task": "T", "expansions": 5, "successors": 7,
+                    "depth_sum": 9, "fm_sampled_seconds": 0.1,
+                    "fm_samples": 2, "canon_sampled_seconds": 0.2,
+                    "canon_samples": 1,
+                }
+            },
+        }
+        scrubbed = scrub_event(record)
+        entry = scrubbed["attribution"]["'s'"]
+        assert "fm_sampled_seconds" not in entry
+        assert "canon_sampled_seconds" not in entry
+        assert entry["expansions"] == 5 and entry["depth_sum"] == 9
+
+
+# ======================================================================
+# attribution end to end: the ≥95% bar and the invisibility A/B
+# ======================================================================
+def _semantic_outcome(job):
+    from repro.service.pool import execute_job
+
+    outcome = execute_job(job)
+    return outcome.semantic_bytes(), outcome.key
+
+
+def _gallery_job():
+    from repro.dsl import load_document
+
+    gallery = (
+        Path(__file__).parent.parent
+        / "src" / "repro" / "workloads" / "gallery"
+    )
+    doc = load_document(gallery / "library_loans.has")
+    return doc.jobs(default_config=VerifierConfig(km_budget=60_000))[0]
+
+
+def _traced_job_finish(make_job):
+    # start cold: node serials restart per store, so global cache entries
+    # left by earlier tests can collide and legitimately short-circuit
+    # parts of the exploration, shrinking the expansion counts this
+    # helper measures (same cold-start rule as repro.perf.bench)
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    fm.clear_caches()
+    symbolic_store.clear_canonical_caches()
+    sink = io.StringIO()
+    trace.start(sink)
+    try:
+        _semantic_outcome(make_job())
+    finally:
+        trace.stop()
+    events = [json.loads(line) for line in sink.getvalue().splitlines()]
+    return next(e for e in events if e["ev"] == "job_finish")
+
+
+class TestAttributionEndToEnd:
+    def test_travel_lite_attribution_share(self):
+        """The acceptance bar: ≥95% of expansions attributed to named
+        (task, service) pairs; the remainder are exploration roots."""
+        attribution = _traced_job_finish(_lite_job)["attribution"]
+        total = sum(e["expansions"] for e in attribution.values())
+        unattributed = attribution.get(UNATTRIBUTED[1], {}).get("expansions", 0)
+        assert total > 0
+        assert (total - unattributed) / total >= 0.95
+        for label, entry in attribution.items():
+            if label != UNATTRIBUTED[1]:
+                assert entry["task"], f"attributed row {label} names no task"
+
+    def test_attribution_counts_deterministic_across_runs(self):
+        """Expansion/successor/depth counts never depend on timing; only
+        the sampled-seconds channels carry wall-clock noise (and the
+        sampling schedule's in-process position)."""
+
+        def counts(finish):
+            return {
+                label: (e["task"], e["expansions"], e["successors"],
+                        e["depth_sum"])
+                for label, e in finish["attribution"].items()
+            }
+
+        first = counts(_traced_job_finish(_lite_job))
+        second = counts(_traced_job_finish(_lite_job))
+        assert first == second and first
+
+    @pytest.mark.parametrize(
+        "make_job", [_lite_job, _gallery_job], ids=["travel-lite", "gallery"]
+    )
+    def test_disabled_registry_parity(self, make_job):
+        """The A/B contract for the new instrumentation: verdict, witness,
+        KM counts, job hash, and semantic bytes are byte-identical with
+        the attribution registry on or off."""
+        enabled, key_on = _semantic_outcome(make_job())
+        ATTRIBUTION.enabled = False
+        try:
+            disabled, key_off = _semantic_outcome(make_job())
+        finally:
+            ATTRIBUTION.enabled = True
+        assert key_off == key_on
+        assert disabled == enabled
+
+    def test_report_renders_hotspot_table(self):
+        finish = _traced_job_finish(_lite_job)
+        summary = summarize([finish])
+        text = render(summary)
+        assert "search hotspots (by construct):" in text
+        assert "attributed" in text and "(task, service) pairs" in text
+
+
+_ATTR_SCRIPT = """\
+import io, json
+from repro.examples.travel import travel_lite, discount_policy_property_lite
+from repro.obs import trace
+from repro.obs.report import scrub_event
+from repro.service.jobs import VerificationJob
+from repro.service.pool import execute_job
+from repro.verifier.config import VerifierConfig
+
+sink = io.StringIO()
+trace.start(sink)
+has = travel_lite(False)
+job = VerificationJob(
+    has=has,
+    prop=discount_policy_property_lite(has),
+    config=VerifierConfig(km_budget=60_000),
+    name="lite",
+)
+execute_job(job)
+trace.stop()
+for line in sink.getvalue().splitlines():
+    record = json.loads(line)
+    if record.get("ev") == "job_finish":
+        print(json.dumps(scrub_event(record)["attribution"], sort_keys=True))
+"""
+
+
+@pytest.mark.slow
+def test_attribution_is_hash_seed_independent():
+    """The scrubbed attribution table (labels, counts, depths, sample
+    counts — everything but raw seconds) is byte-stable across
+    PYTHONHASHSEED values."""
+    outputs = set()
+    for seed in ("0", "1", "4242"):
+        result = subprocess.run(
+            [sys.executable, "-c", _ATTR_SCRIPT],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).parent.parent),
+            check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1, "hash-seed-dependent attribution table"
+
+
+# ======================================================================
+# exports: synthetic traces with fixed timestamps
+# ======================================================================
+def _synthetic_serial_events():
+    """A two-job serial suite with nested spans and fixed times — the
+    golden-file fixture (regenerate with ``tests/golden/regen.py``)."""
+    return [
+        {"ev": "suite_start", "t": 0.0, "total": 2, "workers": 1},
+        {"ev": "job_start", "t": 0.05, "name": "alpha", "key": "k-alpha"},
+        {"ev": "span", "t": 0.1, "dur": 0.2, "name": "explore",
+         "what": "root search", "km_nodes": 1000},
+        {"ev": "km_progress", "t": 0.3, "label": "root search",
+         "nodes": 1000, "frontier": 40},
+        {"ev": "span", "t": 0.06, "dur": 0.4, "name": "verify",
+         "property": "p1",
+         "phases": {"expand": {"calls": 10, "timed": 10, "seconds": 0.3},
+                    "fm": {"calls": 100, "timed": 20, "seconds": 0.04}}},
+        {"ev": "job_finish", "t": 0.5, "name": "alpha", "key": "k-alpha",
+         "status": "holds", "km_nodes": 1000, "wall_seconds": 0.45,
+         "total_seconds": 0.45,
+         "phases": {"expand": {"calls": 10, "timed": 10, "seconds": 0.3},
+                    "fm": {"calls": 100, "timed": 20, "seconds": 0.04}},
+         "attribution": {"'T.s'": {"task": "T", "expansions": 990,
+                                   "successors": 1200, "depth_sum": 5000,
+                                   "fm_sampled_seconds": 0.01,
+                                   "fm_samples": 20,
+                                   "canon_sampled_seconds": 0.0,
+                                   "canon_samples": 0}}},
+        {"ev": "job_start", "t": 0.55, "name": "beta", "key": "k-beta"},
+        {"ev": "job_finish", "t": 0.9, "name": "beta", "key": "k-beta",
+         "status": "violated", "km_nodes": 300, "wall_seconds": 0.35,
+         "total_seconds": 0.35},
+        {"ev": "suite_done", "t": 0.95, "total": 2, "cache_hits": 0,
+         "violations": 1, "budget_exceeded": 0, "errors": 0,
+         "wall_seconds": 0.9},
+    ]
+
+
+def _synthetic_parallel_events():
+    """A two-worker suite: job starts never reach the parent's trace, so
+    lanes are reconstructed from submit/finish intervals."""
+    return [
+        {"ev": "suite_start", "t": 0.0, "total": 2, "workers": 2},
+        {"ev": "job_submit", "t": 0.01, "name": "alpha", "key": "k-alpha"},
+        {"ev": "job_submit", "t": 0.02, "name": "beta", "key": "k-beta"},
+        {"ev": "job_finish", "t": 0.61, "name": "alpha", "key": "k-alpha",
+         "status": "holds", "km_nodes": 10, "wall_seconds": 0.58,
+         "total_seconds": 0.58},
+        {"ev": "job_finish", "t": 0.66, "name": "beta", "key": "k-beta",
+         "status": "holds", "km_nodes": 12, "wall_seconds": 0.62,
+         "total_seconds": 0.62},
+        {"ev": "suite_done", "t": 0.7, "total": 2, "cache_hits": 0,
+         "violations": 0, "budget_exceeded": 0, "errors": 0,
+         "wall_seconds": 0.7},
+    ]
+
+
+class TestChromeExport:
+    def test_structure_and_monotonic_timestamps(self):
+        document = to_chrome(_synthetic_serial_events())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        timed = [e for e in events if e["ph"] != "M"]
+        # metadata first, then the timed events in timestamp order
+        assert events[: len(meta)] == meta
+        assert all(isinstance(e["ts"], int) for e in timed)
+        assert [e["ts"] for e in timed] == sorted(e["ts"] for e in timed)
+        names = {e["name"] for e in timed if e["ph"] == "X"}
+        assert {"verify", "explore", "alpha", "beta"} <= names
+        assert all(e["pid"] == MAIN_PID for e in timed)  # serial: one track
+        spans = {e["name"]: e for e in timed if e["ph"] == "X"}
+        assert isinstance(spans["verify"]["dur"], int)
+        # instants carry scope "t" and their record fields under args
+        instants = {e["name"]: e for e in timed if e["ph"] == "i"}
+        assert {"suite_start", "km_progress", "suite_done"} <= set(instants)
+        assert instants["km_progress"]["s"] == "t"
+        assert instants["km_progress"]["args"]["nodes"] == 1000
+
+    def test_lossless_args(self):
+        """Every field the mapping doesn't consume rides along in args."""
+        document = to_chrome(_synthetic_serial_events())
+        alpha = next(
+            e for e in document["traceEvents"]
+            if e.get("cat") == "job" and e["name"] == "alpha"
+        )
+        assert alpha["args"]["status"] == "holds"
+        assert alpha["args"]["km_nodes"] == 1000
+        assert alpha["args"]["attribution"]["'T.s'"]["expansions"] == 990
+
+    def test_worker_lane_mapping(self):
+        document = to_chrome(_synthetic_parallel_events())
+        events = document["traceEvents"]
+        jobs = [e for e in events if e.get("cat") == "job"]
+        assert all(e["pid"] == WORKERS_PID for e in jobs)
+        # the intervals overlap, so the two jobs land on distinct lanes
+        assert {e["tid"] for e in jobs} == {1, 2}
+        lanes = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == WORKERS_PID
+        }
+        assert lanes == {1: "worker lane 1", 2: "worker lane 2"}
+        process = next(
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["pid"] == WORKERS_PID
+        )
+        assert process["args"]["name"] == "repro workers"
+        # reconstructed starts: finish.t - total_seconds, clamped to submit
+        alpha = next(e for e in jobs if e["name"] == "alpha")
+        assert alpha["ts"] == 30_000  # max(0.61 - 0.58, 0.01) = 0.03 s
+        assert alpha["dur"] == 580_000
+
+    def test_golden_file(self, tmp_path):
+        out = tmp_path / "trace.chrome.json"
+        export_trace(_synthetic_serial_events(), "chrome", out)
+        golden = GOLDEN / "trace_serial.chrome.json"
+        assert out.read_text() == golden.read_text()
+
+
+class TestSpeedscopeExport:
+    def test_profiles_structure(self):
+        document = to_speedscope(_synthetic_serial_events())
+        assert document["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        frames = [f["name"] for f in document["shared"]["frames"]]
+        assert "verify: p1" in frames
+        assert "explore: root search" in frames
+        assert "phase: expand" in frames and "phase: fm" in frames
+        evented, sampled = document["profiles"]
+        assert evented["type"] == "evented"
+        assert sampled["type"] == "sampled"
+        # open/close balance and monotonically non-decreasing times
+        opens = [e for e in evented["events"] if e["type"] == "O"]
+        closes = [e for e in evented["events"] if e["type"] == "C"]
+        assert len(opens) == len(closes) == 2
+        ats = [e["at"] for e in evented["events"]]
+        assert ats == sorted(ats)
+        assert evented["endValue"] >= max(ats)
+        # sampled weights are the estimated per-phase seconds:
+        # fm is sampled 20/100, so 0.04 s scales to 0.2 s
+        weight_of = {
+            document["shared"]["frames"][s[0]]["name"]: w
+            for s, w in zip(sampled["samples"], sampled["weights"])
+        }
+        assert weight_of["phase: expand"] == pytest.approx(0.3)
+        assert weight_of["phase: fm"] == pytest.approx(0.2)
+
+    def test_nesting_is_well_formed(self):
+        """explore (0.1–0.3) nests inside verify (0.06–0.46): the close
+        events must unwind the stack in order."""
+        document = to_speedscope(_synthetic_serial_events())
+        evented = document["profiles"][0]
+        frames = document["shared"]["frames"]
+        sequence = [
+            (e["type"], frames[e["frame"]]["name"]) for e in evented["events"]
+        ]
+        assert sequence == [
+            ("O", "verify: p1"),
+            ("O", "explore: root search"),
+            ("C", "explore: root search"),
+            ("C", "verify: p1"),
+        ]
+
+    def test_golden_file(self, tmp_path):
+        out = tmp_path / "trace.speedscope.json"
+        export_trace(_synthetic_serial_events(), "speedscope", out)
+        golden = GOLDEN / "trace_serial.speedscope.json"
+        assert out.read_text() == golden.read_text()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_trace([], "perf", tmp_path / "x")
+
+
+# ======================================================================
+# the history ledger
+# ======================================================================
+def _ledger_record(wall, km, key="k1", counters=None, label=""):
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "suite": suite_fingerprint([key]),
+        "label": label,
+        "jobs": [{"name": "j", "key": key, "status": "holds",
+                  "km_nodes": km, "wall_seconds": wall,
+                  "total_seconds": wall}],
+        "wall_seconds": wall,
+        "events": 10,
+        "counters": counters or {},
+        "phases": {},
+        "attribution": {},
+        "recorded_unix": 0,
+    }
+
+
+class TestHistoryLedger:
+    def test_fingerprint_order_and_name_independent(self):
+        assert suite_fingerprint(["a", "b"]) == suite_fingerprint(["b", "a"])
+        assert suite_fingerprint(["a"]) != suite_fingerprint(["a", "b"])
+
+    def test_append_load_roundtrip(self, tmp_path):
+        events = _synthetic_serial_events()
+        record = append_history(events, tmp_path / "ledger", label="r1")
+        append_history(events, tmp_path / "ledger", label="r2")
+        assert (tmp_path / "ledger" / LEDGER_NAME).exists()
+        records = load_history(tmp_path / "ledger")
+        assert [r["label"] for r in records] == ["r1", "r2"]
+        assert records[0]["suite"] == record["suite"]
+        assert [j["name"] for j in records[0]["jobs"]] == ["alpha", "beta"]
+        assert records[0]["jobs"][0]["km_nodes"] == 1000
+
+    def test_load_missing_dir_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nowhere") == []
+
+    def test_load_rejects_corrupt_and_skips_newer_schema(self, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        ledger_dir.mkdir()
+        ledger = ledger_dir / LEDGER_NAME
+        newer = dict(
+            _ledger_record(1.0, 5),
+            schema_version=HISTORY_SCHEMA_VERSION + 1,
+        )
+        ledger.write_text(
+            json.dumps(_ledger_record(1.0, 5)) + "\n"
+            + json.dumps(newer) + "\n"
+        )
+        assert len(load_history(ledger_dir)) == 1  # newer major skipped
+        ledger.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=f"{LEDGER_NAME}:1"):
+            load_history(ledger_dir)  # line 1: no schema_version
+
+    def test_no_drift_on_stable_ledger(self):
+        records = [_ledger_record(1.0, 100) for _ in range(3)]
+        analysis = trends(records)
+        assert analysis["runs"] == 3
+        assert analysis["flags"] == []
+        (job,) = analysis["jobs"]
+        assert job["wall_change"] == pytest.approx(0.0)
+        assert "no drift against the ledger median" in render_trends(records)
+
+    def test_wall_drift_flagged_beyond_25_percent(self):
+        records = [_ledger_record(1.0, 100) for _ in range(3)]
+        records.append(_ledger_record(1.5, 100))
+        analysis = trends(records)
+        (job,) = analysis["jobs"]
+        assert job["wall_drift"] and job["wall_change"] == pytest.approx(0.5)
+        assert any("wall +50%" in flag for flag in analysis["flags"])
+        assert "WALL DRIFT" in render_trends(records)
+        # ±20% is noise, not drift
+        records[-1] = _ledger_record(1.2, 100)
+        assert trends(records)["flags"] == []
+
+    def test_km_drift_on_identical_inputs_flagged(self):
+        records = [_ledger_record(1.0, 100), _ledger_record(1.0, 101)]
+        analysis = trends(records)
+        assert analysis["jobs"][0]["km_drift"]
+        assert any("deterministic" in flag for flag in analysis["flags"])
+        assert "KM DRIFT" in render_trends(records)
+
+    def test_changed_key_exempts_from_drift(self):
+        records = [
+            _ledger_record(1.0, 100, key="k1"),
+            _ledger_record(9.0, 999, key="k2"),  # new content: all bets off
+        ]
+        analysis = trends(records)
+        assert analysis["jobs"][0].get("content_changed")
+        assert analysis["flags"] == []
+        assert "(content changed)" in render_trends(records)
+
+    def test_hit_rate_drop_flagged(self):
+        warm = {"fm_sat_hits": 9, "fm_sat_misses": 1}
+        cold = {"fm_sat_hits": 5, "fm_sat_misses": 5}
+        records = [
+            _ledger_record(1.0, 100, counters=warm),
+            _ledger_record(1.0, 100, counters=warm),
+            _ledger_record(1.0, 100, counters=cold),
+        ]
+        analysis = trends(records)
+        assert any("fm_sat" in flag for flag in analysis["flags"])
+        assert "cache hit-rate drift" in render_trends(records)
+        # a rate *rise* is not drift
+        records[-1] = _ledger_record(
+            1.0, 100, counters={"fm_sat_hits": 10, "fm_sat_misses": 0}
+        )
+        assert trends(records)["flags"] == []
+
+    def test_empty_ledger_renders_no_runs(self):
+        assert trends([])["runs"] == 0
+        assert render_trends([]) == "history: no runs recorded"
+
+
+# ======================================================================
+# CLI: the new report flags end to end
+# ======================================================================
+class TestCliAnalysis:
+    def _main(self, argv, capsys):
+        from repro.service.cli import main
+
+        try:
+            code = main(argv)
+        except SystemExit as exc:
+            code = exc.code
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def _trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code, _out, _err = self._main(
+            ["verify", "travel-lite-fixed", "--trace", str(path)], capsys
+        )
+        assert code == 0
+        return path
+
+    def test_report_shows_hotspots(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path, capsys)
+        code, out, _err = self._main(["report", str(trace_path)], capsys)
+        assert code == 0
+        assert "search hotspots (by construct):" in out
+        code, out, _err = self._main(
+            ["report", str(trace_path), "--json"], capsys
+        )
+        assert code == 0
+        data = json.loads(out)
+        total = sum(
+            e["expansions"] for e in data["attribution"].values()
+        )
+        assert total > 0
+
+    def test_export_and_history_roundtrip(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path, capsys)
+        chrome = tmp_path / "trace.chrome.json"
+        ledger = tmp_path / "ledger"
+        code, out, _err = self._main(
+            ["report", str(trace_path), "--export", "chrome",
+             "--out", str(chrome), "--append-history", str(ledger),
+             "--label", "r1"],
+            capsys,
+        )
+        assert code == 0
+        assert f"chrome export written to {chrome}" in out
+        assert "history record appended" in out
+        document = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        speedscope = tmp_path / "trace.speedscope.json"
+        code, out, _err = self._main(
+            ["report", str(trace_path), "--export", "speedscope",
+             "--out", str(speedscope), "--append-history", str(ledger),
+             "--label", "r2"],
+            capsys,
+        )
+        assert code == 0
+        assert json.loads(speedscope.read_text())["profiles"]
+        # same trace appended twice: identical walls, so zero drift
+        code, out, _err = self._main(["report", "--history", str(ledger)], capsys)
+        assert code == 0
+        assert "2 runs recorded" in out
+        assert "no drift against the ledger median" in out
+        code, out, _err = self._main(
+            ["report", str(trace_path), "--history", str(ledger), "--json"],
+            capsys,
+        )
+        assert code == 0
+        assert json.loads(out)["history"]["runs"] == 2
+
+    def test_flag_validation(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        trace_path.write_text('{"ev": "suite_start", "t": 0.0}\n')
+        cases = [
+            (["report"], "pass a trace file"),
+            (["report", "--export", "chrome", "--history", "h"],
+             "--export needs a trace file"),
+            (["report", str(trace_path), "--export", "chrome"],
+             "--export needs --out"),
+            (["report", str(trace_path), "--out", "x.json"],
+             "--out only makes sense with --export"),
+            (["report", "--history", "h", "--append-history", "h2"],
+             "--append-history needs a trace file"),
+        ]
+        for argv, message in cases:
+            code, _out, err = self._main(argv, capsys)
+            assert code == 2, argv
+            assert message in err, argv
+
+    def test_unwritable_trace_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no_such_dir" / "t.jsonl"
+        code, _out, err = self._main(
+            ["verify", "travel-lite-fixed", "--trace", str(target)], capsys
+        )
+        assert code == 2
+        assert "cannot write trace" in err
+
+    def test_export_write_failure_exits_2(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path, capsys)
+        code, _out, err = self._main(
+            ["report", str(trace_path), "--export", "chrome",
+             "--out", str(tmp_path / "no_such_dir" / "out.json")],
+            capsys,
+        )
+        assert code == 2
+        assert "cannot write export" in err
