@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI gate: instrumentation must cost <3% of wall time on travel-lite.
 
-Two measurements, each against the same budget:
+Three measurements, each against the same budget:
 
 * **tracing** — interleaved (untraced, traced) repetitions via
   :func:`repro.perf.bench.measure_trace_overhead`, best-of-N walls;
@@ -9,7 +9,10 @@ Two measurements, each against the same budget:
   always-on search-attribution registry via
   :func:`repro.perf.bench.measure_attribution_overhead`; unlike the
   tracer it has no off switch in production, so its cost is gated
-  separately rather than hidden inside the traced side.
+  separately rather than hidden inside the traced side;
+* **coverage** — same protocol for the semantic-coverage registry
+  (:mod:`repro.fuzz.coverage`), whose feature sites sit on the same
+  hot paths and are likewise always on.
 
 Exits 1 when either measured overhead exceeds the budget — the
 observability contract in docs/observability.md says the
@@ -47,6 +50,7 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.perf.bench import (
         measure_attribution_overhead,
+        measure_coverage_overhead,
         measure_trace_overhead,
     )
 
@@ -78,6 +82,22 @@ def main(argv: list[str] | None = None) -> int:
     if overhead > args.budget:
         print(
             f"FAIL: attribution costs {overhead:.2%} > {args.budget:.0%} budget",
+            file=sys.stderr,
+        )
+        failed = True
+
+    result = measure_coverage_overhead(args.family, reps=args.reps)
+    overhead = result["overhead"]
+    print(
+        f"coverage overhead on {result['family']} "
+        f"(best of {result['reps']}): "
+        f"disabled {result['disabled_seconds']:.3f}s, "
+        f"enabled {result['enabled_seconds']:.3f}s, "
+        f"overhead {overhead:+.2%} (budget {args.budget:.0%})"
+    )
+    if overhead > args.budget:
+        print(
+            f"FAIL: coverage costs {overhead:.2%} > {args.budget:.0%} budget",
             file=sys.stderr,
         )
         failed = True

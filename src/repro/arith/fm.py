@@ -28,6 +28,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.linexpr import LinExpr, Unknown
+from repro.fuzz.coverage import COVERAGE
 from repro.perf.counters import COUNTERS
 from repro.perf.phases import PHASES
 
@@ -245,10 +246,20 @@ def is_satisfiable(constraints: Iterable[Constraint]) -> bool:
 
 def _component_satisfiable(component: list[Constraint]) -> bool:
     """Memoized satisfiability of one normalized connected component."""
+    if any(c.rel is Rel.NE for c in component):
+        # disequalities demand convexity splitting; recorded before the
+        # memo lookup (it is a property of the component, not of what
+        # the process-global cache has seen) so a scenario's feature
+        # set stays deterministic
+        COVERAGE.hit("fm:diseq_split")
     key = frozenset(component)
     cached = _SAT_CACHE.get(key)
     if cached is not None:
         COUNTERS.fm_sat_hits += 1
+        # coverage is recorded on hits too: the outcome is known either
+        # way, and a scenario's feature set must not depend on what the
+        # process-global cache saw before it
+        COVERAGE.hit("fm:sat" if cached else "fm:unsat")
         return cached
     COUNTERS.fm_sat_misses += 1
     # only misses do real work, so only misses are timed (sampled)
@@ -257,6 +268,7 @@ def _component_satisfiable(component: list[Constraint]) -> bool:
         result = _is_satisfiable_uncached(component)
     finally:
         PHASES.end("fm", token)
+    COVERAGE.hit("fm:sat" if result else "fm:unsat")
     if len(_SAT_CACHE) >= _SAT_CACHE_LIMIT:
         _SAT_CACHE.clear()
     _SAT_CACHE[key] = result
@@ -301,6 +313,11 @@ def _conjunction_satisfiable(constraints: list[Constraint]) -> bool:
 _PROJ_CACHE: dict[tuple, tuple[tuple[Constraint, ...], bool]] = {}
 _PROJ_CACHE_LIMIT = 100_000
 
+#: The sentinel an unsatisfiable projection collapses to (``1 == 0``).
+#: The memo wrapper recognizes it so the ``fm:proj:empty`` coverage
+#: feature fires on cache hits too — deterministically per query.
+_PROJ_EMPTY = (Constraint(LinExpr({}, 1), Rel.EQ),)
+
 
 def project_components(
     constraints: Iterable[Constraint], keep: Iterable[Unknown]
@@ -326,6 +343,9 @@ def project_components(
     if cached is not None:
         COUNTERS.fm_proj_hits += 1
         kept, exact = cached
+        COVERAGE.hit("fm:proj:exact" if exact else "fm:proj:approx")
+        if kept == _PROJ_EMPTY:
+            COVERAGE.hit("fm:proj:empty")
         return list(kept), exact
     COUNTERS.fm_proj_misses += 1
     token = PHASES.begin("fm")
@@ -333,6 +353,9 @@ def project_components(
         kept_list, exact = project_components_uncached(material, keep_effective)
     finally:
         PHASES.end("fm", token)
+    COVERAGE.hit("fm:proj:exact" if exact else "fm:proj:approx")
+    if tuple(kept_list) == _PROJ_EMPTY:
+        COVERAGE.hit("fm:proj:empty")
     if len(_PROJ_CACHE) >= _PROJ_CACHE_LIMIT:
         _PROJ_CACHE.clear()
     _PROJ_CACHE[key] = (tuple(kept_list), exact)

@@ -1,17 +1,24 @@
 """Differential fuzzing: seeded random HAS scenarios + a bounded
 explicit-state reference checker cross-checking the symbolic verifier.
 
-The subsystem has three layers:
+The subsystem has four layers:
 
 * :mod:`repro.fuzz.gen` — a deterministic, seed-driven generator of
   random HAS models (artifact hierarchies, FK-acyclic schemas, services
   with opening/closing conditions) and random HLTL-FO properties, sized
-  by a small :class:`~repro.fuzz.gen.GenConfig`;
+  by a small :class:`~repro.fuzz.gen.GenConfig`, plus the *grow*
+  operators (the shrinking edit operators in reverse) that guided
+  campaigns use to mutate coverage-novel survivors;
 * :mod:`repro.fuzz.reference` — a bounded explicit-state checker that
   exhaustively enumerates concrete runs over small database instances
   (the same operational semantics as ``runtime.simulator``) and confirms
   violations with the reference LTL evaluators and replay validation
   from ``repro.witness``;
+* :mod:`repro.fuzz.coverage` — the process-global semantic-coverage
+  registry: verifier code regions report stable feature strings, the
+  campaign keeps the fired union as its coverage frontier, and
+  ``--guided`` campaigns bias generation toward frontier-novel
+  scenarios;
 * :mod:`repro.fuzz.harness` — the differential campaign: every symbolic
   "violated" must produce a replay-confirmed concrete witness, and every
   symbolic "holds" must have no bounded concrete counterexample.
@@ -20,47 +27,59 @@ The subsystem has three layers:
 
 :mod:`repro.fuzz.mutations` provides named, deliberately-injected
 verifier bugs used to smoke-test that the oracle actually catches
-regressions.
+regressions (``tests/test_fuzz.py``) and that the checked-in corpus +
+scenario families kill every bug through plain expectation pinning
+(``tests/test_mutation_score.py``).
+
+This package ``__init__`` is **lazy** (PEP 562): the verifier's low
+layers (``arith.fm``, ``symbolic.store``, ``ltl.automaton``, …) import
+``repro.fuzz.coverage`` at module load, and an eager ``__init__`` would
+pull the whole harness — and with it the verifier itself — into their
+import, creating a cycle.  ``from repro.fuzz import X`` still works for
+every name in ``__all__``.
 """
 
 from __future__ import annotations
 
-from repro.fuzz.gen import GenConfig, Scenario, generate_scenario
-from repro.fuzz.harness import (
-    CampaignReport,
-    Discrepancy,
-    ScenarioOutcome,
-    check_scenario,
-    corpus_entry,
-    corpus_entry_has,
-    load_corpus_entry,
-    load_report,
-    replay_corpus_entry,
-    replay_report,
-    run_campaign,
-    write_corpus_entry,
-    write_corpus_entry_has,
-)
-from repro.fuzz.reference import BoundedConfig, BoundedResult, bounded_check
+_EXPORTS = {
+    "GenConfig": "repro.fuzz.gen",
+    "Scenario": "repro.fuzz.gen",
+    "generate_scenario": "repro.fuzz.gen",
+    "grow_scenarios": "repro.fuzz.gen",
+    "COVERAGE": "repro.fuzz.coverage",
+    "CoverageRegistry": "repro.fuzz.coverage",
+    "FEATURES": "repro.fuzz.coverage",
+    "CampaignReport": "repro.fuzz.harness",
+    "Discrepancy": "repro.fuzz.harness",
+    "ScenarioOutcome": "repro.fuzz.harness",
+    "check_scenario": "repro.fuzz.harness",
+    "corpus_entry": "repro.fuzz.harness",
+    "corpus_entry_has": "repro.fuzz.harness",
+    "load_corpus_entry": "repro.fuzz.harness",
+    "load_report": "repro.fuzz.harness",
+    "promote_survivors": "repro.fuzz.harness",
+    "replay_corpus_entry": "repro.fuzz.harness",
+    "replay_report": "repro.fuzz.harness",
+    "run_campaign": "repro.fuzz.harness",
+    "write_corpus_entry": "repro.fuzz.harness",
+    "write_corpus_entry_has": "repro.fuzz.harness",
+    "write_coverage_map": "repro.fuzz.harness",
+    "BoundedConfig": "repro.fuzz.reference",
+    "BoundedResult": "repro.fuzz.reference",
+    "bounded_check": "repro.fuzz.reference",
+}
 
-__all__ = [
-    "BoundedConfig",
-    "BoundedResult",
-    "CampaignReport",
-    "Discrepancy",
-    "GenConfig",
-    "Scenario",
-    "ScenarioOutcome",
-    "bounded_check",
-    "check_scenario",
-    "corpus_entry",
-    "corpus_entry_has",
-    "generate_scenario",
-    "load_corpus_entry",
-    "load_report",
-    "replay_corpus_entry",
-    "replay_report",
-    "run_campaign",
-    "write_corpus_entry",
-    "write_corpus_entry_has",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -19,7 +19,7 @@ existentials) are never produced.
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from fractions import Fraction
 from typing import Any, Mapping
 
@@ -133,7 +133,13 @@ class GenConfig:
 
 @dataclass
 class Scenario:
-    """One generated verification problem plus its concrete instances."""
+    """One generated verification problem plus its concrete instances.
+
+    A *base* scenario is fully regenerable from ``(seed, index, config)``.
+    A *mutant* — produced by :func:`grow_scenarios` during a guided
+    campaign — additionally carries the ``mutations`` edit trail and a
+    distinguishing ``label``; its models are no longer derivable from
+    the seed alone, so serialized records embed them as ground truth."""
 
     seed: int
     index: int
@@ -141,15 +147,21 @@ class Scenario:
     has: HAS
     prop: HLTLProperty
     databases: list[DatabaseInstance] = field(default_factory=list)
+    label: str | None = None
+    """Display/corpus name override (mutants only)."""
+    mutations: tuple[str, ...] = ()
+    """Grow-operator labels applied on top of the base scenario, in
+    order; empty for base scenarios."""
 
     @property
     def name(self) -> str:
-        return f"fuzz-s{self.seed}-i{self.index}"
+        return self.label or f"fuzz-s{self.seed}-i{self.index}"
 
     def payload(self) -> dict:
-        """The scenario's serialized form (regenerable from seed+config;
-        the model dicts are included so drift is detectable)."""
-        return {
+        """The scenario's serialized form (regenerable from seed+config
+        for base scenarios; the model dicts are included so drift is
+        detectable, and they are the ground truth for mutants)."""
+        data = {
             "t": "fuzz_scenario",
             "name": self.name,
             "seed": self.seed,
@@ -158,6 +170,9 @@ class Scenario:
             "has": to_dict(self.has),
             "prop": to_dict(self.prop),
         }
+        if self.mutations:
+            data["mutations"] = list(self.mutations)
+        return data
 
 
 def _stream(seed: int, index: int) -> random.Random:
@@ -538,3 +553,300 @@ def generate_scenario(
     return Scenario(
         seed=seed, index=index, config=cfg, has=has, prop=prop, databases=databases
     )
+
+
+# ----------------------------------------------------------------------
+# grow operators (guided campaigns)
+# ----------------------------------------------------------------------
+def _replace_task(task: Task, target: str, transform) -> Task:
+    """The hierarchy with ``transform`` applied to the task named
+    ``target`` (the shrinking machinery's rebuild, growing instead)."""
+    if task.name == target:
+        return transform(task)
+    children = tuple(_replace_task(c, target, transform) for c in task.children)
+    if children == task.children:
+        return task
+    return replace(task, children=children)
+
+
+def _mutant_stream(scenario: Scenario, salt: int) -> random.Random:
+    """A deterministic RNG for one grow attempt: distinct per base
+    coordinates, per edit-trail depth, and per ``salt``, and independent
+    of the generation stream (mutating never perturbs base scenarios)."""
+    mix = (
+        (scenario.seed * 1_000_003 + scenario.index) * 2_654_435_761
+        + (len(scenario.mutations) * 97 + salt + 1) * 1_000_000_007
+    )
+    return random.Random(mix % (2**63))
+
+
+def _fresh_task_counter(root: Task) -> list[int]:
+    """A generation counter starting past every existing ``T<n>`` name."""
+    highest = -1
+    for task in root.walk():
+        name = task.name
+        if name.startswith("T") and name[1:].isdigit():
+            highest = max(highest, int(name[1:]))
+    return [highest + 1]
+
+
+#: Which coverage features each grow operator can plausibly reach —
+#: the heuristic a guided campaign uses to pick mutations that chase
+#: *uncovered* verifier regions instead of mutating blindly.
+_GROW_TARGETS: dict[str, frozenset[str]] = {
+    "add service": frozenset(
+        {
+            "sim:check:internal",
+            "km:dup_edge",
+            "fm:unsat",
+            "fm:diseq_split",
+            "store:absorb:numeric",
+            "store:absorb:disequality",
+        }
+    ),
+    "add child": frozenset(
+        {
+            "sim:check:open_child",
+            "sim:check:close_child",
+            "sim:check:self_close",
+            "sim:check:blocking_segment",
+            "engine:summary:computed",
+            "engine:summary:output",
+            "engine:summary:blocking",
+            "engine:summary:lasso",
+            "engine:witness:blocking",
+            "km:succ_disabled",
+        }
+    ),
+    "grow set": frozenset(
+        {
+            "km:omega_accel",
+            "km:budget_box",
+            "engine:budget:boxed",
+            "witness:set_stabilized",
+        }
+    ),
+    "wrap always": frozenset({"ltl:expand:release", "engine:verdict:violated"}),
+    "wrap eventually": frozenset({"ltl:expand:until", "engine:verdict:holds"}),
+    "wrap next": frozenset({"ltl:expand:next"}),
+    "conjoin": frozenset(
+        {
+            "ltl:expand:and",
+            "ltl:expand:contradiction",
+            "engine:verdict:violated",
+        }
+    ),
+    "disjoin": frozenset({"ltl:expand:or", "engine:verdict:holds"}),
+    "until guard": frozenset({"ltl:expand:until", "ltl:expand:or"}),
+}
+
+
+def _grow_candidates(
+    scenario: Scenario, rng: random.Random
+) -> list[tuple[str, HAS, HLTLProperty, frozenset[str]]]:
+    """Every single-edit grown variant of the scenario, unvalidated,
+    with the coverage features the edit plausibly targets.
+
+    These are the harness's shrinking edit operators in reverse — add a
+    service, add a child task, grow an artifact relation, wrap or extend
+    the property — which is what keeps guided mutation inside the same
+    scenario space the generator samples and the shrinker reduces over."""
+    has, prop, cfg = scenario.has, scenario.prop, scenario.config
+    schema = has.database
+    with_arith = rng.random() < max(cfg.arith_weight, 0.5)
+    out: list[tuple[str, HAS, HLTLProperty, frozenset[str]]] = []
+    tasks = list(has.root.walk())
+
+    for task in tasks:
+        ids = tuple(v for v in task.variables if v.kind is VarKind.ID)
+        nums = tuple(v for v in task.variables if v.kind is VarKind.NUMERIC)
+
+        # add one internal service (reverse of "drop service")
+        existing = {s.name for s in task.services}
+        k = len(task.services)
+        while f"{task.name}_s{k}" in existing:
+            k += 1
+        update = SetUpdate.NONE
+        if task.set_variables:
+            update = rng.choices(
+                (SetUpdate.NONE, SetUpdate.INSERT, SetUpdate.RETRIEVE, SetUpdate.BOTH),
+                weights=(2, 2, 2, 1),
+            )[0]
+        service = InternalService(
+            name=f"{task.name}_s{k}",
+            pre=_condition(rng, cfg, schema, ids, nums, with_arith, true_weight=0.4),
+            post=_post_condition(rng, cfg, schema, ids, nums, with_arith),
+            update=update,
+        )
+        out.append(
+            (
+                f"add service {task.name}.{service.name}",
+                _with_root(
+                    has,
+                    _replace_task(
+                        has.root,
+                        task.name,
+                        lambda t, s=service: replace(t, services=t.services + (s,)),
+                    ),
+                ),
+                prop,
+                _GROW_TARGETS["add service"],
+            )
+        )
+
+        # add one leaf child task (reverse of "drop task")
+        counter = _fresh_task_counter(has.root)
+        child = _generate_task(
+            rng,
+            cfg,
+            schema,
+            counter,
+            depth_left=1,
+            with_arith=with_arith,
+            parent=(task.variables, task.input_variables),
+        )
+        out.append(
+            (
+                f"add child {child.name} under {task.name}",
+                _with_root(
+                    has,
+                    _replace_task(
+                        has.root,
+                        task.name,
+                        lambda t, c=child: replace(t, children=t.children + (c,)),
+                    ),
+                ),
+                prop,
+                _GROW_TARGETS["add child"],
+            )
+        )
+
+        # grow an artifact relation (reverse of "drop artifact relation")
+        if not task.set_variables and ids:
+            set_vars = tuple(rng.sample(list(ids), rng.randint(1, len(ids))))
+
+            def grow_set(t: Task, sv=set_vars, r=rng) -> Task:
+                services = list(t.services)
+                if services:
+                    pick = r.randrange(len(services))
+                    services[pick] = replace(
+                        services[pick],
+                        update=r.choice((SetUpdate.INSERT, SetUpdate.BOTH)),
+                    )
+                return replace(t, set_variables=sv, services=tuple(services))
+
+            out.append(
+                (
+                    f"grow artifact relation of {task.name}",
+                    _with_root(has, _replace_task(has.root, task.name, grow_set)),
+                    prop,
+                    _GROW_TARGETS["grow set"],
+                )
+            )
+
+    # wrap or extend the property (reverse of "shrink property")
+    formula = prop.root.formula
+    atom = _atom_formula(rng, cfg, schema, has.root, with_arith)
+    for label, grown, targets in (
+        ("wrap property in always", Always(formula), _GROW_TARGETS["wrap always"]),
+        (
+            "wrap property in eventually",
+            Eventually(formula),
+            _GROW_TARGETS["wrap eventually"],
+        ),
+        ("wrap property in next", Next(formula), _GROW_TARGETS["wrap next"]),
+        ("conjoin property with an atom", AndF(formula, atom), _GROW_TARGETS["conjoin"]),
+        ("disjoin property with an atom", OrF(formula, atom), _GROW_TARGETS["disjoin"]),
+        (
+            "guard property behind an until",
+            Until(atom, formula),
+            _GROW_TARGETS["until guard"],
+        ),
+    ):
+        out.append(
+            (
+                label,
+                has,
+                HLTLProperty(HLTLSpec(prop.root.task, grown), name=prop.name),
+                targets,
+            )
+        )
+    return out
+
+
+def _with_root(has: HAS, root: Task) -> HAS:
+    return HAS(has.database, root, precondition=has.precondition, name=has.name)
+
+
+def operator_targets(mutation_label: str) -> frozenset[str]:
+    """The coverage features the grow operator behind ``mutation_label``
+    plausibly reaches (empty for unrecognized labels).  Lets a campaign
+    decide whether a queued mutant still chases anything uncovered."""
+    for prefix, key in (
+        ("add service ", "add service"),
+        ("add child ", "add child"),
+        ("grow artifact relation ", "grow set"),
+        ("wrap property in always", "wrap always"),
+        ("wrap property in eventually", "wrap eventually"),
+        ("wrap property in next", "wrap next"),
+        ("conjoin property", "conjoin"),
+        ("disjoin property", "disjoin"),
+        ("guard property behind an until", "until guard"),
+    ):
+        if mutation_label.startswith(prefix):
+            return _GROW_TARGETS[key]
+    return frozenset()
+
+
+def grow_scenarios(
+    scenario: Scenario,
+    limit: int = 4,
+    salt: int = 0,
+    targets: set[str] | frozenset[str] | None = None,
+) -> list[Scenario]:
+    """Up to ``limit`` validated single-edit mutants of ``scenario``.
+
+    Guided campaigns call this on coverage-novel survivors: each mutant
+    applies one *grow* operator — the shrinking machinery's edit
+    operators in reverse — so mutation explores strictly richer
+    structure near a scenario the registry proved interesting.
+
+    ``targets`` (typically the campaign's *uncovered* coverage features)
+    biases selection: candidates whose operator plausibly reaches more
+    of the targets are preferred, so mutation chases the regions the
+    campaign has not seen instead of re-firing what it has.
+
+    Deterministic: the same (scenario coordinates, edit trail, ``salt``,
+    ``targets``) always yields the same mutants, in the same order,
+    regardless of ``PYTHONHASHSEED``.  Mutants carry a ``label``
+    (``<base>-m<k>``) and the ``mutations`` trail; they are no longer
+    regenerable from the seed, so serialized records treat their
+    embedded models as ground truth (see :meth:`Scenario.payload`)."""
+    rng = _mutant_stream(scenario, salt)
+    candidates = _grow_candidates(scenario, rng)
+    rng.shuffle(candidates)
+    if targets:
+        # stable sort: most-targeted first, shuffle order breaks ties
+        candidates.sort(key=lambda c: -len(c[3] & targets))
+    mutants: list[Scenario] = []
+    for label, has, prop, _targets in candidates:
+        if len(mutants) >= max(0, limit):
+            break
+        try:
+            validate_has(has)
+            validate_property(prop, has)
+        except Exception:  # noqa: BLE001 — an invalid grown variant is just skipped
+            continue
+        mutants.append(
+            Scenario(
+                seed=scenario.seed,
+                index=scenario.index,
+                config=scenario.config,
+                has=has,
+                prop=prop,
+                databases=scenario.databases,
+                label=f"{scenario.name}-m{len(mutants)}",
+                mutations=scenario.mutations + (label,),
+            )
+        )
+    return mutants

@@ -31,7 +31,14 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import BudgetExceeded, ReproError
-from repro.fuzz.gen import GenConfig, Scenario, generate_scenario
+from repro.fuzz.coverage import COVERAGE, FEATURES
+from repro.fuzz.gen import (
+    GenConfig,
+    Scenario,
+    generate_scenario,
+    grow_scenarios,
+    operator_targets,
+)
 from repro.fuzz.reference import (
     BoundedConfig,
     BoundedResult,
@@ -110,6 +117,12 @@ class ScenarioOutcome:
     discrepancy: Discrepancy | None = None
     error: str = ""
     wall_seconds: float = 0.0
+    coverage: tuple[str, ...] = ()
+    """Canonical sorted coverage features the whole differential check
+    fired (:mod:`repro.fuzz.coverage`)."""
+    novelty: int = 0
+    """Features this scenario fired that the campaign's frontier had not
+    seen yet (0 outside campaigns)."""
 
     @property
     def agreed(self) -> bool:
@@ -135,6 +148,19 @@ def check_scenario(
     started = time.monotonic()
     config = verifier_config or DEFAULT_VERIFIER_CONFIG
     outcome = ScenarioOutcome(scenario=scenario, symbolic_status=SYMBOLIC_ERROR)
+    with COVERAGE.unit() as fired:
+        _check_scenario(outcome, scenario, config, bounded_config)
+    outcome.coverage = fired.features()
+    outcome.wall_seconds = time.monotonic() - started
+    return outcome
+
+
+def _check_scenario(
+    outcome: ScenarioOutcome,
+    scenario: Scenario,
+    config: VerifierConfig,
+    bounded_config: BoundedConfig | None,
+) -> None:
     result = None
     try:
         result = Verifier(scenario.has, config).verify(scenario.prop)
@@ -187,8 +213,6 @@ def check_scenario(
             "verifier_error",
             detail=f"cross-check crashed: {type(exc).__name__}: {exc}",
         )
-    outcome.wall_seconds = time.monotonic() - started
-    return outcome
 
 
 def _cross_check(
@@ -451,6 +475,8 @@ def discrepancy_report(
         "name": scenario.name,
         "seed": scenario.seed,
         "index": scenario.index,
+        "mutations": list(scenario.mutations),
+        "coverage": list(outcome.coverage),
         "gen_config": scenario.config.to_dict(),
         "verifier_config": to_dict(verifier_config or DEFAULT_VERIFIER_CONFIG),
         "bounded_config": _bounded_config_dict(bounded_config),
@@ -478,12 +504,54 @@ def discrepancy_report(
     return report
 
 
+def _entry_slug(record: Mapping[str, Any]) -> str:
+    """The filename slug of a scenario record: ``s<seed>-i<index>`` for
+    base scenarios (the historical layout), the full mutant label for
+    mutants (which share their base's coordinates)."""
+    name = str(record.get("name", ""))
+    if record.get("mutations"):
+        return name[len("fuzz-"):] if name.startswith("fuzz-") else name
+    return f"s{record['seed']}-i{record['index']}"
+
+
 def write_report(directory: Path | str, report: Mapping[str, Any]) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"discrepancy-s{report['seed']}-i{report['index']}.json"
+    path = directory / f"discrepancy-{_entry_slug(report)}.json"
     path.write_text(json.dumps(report, sort_keys=True, indent=1))
     return path
+
+
+def _rebuild_scenario(
+    record: Mapping[str, Any], gen_config: GenConfig, notes: list[str]
+) -> Scenario:
+    """The record's scenario, reconstructed for replay.
+
+    Base scenarios regenerate from (seed, index) and are drift-checked
+    against the embedded model dicts.  Mutants are not regenerable from
+    their coordinates — the embedded has/prop dicts *are* the ground
+    truth — so only their base's databases are regenerated."""
+    base = generate_scenario(record["seed"], record["index"], gen_config)
+    mutations = tuple(record.get("mutations") or ())
+    if mutations:
+        return Scenario(
+            seed=record["seed"],
+            index=record["index"],
+            config=gen_config,
+            has=from_dict(record["has"]),
+            prop=from_dict(record["prop"]),
+            databases=base.databases,
+            label=str(record["name"]),
+            mutations=mutations,
+        )
+    for key, obj in (("has", base.has), ("prop", base.prop)):
+        if canonical_json(to_dict(obj)) != canonical_json(record[key]):
+            notes.append(
+                f"regenerated {key} differs from the record's serialized "
+                "form (generator drift) — the record is not exactly "
+                "reproducible"
+            )
+    return base
 
 
 def load_report(path: Path | str) -> dict:
@@ -503,13 +571,7 @@ def replay_report(report: Mapping[str, Any]) -> tuple[bool, ScenarioOutcome, lis
     reported in ``notes`` and counts as not reproduced."""
     notes: list[str] = []
     gen_config = GenConfig.from_dict(report["gen_config"])
-    scenario = generate_scenario(report["seed"], report["index"], gen_config)
-    for key, obj in (("has", scenario.has), ("prop", scenario.prop)):
-        if canonical_json(to_dict(obj)) != canonical_json(report[key]):
-            notes.append(
-                f"regenerated {key} differs from the report's serialized form "
-                "(generator drift) — the report is not exactly reproducible"
-            )
+    scenario = _rebuild_scenario(report, gen_config, notes)
     verifier_config = from_dict(report["verifier_config"])
     bounded_config = BoundedConfig(**report["bounded_config"])
     outcome = check_scenario(scenario, verifier_config, bounded_config)
@@ -551,7 +613,7 @@ def corpus_entry(
         config=recorded_verifier,
         name=scenario.name,
     )
-    return {
+    entry: dict[str, Any] = {
         "t": "fuzz_corpus_entry",
         "name": scenario.name,
         "seed": scenario.seed,
@@ -568,12 +630,17 @@ def corpus_entry(
             "bounded": outcome.bounded.verdict if outcome.bounded else None,
         },
     }
+    if scenario.mutations:
+        # mutants are not regenerable from (seed, index): the embedded
+        # model dicts are the ground truth, the trail documents the edits
+        entry["mutations"] = list(scenario.mutations)
+    return entry
 
 
 def write_corpus_entry(directory: Path | str, entry: Mapping[str, Any]) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"scenario-s{entry['seed']}-i{entry['index']}.json"
+    path = directory / f"scenario-{_entry_slug(entry)}.json"
     path.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
     return path
 
@@ -627,9 +694,81 @@ def write_corpus_entry_has(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     scenario = outcome.scenario
-    path = directory / f"scenario-s{scenario.seed}-i{scenario.index}.has"
+    slug = _entry_slug(
+        {
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "index": scenario.index,
+            "mutations": list(scenario.mutations),
+        }
+    )
+    path = directory / f"scenario-{slug}.has"
     path.write_text(corpus_entry_has(outcome, verifier_config))
     return path
+
+
+def promote_survivors(
+    outcomes: list[ScenarioOutcome],
+    directory: Path | str,
+    verifier_config: VerifierConfig | None = None,
+    limit: int | None = None,
+) -> list[Path]:
+    """Gallery promotion: a campaign's agreeing outcomes written as
+    checked-in ``.has`` scenarios (docs/testing.md has the recipe).
+
+    Selection is gallery-grade and deterministic:
+
+    * both checkers agreed (no discrepancy) and the symbolic verdict is
+      decisive — ``holds`` or ``violated``, never budget or error;
+    * ``violated`` verdicts carry a replay-confirmed concrete witness;
+    * one file per distinct job content key, so re-checks of the same
+      scenario never produce duplicate gallery entries;
+    * coverage-novel outcomes first (campaign novelty, ties by name),
+      so a ``limit`` keeps the scenarios that earned their slot.
+
+    Mutants keep their base's system name internally, which would
+    collide once base and mutant live in the same gallery directory —
+    promoted mutants are renamed to their campaign label
+    (``fuzz-s<seed>-i<index>-m<k>``) before rendering."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    survivors = [
+        o
+        for o in outcomes
+        if o.agreed
+        and o.symbolic_status in (SYMBOLIC_HOLDS, SYMBOLIC_VIOLATED)
+        and (
+            o.symbolic_status != SYMBOLIC_VIOLATED
+            or o.witness_status == "confirmed"
+        )
+    ]
+    survivors.sort(key=lambda o: (-o.novelty, o.scenario.name))
+    config = dataclasses.replace(
+        verifier_config or DEFAULT_VERIFIER_CONFIG, time_limit_seconds=None
+    )
+    paths: list[Path] = []
+    seen_jobs: set[str] = set()
+    for outcome in survivors:
+        scenario = outcome.scenario
+        key = VerificationJob(
+            has=scenario.has, prop=scenario.prop, config=config, name=scenario.name
+        ).key()
+        if key in seen_jobs:
+            continue
+        seen_jobs.add(key)
+        if scenario.mutations:
+            has = dataclasses.replace(scenario.has, name=scenario.name)
+            prop = dataclasses.replace(scenario.prop, name=f"{scenario.name}-prop")
+            scenario = dataclasses.replace(scenario, has=has, prop=prop)
+            outcome = dataclasses.replace(outcome, scenario=scenario)
+        slug = scenario.name
+        slug = slug[len("fuzz-"):] if slug.startswith("fuzz-") else slug
+        path = directory / f"fuzzed_{slug.replace('-', '_')}.has"
+        path.write_text(corpus_entry_has(outcome, config))
+        paths.append(path)
+        if limit is not None and len(paths) >= limit:
+            break
+    return paths
 
 
 def load_corpus_entry(path: Path | str) -> dict:
@@ -646,10 +785,7 @@ def replay_corpus_entry(entry: Mapping[str, Any]) -> tuple[ScenarioOutcome, list
     key, same verdicts, no discrepancy)."""
     notes: list[str] = []
     gen_config = GenConfig.from_dict(entry["gen_config"])
-    scenario = generate_scenario(entry["seed"], entry["index"], gen_config)
-    for key, obj in (("has", scenario.has), ("prop", scenario.prop)):
-        if canonical_json(to_dict(obj)) != canonical_json(entry[key]):
-            notes.append(f"regenerated {key} differs from the corpus entry")
+    scenario = _rebuild_scenario(entry, gen_config, notes)
     verifier_config = from_dict(entry["verifier_config"])
     job = VerificationJob(
         has=scenario.has,
@@ -696,10 +832,37 @@ class CampaignReport:
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
     report_paths: list[Path] = field(default_factory=list)
     wall_seconds: float = 0.0
+    guided: bool = False
+    coverage: tuple[str, ...] = ()
+    """The campaign's coverage frontier: every feature any scenario fired,
+    canonical sorted order."""
 
     @property
     def discrepancies(self) -> list[ScenarioOutcome]:
         return [o for o in self.outcomes if o.discrepancy is not None]
+
+    def coverage_map(self) -> dict:
+        """The campaign-level coverage map: which verifier code regions
+        the whole campaign exercised, and which scenario fired what.
+        Deterministic for a fixed (seed, count, configs) — suitable for
+        checking in as a coverage floor."""
+        features = sorted(
+            set(self.coverage).union(*(o.coverage for o in self.outcomes))
+            if self.outcomes
+            else self.coverage
+        )
+        return {
+            "t": "fuzz_coverage_map",
+            "seed": self.seed,
+            "count": self.count,
+            "guided": self.guided,
+            "checked": len(self.outcomes),
+            "feature_count": len(features),
+            "features": features,
+            "scenarios": {
+                o.scenario.name: list(o.coverage) for o in self.outcomes
+            },
+        }
 
     def status_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -712,10 +875,16 @@ class CampaignReport:
     def format_report(self) -> str:
         counts = self.status_counts()
         summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+        mode = "guided" if self.guided else "uniform"
         lines = [
-            f"fuzz campaign seed={self.seed}: {len(self.outcomes)} scenarios "
+            f"fuzz campaign seed={self.seed} ({mode}): "
+            f"{len(self.outcomes)} scenarios "
             f"({summary}) in {self.wall_seconds:.1f}s"
         ]
+        if self.coverage:
+            lines.append(
+                f"  coverage: {len(self.coverage)}/{len(FEATURES)} features"
+            )
         bounded_counts: dict[str, int] = {}
         for outcome in self.outcomes:
             if outcome.bounded is not None:
@@ -739,6 +908,16 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def write_coverage_map(path: Path | str, campaign: CampaignReport) -> Path:
+    """Serialize the campaign's coverage map; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(campaign.coverage_map(), sort_keys=True, indent=1) + "\n"
+    )
+    return path
+
+
 def run_campaign(
     seed: int,
     count: int,
@@ -748,19 +927,60 @@ def run_campaign(
     out_dir: Path | str | None = None,
     shrink: bool = True,
     on_outcome: Callable[[ScenarioOutcome], None] | None = None,
+    guided: bool = False,
+    min_novelty: int = 1,
 ) -> CampaignReport:
     """Generate and differentially check ``count`` scenarios.
 
     When ``out_dir`` is given, discrepancies are shrunk (unless
     ``shrink`` is False) and written there as replayable reports;
-    without it only the outcomes are collected."""
+    without it only the outcomes are collected.
+
+    With ``guided`` the campaign is coverage-guided: it keeps a global
+    coverage frontier (the union of every checked scenario's fired
+    features), scores each outcome by *novelty* (features the frontier
+    had not seen), and schedules grown mutants
+    (:func:`repro.fuzz.gen.grow_scenarios`) of any scenario whose
+    novelty reaches ``min_novelty`` before sampling fresh scenarios.
+    The total number of checks is still exactly ``count`` — guided and
+    uniform campaigns with the same budget are directly comparable —
+    and the schedule is deterministic for a fixed (seed, count,
+    configs): mutant streams are seeded from scenario coordinates, not
+    global randomness."""
     started = time.monotonic()
     gen = gen_config or GenConfig()
-    campaign = CampaignReport(seed=seed, count=count, gen_config=gen)
-    for index in range(count):
-        scenario = generate_scenario(seed, index, gen)
+    campaign = CampaignReport(
+        seed=seed, count=count, gen_config=gen, guided=guided
+    )
+    frontier: set[str] = set()
+    pending: list[Scenario] = []  # grown mutants awaiting a check slot
+    next_index = 0
+    for slot in range(count):
+        # alternate exploitation (grown mutants) with exploration (fresh
+        # samples): mutants only ever take every other slot, so guided
+        # campaigns keep the generator's structural diversity too.  A
+        # queued mutant whose operator no longer chases anything
+        # uncovered is stale — discard it without spending a check.
+        uncovered = set(FEATURES) - frontier
+        while pending and not (
+            operator_targets(pending[0].mutations[-1]) & uncovered
+        ):
+            pending.pop(0)
+        if pending and slot % 2 == 1:
+            scenario = pending.pop(0)
+        else:
+            scenario = generate_scenario(seed, next_index, gen)
+            next_index += 1
         outcome = check_scenario(scenario, verifier_config, bounded_config)
+        outcome.novelty = len(set(outcome.coverage) - frontier)
+        frontier.update(outcome.coverage)
         campaign.outcomes.append(outcome)
+        if guided and outcome.novelty >= min_novelty:
+            # a scenario that reached new verifier regions is a good
+            # base: grow it (the shrinking edits, in reverse), chasing
+            # the features the frontier is still missing
+            uncovered = set(FEATURES) - frontier
+            pending.extend(grow_scenarios(scenario, targets=uncovered))
         # shrinking and report assembly only pay off when the report is
         # kept; library callers without an out_dir still get the outcomes
         if outcome.discrepancy is not None and out_dir is not None:
@@ -788,5 +1008,6 @@ def run_campaign(
             campaign.report_paths.append(write_report(out_dir, report))
         if on_outcome is not None:
             on_outcome(outcome)
+    campaign.coverage = tuple(sorted(frontier))
     campaign.wall_seconds = time.monotonic() - started
     return campaign

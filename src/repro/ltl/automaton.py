@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
+from repro.fuzz.coverage import COVERAGE
 from repro.ltl.formulas import (
     AndF,
     FalseF,
@@ -62,9 +63,11 @@ def _expand(obligations: Obligations) -> list[_RawTransition]:
             if isinstance(formula, TrueF):
                 continue
             if isinstance(formula, FalseF):
+                COVERAGE.hit("ltl:expand:contradiction")
                 return
             if isinstance(formula, Prop):
                 if literals.get(formula.payload, True) is False:
+                    COVERAGE.hit("ltl:expand:contradiction")
                     return
                 literals[formula.payload] = True
                 continue
@@ -72,13 +75,16 @@ def _expand(obligations: Obligations) -> list[_RawTransition]:
                 assert isinstance(formula.body, Prop), "NNF required"
                 payload = formula.body.payload
                 if literals.get(payload, False) is True:
+                    COVERAGE.hit("ltl:expand:contradiction")
                     return
                 literals[payload] = False
                 continue
             if isinstance(formula, AndF):
+                COVERAGE.hit("ltl:expand:and")
                 pending.extend(formula.parts)
                 continue
             if isinstance(formula, OrF):
+                COVERAGE.hit("ltl:expand:or")
                 for part in formula.parts:
                     go(
                         pending + [part],
@@ -89,9 +95,11 @@ def _expand(obligations: Obligations) -> list[_RawTransition]:
                     )
                 return
             if isinstance(formula, Next):
+                COVERAGE.hit("ltl:expand:next")
                 nexts.add(formula.body)
                 continue
             if isinstance(formula, Until):
+                COVERAGE.hit("ltl:expand:until")
                 # a U b  ≡  b ∨ (a ∧ X(a U b))
                 go(
                     pending + [formula.right],
@@ -109,6 +117,7 @@ def _expand(obligations: Obligations) -> list[_RawTransition]:
                 )
                 return
             if isinstance(formula, Release):
+                COVERAGE.hit("ltl:expand:release")
                 # a R b  ≡  b ∧ (a ∨ X(a R b))
                 go(
                     pending + [formula.left, formula.right],

@@ -133,15 +133,30 @@ def _travel_full_family() -> list[BenchJob]:
     ]
 
 
+def _scenario_families() -> list[BenchJob]:
+    """The parametric scenario families (``repro.workloads.families``):
+    every shipped size of every family, so the bench sweeps cost against
+    one structural dimension per family (width / depth / branching)."""
+    from repro.workloads.families import family_scenarios
+
+    config = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+    return [
+        BenchJob(f"{scenario.has.name}::{prop.name}", scenario.has, prop, config)
+        for scenario in family_scenarios()
+        for prop, _expect in scenario.properties
+    ]
+
+
 _FAMILIES: dict[str, Callable[[], list[BenchJob]]] = {
     "table1": lambda: _table_family(table1_workload),
     "table2": lambda: _table_family(table2_workload),
     "travel-lite": _travel_lite_family,
     "travel-full": _travel_full_family,
+    "scenario-families": _scenario_families,
 }
 
 #: Families whose KM-node totals are deterministic (no wall-clock box).
-_DETERMINISTIC = frozenset({"table1", "table2", "travel-lite"})
+_DETERMINISTIC = frozenset({"table1", "table2", "travel-lite", "scenario-families"})
 
 
 def family_names() -> tuple[str, ...]:
@@ -190,6 +205,11 @@ def run_family(name: str, reps: int = 3) -> dict:
 
     fm.clear_caches()
     symbolic_store.clear_canonical_caches()
+    # the phase timers sample on absolute call counts (every call until
+    # _SAMPLE_FULL, then every _SAMPLE_EVERY-th), so a warm process could
+    # leave a short family with zero sampled activations in some phase;
+    # resetting makes the recorded phases match a cold-start CLI run
+    PHASES.reset()
     deterministic = name in _DETERMINISTIC
     walls: list[float] = []
     km_nodes = 0
@@ -321,6 +341,50 @@ def measure_attribution_overhead(
                 (enabled if mode == "enabled" else disabled).append(wall)
     finally:
         ATTRIBUTION.enabled = True
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    return {
+        "family": family,
+        "reps": reps,
+        "disabled_seconds": best_disabled,
+        "enabled_seconds": best_enabled,
+        "overhead": (best_enabled - best_disabled) / best_disabled
+        if best_disabled > 0
+        else 0.0,
+    }
+
+
+def measure_coverage_overhead(
+    family: str = "travel-lite", reps: int = 3
+) -> dict:
+    """Measure the semantic-coverage registry's wall-time overhead.
+
+    Same interleaved best-of-``reps`` protocol as
+    :func:`measure_attribution_overhead`, with ``COVERAGE.enabled`` as
+    the A/B variable.  The registry's feature sites live on the
+    verifier's hot paths (KM expansion, FM decisions, store absorb, LTL
+    tableau), so it must clear the instrumentation budget on its own —
+    not just averaged into the traced side.
+    """
+    from repro.fuzz.coverage import COVERAGE
+
+    jobs = _FAMILIES[family]()
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    was = COVERAGE.enabled
+    try:
+        for _rep in range(max(1, reps)):
+            for mode in ("disabled", "enabled"):
+                fm.clear_caches()
+                symbolic_store.clear_canonical_caches()
+                COVERAGE.enabled = mode == "enabled"
+                wall, _km, _out = _run_jobs(jobs)
+                (enabled if mode == "enabled" else disabled).append(wall)
+    finally:
+        COVERAGE.enabled = was
     best_disabled = min(disabled)
     best_enabled = min(enabled)
     return {

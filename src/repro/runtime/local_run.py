@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 
 from repro.database.instance import DatabaseInstance, Value
 from repro.errors import RunError
+from repro.fuzz.coverage import COVERAGE
 from repro.has.task import Task
 from repro.logic.terms import Variable, VarKind
 from repro.runtime.labels import ServiceKind, ServiceRef
@@ -90,6 +91,14 @@ def segments(run: LocalRun) -> list[list[int]]:
 def validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
     """Check every clause of Definition 9; raise :class:`RunError` if any
     fails.  Child I/O consistency is checked at tree level, not here."""
+    try:
+        _validate_local_run(run, db)
+    except RunError:
+        COVERAGE.hit("sim:reject")
+        raise
+
+
+def _validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
     task = run.task
     steps = run.steps
     if not steps:
@@ -107,6 +116,7 @@ def validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
         if service.kind is ServiceKind.INTERNAL:
             if service.task != task.name:
                 raise RunError(f"{task.name}: foreign internal service {service!r}")
+            COVERAGE.hit("sim:check:internal")
             check_internal_transition(
                 task, task.service(service.name), db, prev.state, step.state
             )
@@ -115,9 +125,11 @@ def validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
                 raise RunError(f"{task.name}: σ^o_T occurs mid-run")
             if service.task not in child_names:
                 raise RunError(f"{task.name}: opening unknown child {service.task!r}")
+            COVERAGE.hit("sim:check:open_child")
             check_open_child(task, task.child(service.task), db, prev.state, step.state)
         elif service.kind is ServiceKind.CLOSING:
             if service.task == task.name:
+                COVERAGE.hit("sim:check:self_close")
                 if index != len(steps) - 1:
                     raise RunError(f"{task.name}: σ^c_T not at the end")
                 if not task.closing.pre.evaluate(db, prev.state.valuation):
@@ -129,6 +141,7 @@ def validate_local_run(run: LocalRun, db: DatabaseInstance) -> None:
                     raise RunError(
                         f"{task.name}: closing unknown child {service.task!r}"
                     )
+                COVERAGE.hit("sim:check:close_child")
                 check_close_child(
                     task, task.child(service.task), prev.state, step.state
                 )
@@ -168,3 +181,5 @@ def _validate_segments(run: LocalRun) -> None:
                 f"{task.name}: children {{{dangling}}} still active at an internal "
                 f"transition (restriction 4)"
             )
+        if is_last and opened - closed:
+            COVERAGE.hit("sim:check:blocking_segment")

@@ -470,6 +470,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         write_corpus_entry,
         write_corpus_entry_has,
     )
+    from repro.fuzz.coverage import FEATURES
+    from repro.fuzz.harness import write_coverage_map
     from repro.fuzz.mutations import inject, mutation_names
 
     if args.export_corpus and args.inject_bug:
@@ -541,6 +543,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         on_outcome = lambda outcome: print(  # noqa: E731
             f"  {outcome.one_line()}", flush=True
         )
+    if args.min_novelty < 1:
+        raise _die("--min-novelty must be at least 1")
     with mutation, _tracing(args):
         campaign = run_campaign(
             args.seed,
@@ -551,25 +555,57 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             out_dir=args.out,
             shrink=not args.no_shrink,
             on_outcome=on_outcome,
+            guided=args.guided,
+            min_novelty=args.min_novelty,
         )
     print(campaign.format_report())
+    if args.coverage_out:
+        path = write_coverage_map(args.coverage_out, campaign)
+        print(f"coverage map written to {path}")
     if args.export_corpus:
         written = 0
+        seen_jobs: set[str] = set()
         for outcome in campaign.outcomes:
             if outcome.discrepancy is None:
+                entry = corpus_entry(outcome, verifier_config, bounded_config)
+                # distinct (seed, index) pairs — and grown mutants — can
+                # collapse to the same verification job; one entry each
+                if entry["job_key"] in seen_jobs:
+                    continue
+                seen_jobs.add(entry["job_key"])
                 if args.corpus_format == "has":
                     write_corpus_entry_has(
                         args.export_corpus, outcome, verifier_config
                     )
                 else:
-                    write_corpus_entry(
-                        args.export_corpus,
-                        corpus_entry(outcome, verifier_config, bounded_config),
-                    )
+                    write_corpus_entry(args.export_corpus, entry)
                 written += 1
         print(
             f"{written} {args.corpus_format} corpus entries written to "
             f"{args.export_corpus}"
+        )
+    if args.coverage_floor:
+        floor_path = Path(args.coverage_floor)
+        if not floor_path.exists():
+            raise _die(f"{args.coverage_floor}: coverage floor file not found")
+        floor = json.loads(floor_path.read_text())
+        floor_features = set(floor.get("features", ()))
+        unknown = sorted(floor_features - set(FEATURES))
+        if unknown:
+            raise _die(
+                f"{args.coverage_floor}: floor names unknown coverage "
+                f"features: {', '.join(unknown)}"
+            )
+        missing = sorted(floor_features - set(campaign.coverage))
+        if missing:
+            print(
+                f"coverage REGRESSION: {len(missing)} floor feature(s) "
+                f"not reached: {', '.join(missing)}"
+            )
+            return 1
+        print(
+            f"coverage floor held: all {len(floor_features)} floor "
+            f"features reached ({len(campaign.coverage)} total)"
         )
     return 1 if campaign.discrepancies else 0
 
@@ -856,6 +892,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="skip scenario shrinking on discrepancies",
+    )
+    fuzz.add_argument(
+        "--guided",
+        action="store_true",
+        help="coverage-guided campaign: track the coverage frontier "
+        "(repro.fuzz.coverage), score scenarios by novel features, and "
+        "grow mutants of novel survivors targeting uncovered verifier "
+        "regions (same total scenario budget as a uniform campaign)",
+    )
+    fuzz.add_argument(
+        "--min-novelty",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --guided: only grow mutants of scenarios that fired "
+        "at least N frontier-novel coverage features (default 1)",
+    )
+    fuzz.add_argument(
+        "--coverage-out",
+        metavar="FILE",
+        help="write the campaign's coverage map (which verifier regions "
+        "fired, per scenario and in aggregate) as JSON",
+    )
+    fuzz.add_argument(
+        "--coverage-floor",
+        metavar="FILE",
+        help="after the campaign, fail (exit 1) unless every feature in "
+        "this checked-in coverage map is reached",
     )
     fuzz.add_argument(
         "--export-corpus",

@@ -151,16 +151,34 @@ def _gallery_jobs(quick: bool, config: VerifierConfig) -> list[VerificationJob]:
     return directory_jobs(gallery_dir(), default_config=config)
 
 
+def _families_jobs(quick: bool, config: VerifierConfig) -> list[VerificationJob]:
+    # the checked-in size sweep of repro.workloads.families; --quick
+    # keeps only the smallest size of each family
+    from repro.dsl import directory_jobs
+    from repro.workloads.families import FAMILY_SIZES, build_family, families_dir
+
+    jobs = directory_jobs(families_dir(), default_config=config)
+    if quick:
+        smallest = {
+            build_family(family, min(sizes)).has.name
+            for family, sizes in FAMILY_SIZES.items()
+        }
+        jobs = [job for job in jobs if job.name.split("::", 1)[0] in smallest]
+    return jobs
+
+
 _SUITES = {
     "table1": lambda quick, config: _table_jobs(table1_workload, quick, config),
     "table2": lambda quick, config: _table_jobs(table2_workload, quick, config),
     "travel": _travel_jobs,
     "gallery": _gallery_jobs,
+    "families": _families_jobs,
     "mixed": lambda quick, config: (
         _table_jobs(table1_workload, quick, config)
         + _table_jobs(table2_workload, quick, config)
         + _travel_jobs(quick, config)
         + _gallery_jobs(quick, config)
+        + _families_jobs(quick, config)
     ),
     "quick": lambda quick, config: _quick_jobs(config),
 }

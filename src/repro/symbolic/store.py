@@ -38,6 +38,7 @@ from typing import Iterable, Mapping
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.fm import is_satisfiable, project_components
 from repro.arith.linexpr import LinExpr
+from repro.fuzz.coverage import COVERAGE
 from repro.perf.counters import COUNTERS
 from repro.perf.phases import PHASES
 from repro.database.schema import AttributeKind, DatabaseSchema
@@ -682,6 +683,7 @@ class ConstraintStore:
             other_node = other._binding.get(other_var)
             if other_node is None:
                 continue
+            COVERAGE.hit("store:absorb:input_binding")
             other_root = other.find(other_node)
             if isinstance(target, Variable):
                 if other_root in trans:
@@ -706,6 +708,7 @@ class ConstraintStore:
                 if isinstance(root, ConstNode):
                     trans[root] = self.const(root.value)
                 else:
+                    COVERAGE.hit("store:absorb:fresh_class")
                     trans[root] = self.fresh(other.sort_of(root))
         # 3. per-class facts — iterate in a canonical order: set order
         # follows the process hash seed, and the replay order decides the
@@ -716,8 +719,10 @@ class ConstraintStore:
         for root in live_sorted:
             mine = trans[root]
             if other._null[root] is True:
+                COVERAGE.hit("store:absorb:null_fact")
                 self.assert_null(mine)
             elif other._null[root] is False:
+                COVERAGE.hit("store:absorb:null_fact")
                 self.assert_not_null(mine)
             anchor = other._anchor[root]
             if anchor is not None:
@@ -731,6 +736,7 @@ class ConstraintStore:
                 child_root = other.find(child)
                 if child_root not in trans:
                     continue
+                COVERAGE.hit("store:absorb:navigation")
                 mine_child = self.nav(trans[root], attr)
                 self.assert_eq(mine_child, trans[child_root])
         # 5. disequalities (canonical order again: numeric disequalities
@@ -741,10 +747,12 @@ class ConstraintStore:
         ):
             members = [other.find(n) for n in pair]
             if all(m in trans for m in members) and len(members) == 2:
+                COVERAGE.hit("store:absorb:disequality")
                 self.assert_neq(trans[members[0]], trans[members[1]])
         # 6. numeric constraints
         for constraint in other.numeric_constraints():
             if all(u in trans for u in constraint.unknowns):
+                COVERAGE.hit("store:absorb:numeric")
                 renamed = constraint.rename(
                     {u: trans[u] for u in constraint.unknowns}
                 )

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Protocol
 
 from repro.errors import BudgetExceeded
+from repro.fuzz.coverage import COVERAGE
 from repro.obs import trace
 from repro.obs.attribution import ATTRIBUTION
 
@@ -209,6 +210,7 @@ def build_km_graph(
         node = worklist.pop()
         if expansions >= budget:
             graph.budget_exhausted = True
+            COVERAGE.hit("km:budget_box")
             break
         expansions += 1
         ATTRIBUTION.record_expansion(node.parent_tag, node.depth)
@@ -235,6 +237,7 @@ def build_km_graph(
                     break
                 next_vector[dim] = value
             if not enabled:
+                COVERAGE.hit("km:succ_disabled")
                 continue
             ATTRIBUTION.record_successor(tag)
             # acceleration against path ancestors
@@ -243,6 +246,7 @@ def build_km_graph(
                 if ancestor.state == next_state:
                     avector = thaw(ancestor.vector)
                     if dominates(next_vector, avector) and freeze(next_vector) != ancestor.vector:
+                        COVERAGE.hit("km:omega_accel")
                         for dim, value in next_vector.items():
                             if value is not OMEGA and value > avector.get(dim, 0):
                                 next_vector[dim] = OMEGA
@@ -254,6 +258,7 @@ def build_km_graph(
             label = (next_state, freeze(next_vector))
             existing = graph.by_label.get(label)
             if existing is not None:
+                COVERAGE.hit("km:cover_prune")
                 edge_key = (tag, existing.index)
                 try:
                     duplicate = edge_key in seen_edges
@@ -263,6 +268,8 @@ def build_km_graph(
                     duplicate = False
                 if not duplicate:
                     node.successors.append((tag, existing))
+                else:
+                    COVERAGE.hit("km:dup_edge")
                 continue
             child = KMNode(
                 state=next_state,

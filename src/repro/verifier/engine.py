@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.errors import BudgetExceeded, SpecificationError, VerificationError
+from repro.fuzz.coverage import COVERAGE
 from repro.has.restrictions import validate_has
 from repro.obs import trace
 from repro.obs.attribution import ATTRIBUTION
@@ -99,6 +100,7 @@ class Verifier:
             if attr_base is not None:
                 extra["attribution"] = ATTRIBUTION.since(attr_base)
         if graph.budget_exhausted:
+            COVERAGE.hit("engine:budget:boxed")
             # don't count the truncated graph in stats: the exception
             # already carries its node count (states_explored), and
             # counting both would double-report throughput
@@ -184,16 +186,20 @@ class Verifier:
                 # behaviors from a later run
                 self._summaries.pop(key, None)
                 raise
+            COVERAGE.hit("engine:summary:computed")
             for node in graph.nodes:
                 if vass.is_returning_accepting(node.state):
+                    COVERAGE.hit("engine:summary:output")
                     out = vass.output_of(node.state)
                     out_key = out.canonical_key()
                     if len(summary.outputs) < self.config.max_outputs_per_summary:
                         summary.outputs.setdefault(out_key, out)
                 elif vass.is_blocking_accepting(node.state):
+                    COVERAGE.hit("engine:summary:blocking")
                     summary.nonreturning = True
             if not summary.nonreturning:
                 if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
+                    COVERAGE.hit("engine:summary:lasso")
                     summary.nonreturning = True
             summary.km_nodes = len(graph.nodes)
             extra["km_nodes"] = summary.km_nodes
@@ -266,6 +272,7 @@ class Verifier:
             if vass.is_blocking_accepting(node.state):
                 result.holds = False
                 result.witness_kind = "blocking"
+                COVERAGE.hit("engine:witness:blocking")
                 start, path = rooted_witness_path(node)
                 result.witness = _steps_of(path)
                 result.symbolic_trace = SymbolicTrace(vass, start, path)
@@ -276,11 +283,15 @@ class Verifier:
                 node, component = found
                 result.holds = False
                 result.witness_kind = "lasso"
+                COVERAGE.hit("engine:witness:lasso")
                 start, path = rooted_witness_path(node)
                 cycle = cycle_path(node, component)
                 result.witness = _steps_of(path) + _steps_of(cycle)
                 result.loop_start = len(path)
                 result.symbolic_trace = SymbolicTrace(vass, start, path, cycle)
+        COVERAGE.hit(
+            "engine:verdict:holds" if result.holds else "engine:verdict:violated"
+        )
         return result
 
     def _root_initial_stores(self) -> list[ConstraintStore]:
@@ -288,6 +299,8 @@ class Verifier:
         for variable in self.has.root.input_variables:
             base.node_of(variable)  # materialize the input values
         refinements = list(apply_condition(base, self.has.precondition))
+        if len(refinements) > 1:
+            COVERAGE.hit("engine:root:multi_start")
         return refinements
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import ReproError
+from repro.fuzz.coverage import COVERAGE
 from repro.has.system import HAS
 from repro.hltl.formulas import HLTLProperty
 from repro.obs import trace as obs_trace
@@ -104,6 +105,8 @@ def concretize(
             PHASES.end("replay", token)
         witness.checks = checks
         witness.notes.extend(check_notes)
+        if witness.confirmed:
+            COVERAGE.hit("witness:confirmed")
         extra["confirmed"] = witness.confirmed
     if witness.confirmed and shrink:
         with obs_trace.span("witness.minimize") as extra:

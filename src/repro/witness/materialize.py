@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
 
+from repro.fuzz.coverage import COVERAGE
 from repro.has.system import HAS
 from repro.logic.terms import Variable, VarKind
 from repro.runtime import labels
@@ -391,6 +392,7 @@ class Materializer:
                 segment.sample = sample_store(candidate, self.db, attempt)
                 segment.store = candidate
                 if seam_values is not None:
+                    COVERAGE.hit("witness:seam_pin")
                     segment.forced = forced
                 self._absorb_refined_bindings(segment, candidate)
                 return

@@ -24,6 +24,7 @@ import time
 
 from repro.database.instance import DatabaseInstance, Identifier
 from repro.errors import InstanceError
+from repro.fuzz.coverage import COVERAGE
 from repro.has.system import HAS
 from repro.hltl.formulas import HLTLProperty
 from repro.witness.materialize import apply_set_update
@@ -110,6 +111,7 @@ def _drop_chunks(
                 current.property_name, new_loop, current.raw_length,
             )
             if candidate is not None and revalidate(has, prop, candidate):
+                COVERAGE.hit("witness:shrink:chunk")
                 current = candidate
                 shrunk = True
                 # same start index now names the next chunk
@@ -247,6 +249,7 @@ def _shrink_values(
                 continue
             shrunk = _shrink_one(has, prop, current, value, deadline)
             if shrunk is not None:
+                COVERAGE.hit("witness:shrink:numeric")
                 current = shrunk
                 progress = True
                 edits += 1
@@ -296,6 +299,7 @@ def _prune_rows(
                 raw_length=current.raw_length,
             )
             if revalidate(has, prop, candidate):
+                COVERAGE.hit("witness:shrink:rows")
                 current = candidate
     return current
 

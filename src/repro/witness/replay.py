@@ -23,6 +23,7 @@ against the memoized child summary, and are reported as such.
 from __future__ import annotations
 
 from repro.errors import RunError
+from repro.fuzz.coverage import COVERAGE
 from repro.has.system import HAS
 from repro.hltl.formulas import (
     ChildProp,
@@ -193,6 +194,10 @@ def validate(
                         "extra loop unrolling (the loop is not repeatable)"
                     )
                 else:
+                    if entry.set_contents != exit_.set_contents:
+                        # the artifact relation grew across the seam: the
+                        # run is periodic only by the stabilization rule
+                        COVERAGE.hit("witness:set_stabilized")
                     try:
                         replay_root_run(has, db, unrolled)
                         checks["loop_unrolling"] = True

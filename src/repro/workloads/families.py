@@ -1,0 +1,426 @@
+"""Size-parameterized scenario families with verdicts known at every size.
+
+Three business-flavored families scale one structural dimension each,
+so the gallery (and ``python -m repro bench``) can sweep cost against
+size while every point keeps an enforced ``expect:`` verdict:
+
+* **order fulfillment** — one root order task fanning out to ``n``
+  warehouse child tasks (width scaling: summary memoization, child
+  interleavings);
+* **ticketing** — an escalation chain nested ``depth`` levels under a
+  ticket queue with an artifact relation (depth scaling: segment
+  discipline, ω-acceleration on the stored tickets);
+* **billing** — ``tiers`` plan-tier services, each guarded by a linear
+  arithmetic rate band (branch scaling: Fourier–Motzkin load).
+
+Every family member carries the same two properties at every size — a
+safety invariant each service re-derives (**holds**) and a bound the
+unconstrained database defeats (**violated**) — so the expected verdict
+is size-independent by construction, not by per-size tuning.
+
+The checked-in ``.has`` files under ``src/repro/workloads/families/``
+are generated from these builders by the PR 5 printer
+(:func:`write_family_files`); a regression test regenerates them and
+fails on drift, so the files and the builders cannot diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+
+from repro.database.schema import DatabaseSchema, Relation, foreign_key, numeric
+from repro.has import HAS, ClosingService, InternalService, OpeningService, Task
+from repro.has.services import SetUpdate
+from repro.hltl.formulas import HLTLProperty, HLTLSpec, cond
+from repro.logic.conditions import And, ArithAtom, Eq, Not, Or, RelationAtom
+from repro.logic.terms import Const, NULL, id_var, num_var
+from repro.arith.constraints import Rel, compare
+from repro.arith.linexpr import const as linconst, var as linvar
+from repro.ltl.formulas import Always
+
+#: The sizes each family ships at (and the regeneration test enforces).
+FAMILY_SIZES: dict[str, tuple[int, ...]] = {
+    "order_fulfillment": (1, 2, 3, 4),
+    "ticketing": (1, 2, 3, 4, 6, 8),
+    "billing": (1, 2, 4, 6, 8, 12),
+}
+
+
+@dataclass(frozen=True)
+class FamilyScenario:
+    """One family member: a HAS plus its two expected-verdict properties."""
+
+    family: str
+    size: int
+    has: HAS
+    properties: tuple[tuple[HLTLProperty, str], ...]
+    """``(property, expect)`` pairs; expect is ``holds`` or ``violated``."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self.size}"
+
+
+# ----------------------------------------------------------------------
+# order fulfillment: n parallel warehouse children (width scaling)
+# ----------------------------------------------------------------------
+def order_fulfillment_family(size: int) -> FamilyScenario:
+    """A root order task with ``size`` warehouse children.
+
+    *holds*: the bound order row is re-derived by every root service and
+    never touched by a child (children take the order id as input and
+    write nothing back), so ``G(order = null ∨ ORDERS(order, …))`` is
+    invariant at every width.
+
+    *violated*: the database leaves order totals unconstrained, so a run
+    can bind a negative total regardless of width.
+    """
+    if size < 1:
+        raise ValueError("order_fulfillment size must be at least 1")
+    schema = DatabaseSchema(
+        (
+            Relation(
+                "ORDERS",
+                (numeric("total"), foreign_key("warehouse", "WAREHOUSES")),
+            ),
+            Relation("WAREHOUSES", (numeric("capacity"),)),
+        )
+    )
+    of_order = id_var("of_order")
+    of_total = num_var("of_total")
+    of_wh = id_var("of_wh")
+    place = InternalService(
+        "Place",
+        post=RelationAtom("ORDERS", (of_order, of_total, of_wh)),
+    )
+    children = []
+    for k in range(size):
+        w_order = id_var(f"w{k}_order")
+        w_wh = id_var(f"w{k}_wh")
+        w_cap = num_var(f"w{k}_cap")
+        children.append(
+            Task(
+                name=f"Warehouse{k}",
+                variables=(w_order, w_wh, w_cap),
+                services=(
+                    InternalService(
+                        f"Reserve{k}",
+                        post=And(
+                            RelationAtom("WAREHOUSES", (w_wh, w_cap)),
+                            ArithAtom(compare(linvar(w_cap), Rel.GE, linconst(0))),
+                        ),
+                    ),
+                ),
+                opening=OpeningService(
+                    pre=Not(Eq(of_order, NULL)),
+                    input_map={w_order: of_order},
+                ),
+                closing=ClosingService(pre=Not(Eq(w_wh, NULL))),
+            )
+        )
+    root = Task(
+        name="OrderFulfillment",
+        variables=(of_order, of_total, of_wh),
+        services=(place,),
+        opening=OpeningService(),
+        closing=ClosingService(),
+        children=tuple(children),
+    )
+    has = HAS(schema, root, name=f"order_fulfillment_n{size}")
+    safety = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(
+                cond(
+                    Or(
+                        Eq(of_order, NULL),
+                        RelationAtom("ORDERS", (of_order, of_total, of_wh)),
+                    )
+                )
+            ),
+        ),
+        name="order_row_rederived",
+    )
+    bound = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(
+                cond(
+                    Or(
+                        Eq(of_order, NULL),
+                        ArithAtom(compare(linvar(of_total), Rel.GE, linconst(0))),
+                    )
+                )
+            ),
+        ),
+        name="totals_nonnegative",
+    )
+    return FamilyScenario(
+        family="order_fulfillment",
+        size=size,
+        has=has,
+        properties=((safety, "holds"), (bound, "violated")),
+    )
+
+
+# ----------------------------------------------------------------------
+# ticketing: a depth-D escalation chain over an artifact relation
+# ----------------------------------------------------------------------
+def ticketing_family(size: int) -> FamilyScenario:
+    """A ticket queue storing tickets in its artifact relation, with an
+    escalation chain nested ``size`` levels deep.
+
+    *holds*: a non-null ticket in hand is always a real ``TICKETS`` row
+    (every service at every level re-derives it).
+
+    *violated*: severities are unconstrained by the schema, so a run can
+    pick a ticket of any severity at any depth.
+    """
+    if size < 1:
+        raise ValueError("ticketing depth must be at least 1")
+    schema = DatabaseSchema(
+        (
+            Relation(
+                "TICKETS",
+                (numeric("severity"), foreign_key("agent", "AGENTS")),
+            ),
+            Relation("AGENTS", (numeric("workload"),)),
+        )
+    )
+    tq_ticket = id_var("tq_ticket")
+    tq_agent = id_var("tq_agent")
+    tq_sev = num_var("tq_sev")
+    ticket_atom = RelationAtom("TICKETS", (tq_ticket, tq_sev, tq_agent))
+
+    # the escalation chain, innermost level first
+    child: Task | None = None
+    for level in range(size, 0, -1):
+        e_ticket = id_var(f"e{level}_ticket")
+        e_agent = id_var(f"e{level}_agent")
+        e_sev = num_var(f"e{level}_sev")
+        parent_ticket = tq_ticket if level == 1 else id_var(f"e{level - 1}_ticket")
+        child = Task(
+            name=f"Escalate{level}",
+            variables=(e_ticket, e_agent, e_sev),
+            services=(
+                InternalService(
+                    f"Review{level}",
+                    post=RelationAtom("TICKETS", (e_ticket, e_sev, e_agent)),
+                ),
+            ),
+            opening=OpeningService(
+                pre=Not(Eq(parent_ticket, NULL)),
+                input_map={e_ticket: parent_ticket},
+            ),
+            closing=ClosingService(pre=Not(Eq(e_agent, NULL))),
+            children=(child,) if child is not None else (),
+        )
+    assert child is not None
+    root = Task(
+        name="TicketQueue",
+        variables=(tq_ticket, tq_agent, tq_sev),
+        set_variables=(tq_ticket,),
+        services=(
+            # Triage is what first binds a ticket (File/Pick touch the
+            # artifact relation and need one in hand / in store)
+            InternalService("Triage", post=ticket_atom),
+            InternalService(
+                "File",
+                pre=Not(Eq(tq_ticket, NULL)),
+                post=ticket_atom,
+                update=SetUpdate.INSERT,
+            ),
+            InternalService("Pick", post=ticket_atom, update=SetUpdate.RETRIEVE),
+        ),
+        opening=OpeningService(),
+        closing=ClosingService(),
+        children=(child,),
+    )
+    has = HAS(schema, root, name=f"ticketing_d{size}")
+    safety = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(cond(Or(Eq(tq_ticket, NULL), ticket_atom))),
+        ),
+        name="ticket_row_exists",
+    )
+    bound = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(
+                cond(
+                    Or(
+                        Eq(tq_ticket, NULL),
+                        ArithAtom(compare(linvar(tq_sev), Rel.LE, linconst(2))),
+                    )
+                )
+            ),
+        ),
+        name="severity_bounded",
+    )
+    return FamilyScenario(
+        family="ticketing",
+        size=size,
+        has=has,
+        properties=((safety, "holds"), (bound, "violated")),
+    )
+
+
+# ----------------------------------------------------------------------
+# billing: K plan tiers, each a linear-arithmetic rate band
+# ----------------------------------------------------------------------
+def billing_family(size: int) -> FamilyScenario:
+    """A billing task with ``size`` tier services, each charging within
+    its own linear rate band (``tier ≤ amount ≤ tier + 1`` per unit).
+
+    *holds*: every tier's post-condition forces a nonnegative amount, so
+    ``G(invoice = null ∨ amount ≥ 0)`` is invariant at every tier count.
+
+    *violated*: no tier bounds the amount from above by 100 (the top
+    tier's band exceeds it, and re-binding to another row is free), so
+    ``G(invoice = null ∨ amount ≤ 100)`` fails at every tier count.
+    """
+    if size < 1:
+        raise ValueError("billing tiers must be at least 1")
+    schema = DatabaseSchema(
+        (
+            Relation(
+                "INVOICES",
+                (numeric("amount"), foreign_key("plan", "PLANS")),
+            ),
+            Relation("PLANS", (numeric("rate"),)),
+        )
+    )
+    b_inv = id_var("b_inv")
+    b_plan = id_var("b_plan")
+    b_amount = num_var("b_amount")
+    b_rate = num_var("b_rate")
+    invoice_atom = RelationAtom("INVOICES", (b_inv, b_amount, b_plan))
+    services = []
+    for k in range(size):
+        lo = Fraction(200 * k)
+        # the rate band lives in the post: each tier binds a plan row
+        # whose rate clears the tier floor and charges a nonnegative
+        # amount — preconditions on unbound plan rows would deadlock
+        services.append(
+            InternalService(
+                f"ChargeTier{k}",
+                post=And(
+                    invoice_atom,
+                    RelationAtom("PLANS", (b_plan, b_rate)),
+                    ArithAtom(compare(linvar(b_rate), Rel.GE, linconst(lo))),
+                    ArithAtom(compare(linvar(b_amount), Rel.GE, linconst(0))),
+                ),
+            )
+        )
+    root = Task(
+        name="Billing",
+        variables=(b_inv, b_plan, b_amount, b_rate),
+        services=tuple(services),
+        opening=OpeningService(),
+        closing=ClosingService(),
+    )
+    has = HAS(schema, root, name=f"billing_k{size}")
+    safety = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(
+                cond(
+                    Or(
+                        Eq(b_inv, NULL),
+                        ArithAtom(compare(linvar(b_amount), Rel.GE, linconst(0))),
+                    )
+                )
+            ),
+        ),
+        name="amounts_nonnegative",
+    )
+    bound = HLTLProperty(
+        HLTLSpec(
+            root.name,
+            Always(
+                cond(
+                    Or(
+                        Eq(b_inv, NULL),
+                        ArithAtom(
+                            compare(linvar(b_amount), Rel.LE, linconst(100))
+                        ),
+                    )
+                )
+            ),
+        ),
+        name="amounts_capped",
+    )
+    return FamilyScenario(
+        family="billing",
+        size=size,
+        has=has,
+        properties=((safety, "holds"), (bound, "violated")),
+    )
+
+
+_BUILDERS = {
+    "order_fulfillment": order_fulfillment_family,
+    "ticketing": ticketing_family,
+    "billing": billing_family,
+}
+
+
+def family_names() -> tuple[str, ...]:
+    return tuple(_BUILDERS)
+
+
+def build_family(family: str, size: int) -> FamilyScenario:
+    """One family member; raises ``KeyError`` for unknown family names."""
+    try:
+        builder = _BUILDERS[family]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise KeyError(f"unknown family {family!r} (known: {known})") from None
+    return builder(size)
+
+
+def family_scenarios() -> list[FamilyScenario]:
+    """Every family at every shipped size, deterministic order."""
+    return [
+        build_family(family, size)
+        for family in family_names()
+        for size in FAMILY_SIZES[family]
+    ]
+
+
+def render_family_scenario(scenario: FamilyScenario) -> str:
+    """The scenario as a ``.has`` document (the PR 5 printer), with a
+    header naming the generating builder — regeneration, not editing,
+    is how these files change."""
+    from repro.dsl import render_scenario
+
+    header = (
+        f"# {scenario.name}: generated by "
+        f"repro.workloads.families.build_family"
+        f"({scenario.family!r}, {scenario.size})\n"
+        f"# Regenerate with write_family_files(); edits here are "
+        f"overwritten and fail the drift test.\n\n"
+    )
+    return header + render_scenario(
+        scenario.has, properties=list(scenario.properties)
+    )
+
+
+def families_dir() -> Path:
+    """The shipped ``.has`` family gallery (next to the package)."""
+    return Path(__file__).parent / "families"
+
+
+def write_family_files(directory: Path | str | None = None) -> list[Path]:
+    """(Re)generate every family ``.has`` file; returns the paths."""
+    directory = Path(directory) if directory is not None else families_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for scenario in family_scenarios():
+        path = directory / f"{scenario.name.replace('-', '_')}.has"
+        path.write_text(render_family_scenario(scenario))
+        paths.append(path)
+    return paths

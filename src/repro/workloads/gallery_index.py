@@ -1,0 +1,125 @@
+"""The generated gallery catalog for docs/dsl.md.
+
+The gallery grew past hand-maintained-table size when coverage-promoted
+fuzz survivors landed (``fuzzed_*.has``, see docs/testing.md), so the
+docs table is generated: :func:`render_gallery_table` renders the block
+between the ``gallery-table`` markers in ``docs/dsl.md``, and
+``tests/test_gallery.py`` asserts the checked-in block matches —
+regenerate with::
+
+    python -c "from repro.workloads.gallery_index import update_docs; update_docs()"
+
+Curated scenarios keep their hand-written feature notes
+(:data:`CURATED_NOTES`); promoted survivors are summarized by verdict
+so the table stays readable at any gallery size.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Hand-written feature notes for the curated scenarios, in display
+#: order.  Adding a curated scenario means adding its row here (the
+#: drift test fails loudly otherwise); promoted ``fuzzed_*`` files are
+#: summarized automatically and never appear in this dict.
+CURATED_NOTES: dict[str, str] = {
+    "order_fulfillment": "two children, race (blocking counterexample)",
+    "loan_approval": "the repaired guard",
+    "insurance_claim": "linear arithmetic, unpinned variable bug (lasso)",
+    "ticketing_escalation": "artifact relation, two properties",
+    "inventory_restock": "`insert+retrieve` set updates",
+    "payroll_budget": "file-pinned `km_budget: 40`",
+    "library_loans": "3-hop FK-chain navigation",
+    "subscription_billing": "liveness, infinite renewals (lasso)",
+    "procurement_chain": "depth-3 hierarchy, nested child formulas",
+    "shipping_routes": "cyclic (self-referential) schema",
+}
+
+BEGIN_MARKER = "<!-- gallery-table:begin (generated, do not edit) -->"
+END_MARKER = "<!-- gallery-table:end -->"
+
+
+def gallery_entries() -> list[tuple[str, list[str]]]:
+    """``(file stem, [expect, …])`` for every gallery scenario, sorted
+    by file name (the suite's job order)."""
+    from repro.dsl import load_document
+    from repro.service.suites import gallery_dir
+
+    entries = []
+    for path in sorted(gallery_dir().glob("*.has")):
+        doc = load_document(path)
+        entries.append((path.stem, [entry.expect for entry in doc.properties]))
+    return entries
+
+
+def render_gallery_table() -> str:
+    """The markdown between the docs/dsl.md gallery-table markers."""
+    entries = dict(gallery_entries())
+    missing = [stem for stem in CURATED_NOTES if stem not in entries]
+    if missing:
+        raise ValueError(f"curated scenarios missing from the gallery: {missing}")
+    uncatalogued = [
+        stem
+        for stem in entries
+        if stem not in CURATED_NOTES and not stem.startswith("fuzzed_")
+    ]
+    if uncatalogued:
+        raise ValueError(
+            f"new curated scenarios need a CURATED_NOTES row: {uncatalogued}"
+        )
+
+    lines = ["| scenario | features | verdict |", "|---|---|---|"]
+    for stem, note in CURATED_NOTES.items():
+        verdict = " + ".join(entries[stem])
+        lines.append(f"| `{stem}` | {note} | {verdict} |")
+
+    promoted = {
+        stem: expects
+        for stem, expects in entries.items()
+        if stem.startswith("fuzzed_")
+    }
+    total_jobs = sum(len(expects) for expects in entries.values())
+    lines.append("")
+    lines.append(
+        f"plus **{len(promoted)} coverage-promoted fuzz survivors** "
+        f"(`fuzzed_*.has` — replay-confirmed scenarios a guided campaign "
+        f"found coverage-novel, promoted with "
+        f"`repro.fuzz.promote_survivors`; recipe in "
+        f"[testing.md](testing.md)):"
+    )
+    lines.append("")
+    lines.append("| verdict | promoted scenarios | of which grown mutants |")
+    lines.append("|---|---|---|")
+    for verdict in ("holds", "violated"):
+        matching = [s for s, e in promoted.items() if e == [verdict]]
+        mutants = sum(1 for s in matching if "_m" in s.split("_i", 1)[-1])
+        lines.append(f"| {verdict} | {len(matching)} | {mutants} |")
+    lines.append("")
+    lines.append(
+        f"{len(entries)} files, {total_jobs} jobs, under twenty seconds in "
+        f"total; together with the `families` suite the shipped scenario "
+        f"set stays at 100+ jobs (contract pinned in "
+        f"`tests/test_families.py`)."
+    )
+    return "\n".join(lines)
+
+
+def docs_path() -> Path:
+    return Path(__file__).resolve().parents[3] / "docs" / "dsl.md"
+
+
+def update_docs(path: Path | str | None = None) -> Path:
+    """Rewrite the marked block in docs/dsl.md; returns the path."""
+    path = Path(path) if path else docs_path()
+    text = path.read_text()
+    begin = text.index(BEGIN_MARKER)
+    end = text.index(END_MARKER)
+    updated = (
+        text[: begin + len(BEGIN_MARKER)]
+        + "\n"
+        + render_gallery_table()
+        + "\n"
+        + text[end:]
+    )
+    path.write_text(updated)
+    return path

@@ -1,0 +1,133 @@
+"""The parametric scenario families (``repro.workloads.families``).
+
+Contracts:
+
+* the checked-in ``.has`` files are exactly what the generator emits
+  (drift test — edit the generator, rerun ``write_family_files()``);
+* every family at every shipped size verifies to its documented
+  verdict, and violated verdicts carry a confirmed concrete witness;
+* every family scenario round-trips losslessly through the DSL printer
+  and parser with a stable job content hash (the serialized-dict form
+  and the parsed-text form hash identically);
+* the ``families`` suite exposes the full size sweep, ``--quick``
+  keeps the smallest size of each family, and ``mixed`` includes it;
+* gallery + families together ship the 100+ scenario contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl import loads
+from repro.service.jobs import STATUS_VIOLATED, VerificationJob
+from repro.service.pool import execute_job
+from repro.service.serialize import canonical_json, from_dict, to_dict
+from repro.service.suites import build_suite, suite_names
+from repro.workloads.families import (
+    FAMILY_SIZES,
+    build_family,
+    families_dir,
+    family_names,
+    family_scenarios,
+    render_family_scenario,
+    write_family_files,
+)
+
+SCENARIOS = family_scenarios()
+_IDS = [sc.name for sc in SCENARIOS]
+
+
+def test_family_inventory():
+    assert set(family_names()) == {"billing", "order_fulfillment", "ticketing"}
+    assert len(SCENARIOS) == sum(len(sizes) for sizes in FAMILY_SIZES.values())
+    # every scenario documents one holding and one violated property
+    for sc in SCENARIOS:
+        assert [expect for _, expect in sc.properties].count("holds") == 1
+        assert [expect for _, expect in sc.properties].count("violated") == 1
+
+
+def test_unknown_family_raises():
+    with pytest.raises(KeyError):
+        build_family("no-such-family", 1)
+
+
+def test_checked_in_files_match_the_generator(tmp_path):
+    generated = {p.name: p.read_text() for p in write_family_files(tmp_path)}
+    checked_in = {p.name: p.read_text() for p in sorted(families_dir().glob("*.has"))}
+    assert generated.keys() == checked_in.keys(), (
+        "family file set drifted: rerun "
+        "python -c 'from repro.workloads.families import write_family_files; "
+        "write_family_files()'"
+    )
+    for name in generated:
+        assert generated[name] == checked_in[name], (
+            f"{name} drifted from its generator — regenerate with "
+            f"write_family_files(), never edit the .has by hand"
+        )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=_IDS)
+class TestFamilyScenario:
+    def test_round_trips_losslessly_through_the_dsl(self, scenario):
+        doc = loads(render_family_scenario(scenario), source=scenario.name)
+        assert canonical_json(to_dict(doc.system)) == canonical_json(
+            to_dict(scenario.has)
+        )
+        assert len(doc.properties) == len(scenario.properties)
+        for entry, (prop, expect) in zip(doc.properties, scenario.properties):
+            assert canonical_json(to_dict(entry.prop)) == canonical_json(
+                to_dict(prop)
+            )
+            assert entry.expect == expect
+
+    def test_job_hash_is_stable_across_forms(self, scenario):
+        doc = loads(render_family_scenario(scenario), source=scenario.name)
+        for job in doc.jobs():
+            rebuilt = VerificationJob(
+                has=from_dict(to_dict(job.has)),
+                prop=from_dict(to_dict(job.prop)),
+                config=from_dict(to_dict(job.config)),
+            )
+            assert rebuilt.key() == job.key()
+
+
+class TestFamilySuite:
+    def test_registered_with_full_size_sweep(self):
+        assert "families" in suite_names()
+        jobs = build_suite("families")
+        assert len(jobs) == 2 * len(SCENARIOS)
+        assert len({job.key() for job in jobs}) == len(jobs)
+
+    def test_quick_keeps_the_smallest_size_of_each_family(self):
+        quick = build_suite("families", quick=True)
+        assert len(quick) == 2 * len(FAMILY_SIZES)
+        smallest = {
+            build_family(family, min(sizes)).has.name
+            for family, sizes in FAMILY_SIZES.items()
+        }
+        assert {job.name.split("::", 1)[0] for job in quick} == smallest
+
+    def test_mixed_suite_includes_families(self):
+        mixed = {job.key() for job in build_suite("mixed")}
+        assert {job.key() for job in build_suite("families")} <= mixed
+
+    def test_every_size_verifies_to_its_documented_verdict(self):
+        for job in build_suite("families"):
+            outcome = execute_job(job)
+            assert outcome.status == job.expected_status, (
+                f"{job.name}: documented {job.expected_status}, got "
+                f"{outcome.status} ({outcome.error})"
+            )
+            if outcome.status == STATUS_VIOLATED:
+                assert outcome.witness_json is not None
+                assert outcome.witness_json.get("status") == "confirmed", (
+                    f"{job.name}: violated without a confirmed witness"
+                )
+
+
+def test_gallery_plus_families_ship_one_hundred_scenarios():
+    total = len(build_suite("gallery")) + len(build_suite("families"))
+    assert total >= 100, (
+        f"the shipped scenario set shrank to {total} jobs — the gallery "
+        f"promotion + families contract is 100+"
+    )

@@ -150,6 +150,35 @@ class TestGallerySuite:
             build_suite("no/such/dir.has")
 
 
+class TestGalleryDocs:
+    def test_docs_table_matches_the_gallery(self):
+        """docs/dsl.md's gallery catalog is generated — any gallery
+        change must rerun ``gallery_index.update_docs()``."""
+        from repro.workloads.gallery_index import (
+            BEGIN_MARKER,
+            END_MARKER,
+            docs_path,
+            render_gallery_table,
+        )
+
+        text = docs_path().read_text()
+        begin = text.index(BEGIN_MARKER) + len(BEGIN_MARKER)
+        end = text.index(END_MARKER)
+        checked_in = text[begin:end].strip("\n")
+        assert checked_in == render_gallery_table(), (
+            "docs/dsl.md gallery table drifted — regenerate with "
+            "python -c 'from repro.workloads.gallery_index import "
+            "update_docs; update_docs()'"
+        )
+
+    def test_promoted_scenarios_are_substantial(self):
+        promoted = [p for p in GALLERY if p.stem.startswith("fuzzed_")]
+        assert len(promoted) >= 50, (
+            "the coverage-promoted survivor set shrank below the "
+            "100+-scenario contract's margin"
+        )
+
+
 class TestGalleryCli:
     def test_suite_gallery_smoke(self, capsys, tmp_path):
         jsonl = tmp_path / "gallery.jsonl"

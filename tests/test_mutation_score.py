@@ -1,0 +1,135 @@
+"""Mutation score of the regression artifacts.
+
+``repro.fuzz.mutations`` ships named verifier bugs; the differential
+oracle's live catches are tested in ``tests/test_fuzz.py``.  This module
+measures the complementary guarantee: the *checked-in* artifacts — the
+replay corpus (``tests/corpus``) and the parametric scenario families
+(``repro.workloads.families``) — kill every shipped mutation through
+plain expectation pinning, with no differential oracle in the loop.
+
+That matters for ``drop_blocking`` specifically: the bounded reference
+checker searches lassos only, so the live oracle is blind to a dropped
+blocking violation (pinned in ``tests/test_fuzz.py``).  The corpus
+still kills it, because corpus entries record the expected symbolic
+verdict and a blocking-violated entry flips to ``holds`` under the
+mutation.  The families do *not* kill it — every family violation is
+lasso-shaped — and that gap is pinned here explicitly so it stays
+visible if the families ever grow a blocking-violated member.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus_entry, replay_corpus_entry
+from repro.fuzz.mutations import inject, mutation_names
+from repro.service.pool import execute_job
+from repro.service.suites import build_suite
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("scenario-*.json"))
+
+
+def _expected(path: Path) -> dict:
+    return json.loads(path.read_text())["expected"]
+
+
+def _corpus_killed(paths, mutation: str) -> bool:
+    """True when at least one entry stops replaying cleanly under the
+    injected bug (early exit: this is a kill check, not a census)."""
+    with inject(mutation):
+        for path in paths:
+            entry = load_corpus_entry(path)
+            outcome, notes = replay_corpus_entry(entry)
+            if notes or outcome.discrepancy is not None:
+                return True
+    return False
+
+
+def _family_survivors(mutation: str, quick: bool = True) -> list[str]:
+    """Family jobs whose verdict still matches its pinned expectation
+    under the injected bug (all of them ⇒ the families miss the bug)."""
+    jobs = build_suite("families", quick=quick)
+    killed = []
+    with inject(mutation):
+        for job in jobs:
+            outcome = execute_job(job)
+            if outcome.status != job.expected_status:
+                killed.append(job.name)
+    return [job.name for job in jobs if job.name not in killed]
+
+
+def test_every_shipped_mutation_is_exercised_here():
+    assert set(mutation_names()) == {
+        "drop_blocking",
+        "drop_lasso",
+        "spurious_violation",
+    }, "new mutation shipped: add a kill (or pinned-miss) test for it here"
+
+
+def test_drop_lasso_killed_by_corpus_and_families():
+    violated = [p for p in CORPUS if _expected(p)["symbolic"] == "violated"]
+    assert _corpus_killed(violated[:3], "drop_lasso")
+    jobs = build_suite("families", quick=True)
+    assert len(_family_survivors("drop_lasso")) < len(jobs)
+
+
+def test_spurious_violation_killed_by_corpus_and_families():
+    holding = [p for p in CORPUS if _expected(p)["symbolic"] == "holds"]
+    assert _corpus_killed(holding[:3], "spurious_violation")
+    jobs = build_suite("families", quick=True)
+    assert len(_family_survivors("spurious_violation")) < len(jobs)
+
+
+def test_drop_blocking_killed_by_corpus():
+    # Blocking-violated entries are the ones whose bounded verdict is
+    # not independently "violated" (the lasso-only bounded checker never
+    # confirms a blocking run); only those can flip under the mutation.
+    candidates = [
+        p
+        for p in CORPUS
+        if _expected(p)["symbolic"] == "violated"
+        and _expected(p)["bounded"] != "violated"
+    ]
+    assert candidates, "corpus lost its blocking-violated entries"
+    assert _corpus_killed(candidates, "drop_blocking"), (
+        "the corpus no longer kills drop_blocking: it needs at least one "
+        "blocking-violated entry (symbolic=violated, bounded≠violated) — "
+        "the live differential oracle is blind to this bug, so the corpus "
+        "is the only artifact pinning it"
+    )
+
+
+def test_drop_blocking_families_blind_spot_is_pinned():
+    """Every family violation is lasso-shaped, so the families alone
+    miss ``drop_blocking`` entirely.  If this starts failing, a family
+    grew a blocking-violated member: update this pin to a kill assertion
+    and the module docstring's blind-spot note."""
+    jobs = build_suite("families", quick=False)
+    survivors = _family_survivors("drop_blocking", quick=False)
+    assert len(survivors) == len(jobs), (
+        "families now kill drop_blocking — promote this pin to a kill test"
+    )
+
+
+@pytest.mark.parametrize("mutation", sorted(mutation_names()))
+def test_mutation_score_is_total(mutation):
+    """Every shipped mutation is killed by the combined artifact set."""
+    if mutation == "drop_blocking":
+        candidates = [
+            p
+            for p in CORPUS
+            if _expected(p)["symbolic"] == "violated"
+            and _expected(p)["bounded"] != "violated"
+        ]
+        assert _corpus_killed(candidates, mutation)
+        return
+    target = "violated" if mutation == "drop_lasso" else "holds"
+    paths = [p for p in CORPUS if _expected(p)["symbolic"] == target]
+    killed = _corpus_killed(paths[:3], mutation) or bool(
+        len(_family_survivors(mutation)) < len(build_suite("families", quick=True))
+    )
+    assert killed
