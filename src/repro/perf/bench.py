@@ -2,7 +2,10 @@
 
 A *family* is a named, deterministic bundle of verification jobs drawn
 from the Table 1/2 workload grids (``repro.workloads``) and the travel
-example — the same workloads the paper benchmarks.  ``run_family``
+example — the same workloads the paper benchmarks.  The ``incremental``
+family instead measures the verify → edit one service → re-verify
+workflow through the persistent summary store (fuzz-derived
+edit-adjacent pairs; see :func:`_incremental_pairs`).  ``run_family``
 executes one family in-process, measuring
 
 * **wall time** — best of ``reps`` repetitions of the whole bundle
@@ -147,16 +150,112 @@ def _scenario_families() -> list[BenchJob]:
     ]
 
 
-_FAMILIES: dict[str, Callable[[], list[BenchJob]]] = {
+def _incremental_pairs() -> list[tuple[str, BenchJob, BenchJob]]:
+    """Edit-adjacent scenario pairs for the ``incremental`` family.
+
+    Each pair is a fuzz-generated base scenario plus the first
+    ``add service`` mutant from the grow operators — the canonical
+    "verify, edit one service, re-verify" workflow the persistent
+    summary store accelerates.  Both sides are fully deterministic
+    (seed-derived), so the family's verdict fingerprint is stable.
+    The seeds are chosen so every base terminates within budget with a
+    multi-task summary set and the warm re-verify actually reuses
+    subtrees the edit cannot reach."""
+    from repro.fuzz.gen import GenConfig, generate_scenario, grow_scenarios
+
+    gen_config = GenConfig(max_depth=3, max_children=2)
+    config = VerifierConfig(km_budget=60_000, time_limit_seconds=120.0)
+    pairs: list[tuple[str, BenchJob, BenchJob]] = []
+    for seed, index in ((1, 1), (6, 0), (7, 1)):
+        base = generate_scenario(seed, index, gen_config)
+        mutant = next(
+            m
+            for m in grow_scenarios(base, limit=12)
+            if m.mutations[-1].startswith("add service")
+        )
+        pairs.append(
+            (
+                base.name,
+                BenchJob(f"{base.name}::base", base.has, base.prop, config),
+                BenchJob(f"{base.name}::edited", mutant.has, mutant.prop, config),
+            )
+        )
+    return pairs
+
+
+def _run_incremental(
+    pairs: Iterable[tuple[str, BenchJob, BenchJob]]
+) -> tuple[float, int, list[dict]]:
+    """One pass over the edit-adjacent pairs: for each, a cold verify of
+    the base (filling a fresh in-memory summary store), a cold verify of
+    the edited scenario (the reference cost), and a warm re-verify of the
+    edited scenario against the filled store.  The warm row records how
+    much exploration the store saved (``km_nodes_reused``) on top of the
+    credited totals — cold and warm ``km_nodes`` agree by construction,
+    so the fingerprint also pins reuse being observationally invisible."""
+    from repro.service.cache import SummaryStore
+
+    outcomes: list[dict] = []
+    km_total = 0
+    started = time.perf_counter()
+    for name, base, edited in pairs:
+        # memory-only and per-pair: every rep starts from the same empty
+        # store, keeping the family deterministic across repetitions
+        store = SummaryStore()
+        for label, job, job_store in (
+            ("cold-fill", base, store),
+            ("edited-cold", edited, None),
+            ("edited-warm", edited, store),
+        ):
+            verifier = Verifier(job.has, job.config, summary_store=job_store)
+            try:
+                result = verifier.verify(job.prop)
+                status = "holds" if result.holds else "violated"
+                km = result.stats.km_nodes
+                reused_summaries = result.stats.summaries_reused
+                reused_km = result.stats.km_nodes_reused
+            except BudgetExceeded as exc:  # pragma: no cover - defensive
+                status = "budget_exceeded"
+                km = verifier.stats.km_nodes + int(
+                    getattr(exc, "states_explored", 0)
+                )
+                reused_summaries = verifier.stats.summaries_reused
+                reused_km = verifier.stats.km_nodes_reused
+            except ReproError as exc:  # pragma: no cover - defensive
+                status = f"error: {type(exc).__name__}"
+                km = reused_summaries = reused_km = 0
+            km_total += km
+            outcomes.append(
+                {
+                    "name": f"{name}::{label}",
+                    "status": status,
+                    "km_nodes": km,
+                    "km_nodes_fresh": km - reused_km,
+                    "summaries_reused": reused_summaries,
+                }
+            )
+    return time.perf_counter() - started, km_total, outcomes
+
+
+#: ``incremental`` maps to pairs, not jobs — see :data:`_RUNNERS`.
+_FAMILIES: dict[str, Callable[[], list]] = {
     "table1": lambda: _table_family(table1_workload),
     "table2": lambda: _table_family(table2_workload),
     "travel-lite": _travel_lite_family,
     "travel-full": _travel_full_family,
     "scenario-families": _scenario_families,
+    "incremental": _incremental_pairs,
+}
+
+#: Per-family pass runner; everything not listed uses :func:`_run_jobs`.
+_RUNNERS: dict[str, Callable[[Iterable], tuple[float, int, list[dict]]]] = {
+    "incremental": _run_incremental,
 }
 
 #: Families whose KM-node totals are deterministic (no wall-clock box).
-_DETERMINISTIC = frozenset({"table1", "table2", "travel-lite", "scenario-families"})
+_DETERMINISTIC = frozenset(
+    {"table1", "table2", "travel-lite", "scenario-families", "incremental"}
+)
 
 
 def family_names() -> tuple[str, ...]:
@@ -211,6 +310,7 @@ def run_family(name: str, reps: int = 3) -> dict:
     # resetting makes the recorded phases match a cold-start CLI run
     PHASES.reset()
     deterministic = name in _DETERMINISTIC
+    runner = _RUNNERS.get(name, _run_jobs)
     walls: list[float] = []
     km_nodes = 0
     outcomes: list[dict] = []
@@ -219,7 +319,7 @@ def run_family(name: str, reps: int = 3) -> dict:
     for rep in range(max(1, reps)):
         baseline = COUNTERS.snapshot()
         phases_baseline = PHASES.snapshot()
-        wall, km, out = _run_jobs(jobs)
+        wall, km, out = runner(jobs)
         walls.append(wall)
         if rep == 0:
             counters = COUNTERS.since(baseline)

@@ -27,7 +27,10 @@ Counter semantics (hits / misses; rate = hits / (hits + misses)):
 * ``child_input``     — child input-store extractions served from the
   engine memo;
 * ``summary``         — child task summaries ``R_T`` served from the
-  engine memo.
+  engine memo;
+* ``summary_store``   — summary-memo misses served from the persistent
+  cross-job summary store (decode-validated hits only; a corrupt or
+  stale record counts as a miss).
 """
 
 from __future__ import annotations
@@ -47,6 +50,8 @@ _COUNTER_NAMES = (
     "child_input_misses",
     "summary_hits",
     "summary_misses",
+    "summary_store_hits",
+    "summary_store_misses",
 )
 
 

@@ -1,10 +1,16 @@
-"""Content-addressed result cache (in-memory + optional on-disk JSON).
+"""Content-addressed caches (in-memory + optional on-disk JSON).
 
-Keys are the SHA-256 content hashes of :class:`VerificationJob`; values
-are :class:`JobOutcome` dicts.  The disk layer stores one JSON file per
-key under a cache directory (two-level fan-out to keep directories
-small), written atomically via rename, so concurrent batch runs — and
-repeated CLI invocations — share results safely.
+Two tiers share one layout — one JSON file per SHA-256 key under a
+cache directory (two-level fan-out to keep directories small), written
+atomically via rename, so concurrent batch runs — and repeated CLI
+invocations — share state safely:
+
+* :class:`ResultCache` — whole-job outcomes, keyed by
+  :class:`VerificationJob` content hashes;
+* :class:`SummaryStore` — per-task-subtree summary records
+  (:mod:`repro.service.summaries`), keyed by
+  :func:`~repro.service.summaries.persistent_summary_key`, the tier
+  that makes re-verifying an edited scenario incremental.
 """
 
 from __future__ import annotations
@@ -74,6 +80,86 @@ class ResultCache:
         try:
             with handle:
                 json.dump(data, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*/*.json"))
+        return len(keys)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*/*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+class SummaryStore:
+    """Two-tier store for persistent task-summary records.
+
+    Same shape and contracts as :class:`ResultCache`, but values are the
+    raw record dicts of :mod:`repro.service.summaries` — the engine owns
+    semantic decoding (and its integrity checks), this layer only
+    guarantees that a corrupt, truncated, or foreign file is a miss,
+    never an exception, and that writes are atomic.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None (unreadable = miss)."""
+        data = self._memory.get(key)
+        if data is None and self.directory is not None:
+            try:
+                data = json.loads(self._path_for(key).read_text())
+            except (OSError, ValueError):
+                data = None
+        if isinstance(data, dict):
+            self._memory[key] = data
+            self.hits += 1
+            return data
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record: dict) -> None:
+        self._memory[key] = record
+        if self.directory is None:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
+        )
+        try:
+            with handle:
+                json.dump(record, handle, sort_keys=True)
             os.replace(handle.name, path)
         except BaseException:
             try:

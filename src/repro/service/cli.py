@@ -114,6 +114,31 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir)
 
 
+def _add_summary_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--summary-cache",
+        metavar="DIR",
+        help="persistent cross-job task-summary store: re-verifying after "
+        "an edit reuses the summaries of untouched task subtrees (keyed "
+        "by subtree content, so reuse is observationally invisible — "
+        "verdicts and witnesses stay byte-identical)",
+    )
+    parser.add_argument(
+        "--no-summary-reuse",
+        action="store_true",
+        help="disable cross-job summary reuse even when --summary-cache "
+        "is set (A/B runs, wrapper scripts)",
+    )
+
+
+def _summary_store_from_args(args: argparse.Namespace):
+    if args.no_summary_reuse or not args.summary_cache:
+        return None
+    from repro.service.cache import SummaryStore
+
+    return SummaryStore(args.summary_cache)
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -260,7 +285,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"verifying {job.name}  (key {job.key()[:16]}…)")
     with _tracing(args):
-        outcome = execute_job(job)
+        outcome = execute_job(job, summary_store=_summary_store_from_args(args))
     if args.json:
         print(json.dumps(outcome.to_dict(), sort_keys=True, indent=1))
     else:
@@ -286,7 +311,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     print(f"explaining {job.name}  (key {job.key()[:16]}…)")
     with _tracing(args):
         try:
-            result = Verifier(job.has, job.config).verify(job.prop)
+            result = Verifier(
+                job.has,
+                job.config,
+                summary_store=_summary_store_from_args(args),
+            ).verify(job.prop)
         except ReproError as exc:
             print(f"  {type(exc).__name__}: {exc}")
             return 2
@@ -340,7 +369,11 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
     with _tracing(args):
         report = run_batch(
-            jobs, workers=args.workers, cache=cache, on_outcome=on_outcome
+            jobs,
+            workers=args.workers,
+            cache=cache,
+            on_outcome=on_outcome,
+            summary_store=_summary_store_from_args(args),
         )
     print(report.format_report())
     if args.jsonl:
@@ -741,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the job's serialized payload to PATH",
     )
     _add_budget_arguments(verify)
+    _add_summary_cache_arguments(verify)
     _add_trace_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -762,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip trace minimization (print the raw materialized run)",
     )
     _add_budget_arguments(explain)
+    _add_summary_cache_arguments(explain)
     _add_trace_arguments(explain)
     explain.set_defaults(func=_cmd_explain)
 
@@ -783,6 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(suite)
     _add_budget_arguments(suite)
+    _add_summary_cache_arguments(suite)
     _add_trace_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
 

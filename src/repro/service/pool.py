@@ -28,7 +28,19 @@ from repro.service.jobs import (
 )
 
 
-def execute_payload(payload: dict) -> dict:
+def _resolve_summary_store(summary_store):
+    """A usable :class:`~repro.service.cache.SummaryStore` from either a
+    live store object (shared in-process) or a directory path (workers in
+    other processes rebuild their own handle over the shared directory);
+    None stays None (reuse off)."""
+    if summary_store is None or hasattr(summary_store, "get"):
+        return summary_store
+    from repro.service.cache import SummaryStore
+
+    return SummaryStore(summary_store)
+
+
+def execute_payload(payload: dict, summary_store=None) -> dict:
     """Run one serialized job to a serialized outcome (worker entry point;
     module-level so it pickles under the spawn start method).
 
@@ -41,6 +53,9 @@ def execute_payload(payload: dict) -> dict:
     die with their process-global ``COUNTERS``, so the snapshot riding
     the outcome is the only way suite-level hit rates stay correct under
     ``workers>1``.
+
+    ``summary_store`` (a store object, or a directory path when crossing
+    the process boundary) enables the persistent cross-job summary tier.
     """
     started = time.monotonic()
     counters_baseline = COUNTERS.snapshot()
@@ -59,7 +74,9 @@ def execute_payload(payload: dict) -> dict:
         job = VerificationJob.from_payload(payload)
         name, key = job.name, job.key()
         expected, expected_status = job.expected_holds, job.expected_status
-        result = Verifier(job.has, job.config).verify(job.prop)
+        result = Verifier(
+            job.has, job.config, summary_store=_resolve_summary_store(summary_store)
+        ).verify(job.prop)
     except BudgetExceeded as exc:
         outcome = JobOutcome(
             name=name,
@@ -135,35 +152,50 @@ def _concretize_witness(job: VerificationJob, result) -> dict:
         }
 
 
-def execute_job(job: VerificationJob) -> JobOutcome:
+def execute_job(job: VerificationJob, summary_store=None) -> JobOutcome:
     """In-process execution of one job (the ``workers=1`` path)."""
-    return JobOutcome.from_dict(execute_payload(job.payload()))
+    return JobOutcome.from_dict(
+        execute_payload(job.payload(), summary_store=summary_store)
+    )
 
 
 def run_payloads(
     payloads: Sequence[dict],
     workers: int = 1,
     on_outcome: Callable[[int, dict], None] | None = None,
+    summary_store=None,
 ) -> list[dict]:
     """Fan serialized jobs across a process pool; results in input order.
 
     ``on_outcome(index, outcome_dict)`` fires as each job finishes (out of
     order under parallelism) — the CLI uses it for live progress.
+
+    With ``summary_store``, the serial path shares one live store (its
+    in-memory tier carries summaries from job to job even without a
+    directory); parallel workers get the store's *directory* instead —
+    spawn processes can't share the dict tier, so a memory-only store
+    stays parent-only under ``workers>1``.
     """
+    store = _resolve_summary_store(summary_store)
     if workers <= 1 or len(payloads) <= 1:
         results = []
         for index, payload in enumerate(payloads):
-            outcome = execute_payload(payload)
+            outcome = execute_payload(payload, summary_store=store)
             if on_outcome is not None:
                 on_outcome(index, outcome)
             results.append(outcome)
         return results
 
+    store_dir = (
+        str(store.directory)
+        if store is not None and store.directory is not None
+        else None
+    )
     results: list[dict | None] = [None] * len(payloads)
     max_workers = min(workers, len(payloads))
     with ProcessPoolExecutor(max_workers=max_workers) as executor:
         pending = {
-            executor.submit(execute_payload, payload): index
+            executor.submit(execute_payload, payload, store_dir): index
             for index, payload in enumerate(payloads)
         }
         # worker processes never write the parent's trace (the tracer is
@@ -203,10 +235,16 @@ def run_jobs(
     jobs: Iterable[VerificationJob],
     workers: int = 1,
     on_outcome: Callable[[int, dict], None] | None = None,
+    summary_store=None,
 ) -> list[JobOutcome]:
     """Convenience wrapper: jobs in, outcomes (input order) out."""
     payloads = [job.payload() for job in jobs]
     return [
         JobOutcome.from_dict(data)
-        for data in run_payloads(payloads, workers=workers, on_outcome=on_outcome)
+        for data in run_payloads(
+            payloads,
+            workers=workers,
+            on_outcome=on_outcome,
+            summary_store=summary_store,
+        )
     ]

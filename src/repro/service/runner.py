@@ -100,6 +100,8 @@ class BatchReport:
                     summaries=outcome.summaries,
                     wall_seconds=outcome.wall_seconds,
                     summary_hits=per_job.get("summary_hits", 0),
+                    summaries_reused=per_job.get("summaries_reused", 0),
+                    km_nodes_reused=per_job.get("km_nodes_reused", 0),
                     fm_seconds=per_job.get("fm_seconds", 0.0),
                     canon_seconds=per_job.get("canon_seconds", 0.0),
                     expand_seconds=per_job.get("expand_seconds", 0.0),
@@ -224,12 +226,18 @@ def run_batch(
     workers: int = 1,
     cache: ResultCache | None = None,
     on_outcome: Callable[[JobOutcome], None] | None = None,
+    summary_store=None,
 ) -> BatchReport:
     """Run a batch of jobs, consulting and filling ``cache`` by content key.
 
     Jobs sharing a content key are verified once; every occurrence after
     the first is served from the cache (the first from the live run).
     ``on_outcome`` fires per finished job, cache hits included.
+    ``summary_store`` (a :class:`~repro.service.cache.SummaryStore` or a
+    directory path) additionally enables sub-job reuse: task summaries
+    persist across jobs — and across batch invocations, when backed by a
+    directory — keyed by task-subtree content, so edited scenarios only
+    re-explore the subtrees the edit can reach.
     """
     started = time.monotonic()
     keys = [job.key() for job in jobs]
@@ -280,7 +288,12 @@ def run_batch(
             if on_outcome is not None:
                 on_outcome(outcome)
 
-        run_payloads(payloads, workers=workers, on_outcome=deliver)
+        run_payloads(
+            payloads,
+            workers=workers,
+            on_outcome=deliver,
+            summary_store=summary_store,
+        )
 
     for index, source in duplicates.items():
         original = outcomes[source]

@@ -19,7 +19,7 @@ import hashlib
 import json
 from dataclasses import asdict
 from fractions import Fraction
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.arith.constraints import Constraint, Rel
 from repro.arith.linexpr import LinExpr
@@ -74,6 +74,7 @@ from repro.ltl.formulas import (
     Release,
     TrueF,
     Until,
+    propositions,
 )
 from repro.runtime.labels import ServiceKind, ServiceRef
 from repro.verifier.config import VerifierConfig
@@ -632,6 +633,81 @@ def from_dict(data: dict) -> Any:
     except KeyError:
         raise SerializationError(f"unknown tag {tag!r}") from None
     return decode(data)
+
+
+# ----------------------------------------------------------------------
+# subtree slicing (cross-job summary reuse)
+# ----------------------------------------------------------------------
+def _collect_condition_relations(condition: Condition, names: set[str]) -> None:
+    if isinstance(condition, RelationAtom):
+        names.add(condition.relation)
+    elif isinstance(condition, Not):
+        _collect_condition_relations(condition.body, names)
+    elif isinstance(condition, (And, Or)):
+        for part in condition.parts:
+            _collect_condition_relations(part, names)
+    elif isinstance(condition, Exists):
+        _collect_condition_relations(condition.body, names)
+    # TRUE / FALSE / Eq / ArithAtom / SetAtom mention no relations
+
+
+def condition_relation_names(condition: Condition) -> set[str]:
+    """Every relation named by a ``RelationAtom`` anywhere in the condition."""
+    names: set[str] = set()
+    _collect_condition_relations(condition, names)
+    return names
+
+
+def spec_relation_names(spec: HLTLSpec) -> set[str]:
+    """Relations named by the spec's condition propositions, including the
+    nested child-spec obligations (β's domain is closed under children)."""
+    names: set[str] = set()
+    for payload in propositions(spec.formula):
+        if isinstance(payload, CondProp):
+            _collect_condition_relations(payload.condition, names)
+        elif isinstance(payload, ChildProp):
+            names |= spec_relation_names(payload.spec)
+    return names
+
+
+def task_relation_names(task: Task) -> set[str]:
+    """Relations named by any service condition in the task subtree."""
+    names: set[str] = set()
+    _collect_condition_relations(task.opening.pre, names)
+    _collect_condition_relations(task.closing.pre, names)
+    for service in task.services:
+        _collect_condition_relations(service.pre, names)
+        _collect_condition_relations(service.post, names)
+    for child in task.children:
+        names |= task_relation_names(child)
+    return names
+
+
+def schema_slice(schema: DatabaseSchema, names: Iterable[str]) -> list[dict]:
+    """The foreign-key closure of ``names`` within ``schema``, as a sorted
+    list of serialized relations.
+
+    This is exactly the schema material a task subtree's exploration can
+    read: a relation's *internals* (attributes, their kinds, their FK
+    targets) are only consulted through navigation from a node anchored to
+    it — reachable from the subtree's conditions, the input type's
+    anchors, and the β-obligation conditions — and through the inclusion
+    dependencies of relations already in the slice.  Anchoring decisions
+    that touch the rest of the schema read only relation *names*, which
+    the caller hashes separately as the full name universe.
+    """
+    reachable: set[str] = set()
+    frontier = [name for name in names if name in schema]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        for attribute in schema.relation(name).attributes:
+            referenced = attribute.references
+            if referenced is not None and referenced in schema:
+                frontier.append(referenced)
+    return [_relation_to_dict(schema.relation(name)) for name in sorted(reachable)]
 
 
 # ----------------------------------------------------------------------

@@ -55,3 +55,9 @@ class VerifierConfig:
     """Entry cap for the per-task successor memo (symbolic transitions
     keyed by state and counter support).  0 disables the memo — useful
     for A/B-testing cache correctness."""
+
+    child_input_memo_limit: int = 200_000
+    """Entry cap for the engine's child input-extraction memo (keyed by
+    child task and parent canonical key).  Unlike ``max_summaries`` this
+    bounds a pure cache: hitting the cap only stops memoizing, never the
+    search.  0 disables the memo."""

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import BudgetExceeded, SpecificationError, VerificationError
+from repro.errors import BudgetExceeded, SpecificationError
 from repro.fuzz.coverage import COVERAGE
 from repro.has.restrictions import validate_has
 from repro.obs import trace
@@ -57,13 +57,29 @@ class TaskSummary:
 class Verifier:
     """Model checker for one HAS; reusable across properties."""
 
-    def __init__(self, has: HAS, config: VerifierConfig | None = None):
+    def __init__(
+        self,
+        has: HAS,
+        config: VerifierConfig | None = None,
+        summary_store=None,
+    ):
         self.has = has
         self.config = config or VerifierConfig()
         validate_has(has)
+        #: Optional :class:`repro.service.cache.SummaryStore`: the
+        #: persistent cross-job tier behind the in-memory summary memo.
+        self.summary_store = summary_store
         self._summaries: dict[tuple, TaskSummary] = {}
         self._input_stores: dict[tuple[str, tuple], ConstraintStore] = {}
         self._child_input_memo: dict[tuple, tuple[ConstraintStore, tuple]] = {}
+        # Per completed summary: the transitive closure of the summary
+        # keys its exploration consulted (dependency order, itself last).
+        # A persisted record embeds its whole closure, so installing one
+        # store hit reproduces every summary — and every km_nodes /
+        # summaries stat credit — the cold run would have computed.
+        self._summary_closures: dict[tuple, tuple] = {}
+        self._dep_frames: list[dict] = []  # dict-as-ordered-set per open summary
+        self._persist_keys: dict[tuple, str] = {}
         self.deadline: float | None = None
         self.compiled: CompiledProperty | None = None
         self.stats = VerificationStats()
@@ -143,7 +159,8 @@ class Verifier:
         )
         key = child_store.canonical_key()
         self._input_stores[(child.name, key)] = child_store
-        self._child_input_memo[memo_key] = (child_store, key)
+        if len(self._child_input_memo) < self.config.child_input_memo_limit:
+            self._child_input_memo[memo_key] = (child_store, key)
         return child_store, key
 
     def summary(
@@ -164,11 +181,19 @@ class Verifier:
         if cached is not None:
             COUNTERS.summary_hits += 1
             self.stats.summary_hits += 1
+            self._note_summary_use(key)
             return cached
         COUNTERS.summary_misses += 1
         if len(self._summaries) >= self.config.max_summaries:
-            raise VerificationError("summary memo limit exceeded")
+            # a budget, not an internal error: the pool maps this to the
+            # graceful budget_exceeded outcome, same as the KM budget
+            raise BudgetExceeded("summary memo limit exceeded")
         assert self.compiled is not None
+        if self.summary_store is not None:
+            loaded = self._load_persisted_summary(key)
+            if loaded is not None:
+                self._note_summary_use(key)
+                return loaded
         task = self.has.task(task_name)
         automaton = self.compiled.automaton(task_name, beta)
         vass = TaskVASS(self, task, automaton, is_root=False, config=self.config)
@@ -176,37 +201,125 @@ class Verifier:
         summary = TaskSummary()
         # placeholder first: defends against (impossible) recursive loops
         self._summaries[key] = summary
+        self._dep_frames.append({})
         with trace.span("summary", task=task_name) as extra:
             try:
                 graph = self._explore(vass, starts, f"summary of {task_name}")
+                COVERAGE.hit("engine:summary:computed")
+                for node in graph.nodes:
+                    if vass.is_returning_accepting(node.state):
+                        COVERAGE.hit("engine:summary:output")
+                        out = vass.output_of(node.state)
+                        out_key = out.canonical_key()
+                        if out_key not in summary.outputs:
+                            if (
+                                len(summary.outputs)
+                                >= self.config.max_outputs_per_summary
+                            ):
+                                # never truncate silently: a dropped output
+                                # type hides a child behavior from the
+                                # parent and can flip the verdict
+                                raise BudgetExceeded(
+                                    f"summary of {task_name} exceeded "
+                                    "max_outputs_per_summary"
+                                )
+                            summary.outputs[out_key] = out
+                    elif vass.is_blocking_accepting(node.state):
+                        COVERAGE.hit("engine:summary:blocking")
+                        summary.nonreturning = True
+                if not summary.nonreturning:
+                    if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
+                        COVERAGE.hit("engine:summary:lasso")
+                        summary.nonreturning = True
+                summary.km_nodes = len(graph.nodes)
+                extra["km_nodes"] = summary.km_nodes
+                extra["outputs"] = len(summary.outputs)
+                extra["nonreturning"] = summary.nonreturning
             except BaseException:
-                # never memoize a truncated summary: the memo outlives this
-                # verify() call, and an empty placeholder left behind by a
-                # budget/deadline abort would silently drop the child's
-                # behaviors from a later run
+                # never memoize (or persist) a truncated summary: the memo
+                # outlives this verify() call, and a partial summary left
+                # behind by a budget/deadline abort would silently drop
+                # the child's behaviors from a later run
                 self._summaries.pop(key, None)
+                self._dep_frames.pop()
                 raise
-            COVERAGE.hit("engine:summary:computed")
-            for node in graph.nodes:
-                if vass.is_returning_accepting(node.state):
-                    COVERAGE.hit("engine:summary:output")
-                    out = vass.output_of(node.state)
-                    out_key = out.canonical_key()
-                    if len(summary.outputs) < self.config.max_outputs_per_summary:
-                        summary.outputs.setdefault(out_key, out)
-                elif vass.is_blocking_accepting(node.state):
-                    COVERAGE.hit("engine:summary:blocking")
-                    summary.nonreturning = True
-            if not summary.nonreturning:
-                if accepting_cycle(graph, lambda n: vass.is_lasso_accepting(n.state)) is not None:
-                    COVERAGE.hit("engine:summary:lasso")
-                    summary.nonreturning = True
-            summary.km_nodes = len(graph.nodes)
-            extra["km_nodes"] = summary.km_nodes
-            extra["outputs"] = len(summary.outputs)
-            extra["nonreturning"] = summary.nonreturning
+        frame = self._dep_frames.pop()
+        self._summary_closures[key] = (
+            tuple(dep for dep in frame if dep != key) + (key,)
+        )
+        self._note_summary_use(key)
         self.stats.summaries += 1
+        if self.summary_store is not None:
+            self._persist_summary(key)
         return summary
+
+    def _note_summary_use(self, key: tuple) -> None:
+        """Record that the currently-exploring summary (if any) consulted
+        ``key`` — propagating key's whole closure, so frames stay
+        transitively closed."""
+        if not self._dep_frames:
+            return
+        frame = self._dep_frames[-1]
+        for dep in self._summary_closures.get(key, (key,)):
+            frame.setdefault(dep, None)
+
+    def _persistent_key(self, key: tuple) -> str:
+        cached = self._persist_keys.get(key)
+        if cached is None:
+            # lazy import: the service layer sits above the verifier, so
+            # the codec is only pulled in when a store is actually wired
+            from repro.service.summaries import persistent_summary_key
+
+            task_name, input_key, bkey = key
+            cached = persistent_summary_key(
+                self.has, task_name, input_key, bkey, self.config
+            )
+            self._persist_keys[key] = cached
+        return cached
+
+    def _load_persisted_summary(self, key: tuple) -> TaskSummary | None:
+        """Install a summary (and its whole dependency closure) from the
+        persistent store; returns None on any miss or malformed record."""
+        from repro.service import summaries as summary_codec
+
+        record = self.summary_store.get(self._persistent_key(key))
+        decoded = (
+            summary_codec.decode_record(record, self.has.database)
+            if record is not None
+            else None
+        )
+        if decoded is None or decoded[0] != key:
+            COUNTERS.summary_store_misses += 1
+            return None
+        COUNTERS.summary_store_hits += 1
+        result: TaskSummary | None = None
+        for entry_key, outputs, nonreturning, km_nodes, deps in decoded[1]:
+            existing = self._summaries.get(entry_key)
+            if existing is None:
+                if len(self._summaries) >= self.config.max_summaries:
+                    raise BudgetExceeded("summary memo limit exceeded")
+                existing = TaskSummary(
+                    outputs=outputs, nonreturning=nonreturning, km_nodes=km_nodes
+                )
+                self._summaries[entry_key] = existing
+                self._summary_closures[entry_key] = deps
+                # credit exactly what the cold run would have counted for
+                # this summary, so cold and warm totals stay identical
+                self.stats.summaries += 1
+                self.stats.km_nodes += km_nodes
+                self.stats.summaries_reused += 1
+                self.stats.km_nodes_reused += km_nodes
+            if entry_key == key:
+                result = existing
+        return result
+
+    def _persist_summary(self, key: tuple) -> None:
+        from repro.service import summaries as summary_codec
+
+        record = summary_codec.encode_record(
+            self._summary_closures[key], self._summaries, self._summary_closures
+        )
+        self.summary_store.put(self._persistent_key(key), record)
 
     def output_store(
         self, task_name: str, input_key: tuple, beta_items: BetaKey, out_key: tuple

@@ -58,6 +58,13 @@ class VerificationStats:
     km_nodes: int = 0
     summaries: int = 0
     summary_hits: int = 0
+    summaries_reused: int = 0
+    """Summaries installed from the persistent cross-job store instead of
+    being explored (a subset of ``summaries``; their ``km_nodes_reused``
+    nodes are credited into ``km_nodes`` so cold and warm totals agree)."""
+    km_nodes_reused: int = 0
+    """KM nodes credited from store-installed summaries (a subset of
+    ``km_nodes``: the exploration the persistent store saved)."""
     condition_branches: int = 0
     wall_seconds: float = 0.0
     fm_seconds: float = 0.0
@@ -77,6 +84,8 @@ class VerificationStats:
         self.km_nodes += other.km_nodes
         self.summaries += other.summaries
         self.summary_hits += other.summary_hits
+        self.summaries_reused += other.summaries_reused
+        self.km_nodes_reused += other.km_nodes_reused
         self.condition_branches += other.condition_branches
         self.wall_seconds += other.wall_seconds
         self.fm_seconds += other.fm_seconds
@@ -90,6 +99,8 @@ class VerificationStats:
             "km_nodes": self.km_nodes,
             "summaries": self.summaries,
             "summary_hits": self.summary_hits,
+            "summaries_reused": self.summaries_reused,
+            "km_nodes_reused": self.km_nodes_reused,
             "condition_branches": self.condition_branches,
             "wall_seconds": self.wall_seconds,
             "fm_seconds": self.fm_seconds,
