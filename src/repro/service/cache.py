@@ -11,6 +11,18 @@ invocations — share state safely:
   (:mod:`repro.service.summaries`), keyed by
   :func:`~repro.service.summaries.persistent_summary_key`, the tier
   that makes re-verifying an edited scenario incremental.
+
+Sharded suites (``repro suite --shard k/N``) point N concurrent
+processes — possibly on different machines over a shared filesystem —
+at one cache directory.  The atomic tmp-file + rename was already
+correct under that regime (readers never see a torn file; last writer
+wins with value-equal content); on-disk writes additionally take an
+**advisory ``flock``** on a per-directory lockfile so concurrent
+writers serialize instead of racing renames, and every acquisition that
+had to *wait* is counted (``flock_waits`` in
+:mod:`repro.perf.counters`, plus a per-store ``lock_waits``) — the
+contention metric sharded runs report.  On platforms without ``fcntl``
+the lock degrades to the rename-only protocol.
 """
 
 from __future__ import annotations
@@ -18,9 +30,47 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.perf.counters import COUNTERS
 from repro.service.jobs import JobOutcome
+
+#: Name of the advisory lockfile inside a cache directory.
+LOCK_FILENAME = ".lock"
+
+
+@contextmanager
+def _advisory_write_lock(store) -> Iterator[None]:
+    """Hold the store directory's advisory write lock.
+
+    Non-blocking first: an immediate grab is the uncontended fast path;
+    failing that, the wait is counted (globally and per store) before
+    blocking.  Purely advisory — a process that skips it is still safe
+    thanks to atomic renames — so a crashed holder cannot wedge anyone:
+    ``flock`` locks die with their file descriptor.
+    """
+    if fcntl is None or store.directory is None:
+        yield
+        return
+    with open(store.directory / LOCK_FILENAME, "a+") as handle:
+        COUNTERS.flock_acquires += 1
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            COUNTERS.flock_waits += 1
+            store.lock_waits += 1
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 class ResultCache:
@@ -31,6 +81,9 @@ class ResultCache:
         self._memory: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        #: Advisory write-lock acquisitions that found the lock held by
+        #: another process (sharded-suite contention metric).
+        self.lock_waits = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -74,19 +127,20 @@ class ResultCache:
             return
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
-        )
-        try:
-            with handle:
-                json.dump(data, handle, sort_keys=True)
-            os.replace(handle.name, path)
-        except BaseException:
+        with _advisory_write_lock(self):
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    json.dump(data, handle, sort_keys=True)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
@@ -126,6 +180,9 @@ class SummaryStore:
         self._memory: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        #: Advisory write-lock acquisitions that found the lock held by
+        #: another process (sharded-suite contention metric).
+        self.lock_waits = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -154,19 +211,20 @@ class SummaryStore:
             return
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
-        )
-        try:
-            with handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(handle.name, path)
-        except BaseException:
+        with _advisory_write_lock(self):
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=path.parent, prefix=".tmp-", suffix=".json", delete=False
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    json.dump(record, handle, sort_keys=True)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

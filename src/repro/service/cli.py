@@ -34,7 +34,12 @@ from repro.errors import ReproError
 from repro.service.cache import ResultCache
 from repro.service.jobs import STATUS_HOLDS, STATUS_VIOLATED, VerificationJob
 from repro.service.pool import execute_job
-from repro.service.runner import run_batch
+from repro.service.runner import (
+    merge_shard_jsonl,
+    parse_shard,
+    run_batch,
+    shard_jobs,
+)
 from repro.service.suites import build_suite, suite_names
 from repro.verifier.config import VerifierConfig
 
@@ -77,6 +82,7 @@ def _config_from_args(args: argparse.Namespace) -> VerifierConfig:
     return VerifierConfig(
         km_budget=args.km_budget,
         time_limit_seconds=args.time_limit,
+        km_workers=getattr(args, "km_workers", 1),
     )
 
 
@@ -92,6 +98,15 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=120.0,
         help="per-job wall-clock limit in seconds (default 120)",
+    )
+    parser.add_argument(
+        "--km-workers",
+        type=int,
+        default=1,
+        help="worker threads for the parallel Karp–Miller scout phase "
+        "(default 1 = sequential; >1 runs a cache-warming parallel scout "
+        "then a sequential replay, byte-identical to sequential output — "
+        "see docs/performance.md)",
     )
 
 
@@ -357,25 +372,58 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     except ReproError as exc:
         # a .has file in the suite path failed to parse or validate
         raise _die(str(exc)) from None
+    if args.merge_jsonl:
+        if args.shard:
+            raise _die("--shard and --merge-jsonl are mutually exclusive")
+        try:
+            report = merge_shard_jsonl(jobs, args.merge_jsonl)
+        except (OSError, ValueError) as exc:
+            raise _die(str(exc)) from None
+        print(
+            f"suite {args.name!r}: merged {report.total} outcomes from "
+            f"{len(args.merge_jsonl)} shard file(s)"
+        )
+        print(report.format_report())
+        if args.jsonl:
+            report.to_jsonl(args.jsonl)
+            print(f"per-job JSONL written to {args.jsonl}")
+        if report.errors or report.unexpected:
+            return 1
+        return 0
+    shard_note = ""
+    if args.shard:
+        try:
+            index, count = parse_shard(args.shard)
+        except ValueError as exc:
+            raise _die(str(exc)) from None
+        full_total = len(jobs)
+        jobs = shard_jobs(jobs, index, count)
+        shard_note = f", shard {index}/{count} ({len(jobs)} of {full_total} jobs)"
     cache = _cache_from_args(args)
     print(
         f"suite {args.name!r}: {len(jobs)} jobs, workers={args.workers}, "
-        f"cache={'off' if cache is None else args.cache_dir}"
+        f"cache={'off' if cache is None else args.cache_dir}{shard_note}"
     )
     on_outcome = None
     if args.verbose:
         on_outcome = lambda outcome: print(  # noqa: E731
             f"  done: {outcome.one_line()}", flush=True
         )
+    summary_store = _summary_store_from_args(args)
     with _tracing(args):
         report = run_batch(
             jobs,
             workers=args.workers,
             cache=cache,
             on_outcome=on_outcome,
-            summary_store=_summary_store_from_args(args),
+            summary_store=summary_store,
         )
     print(report.format_report())
+    lock_waits = (cache.lock_waits if cache is not None else 0) + (
+        summary_store.lock_waits if summary_store is not None else 0
+    )
+    if lock_waits:
+        print(f"cache write-lock contention: {lock_waits} wait(s)")
     if args.jsonl:
         report.to_jsonl(args.jsonl)
         print(f"per-job JSONL written to {args.jsonl}")
@@ -815,6 +863,24 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--jsonl", metavar="PATH", help="export per-job JSONL report")
     suite.add_argument(
         "--verbose", action="store_true", help="print each job as it finishes"
+    )
+    suite.add_argument(
+        "--shard",
+        metavar="k/N",
+        help="run only this shard of the suite (1-based): jobs are "
+        "assigned to shards by content key, so N processes or machines "
+        "each running one shard — against a shared --cache-dir / "
+        "--summary-cache — cover the suite exactly once; write each "
+        "shard's --jsonl and reassemble with --merge-jsonl",
+    )
+    suite.add_argument(
+        "--merge-jsonl",
+        metavar="SHARD.jsonl",
+        nargs="+",
+        help="merge per-shard --jsonl exports back into one report "
+        "(suite order, byte-identical semantic content to an unsharded "
+        "run) instead of running jobs; combine with --jsonl to write "
+        "the merged export",
     )
     _add_cache_arguments(suite)
     _add_budget_arguments(suite)

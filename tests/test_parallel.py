@@ -1,0 +1,908 @@
+"""Parallel Karp–Miller exploration and sharded suites.
+
+The contract under test (docs/performance.md, "Parallel exploration"):
+``km_workers > 1`` must be **byte-identical** to the sequential
+``km_order="lifo"`` path — same verdict, same witness bytes, same km
+node and summary counts — because parallelism is implemented as a
+cache-warming *scout* pass followed by an untouched sequential replay.
+Alongside the parity suite this file pins the thread-safety audit fixes
+(TaskVASS interning, phase timers, attribution context, trace emission),
+stress-tests the scout's concurrent covering-check/pruning machinery,
+exercises the advisory ``flock`` on the on-disk caches under real
+multi-process contention, and proves ``--shard k/N`` + ``--merge-jsonl``
+reassemble a byte-identical-to-unsharded suite report.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import replace
+from io import StringIO
+from pathlib import Path
+
+import pytest
+
+import repro.vass.karp_miller as km
+from repro.database.fkgraph import SchemaClass
+from repro.errors import ReproError
+from repro.examples.travel import discount_policy_property_lite, travel_lite
+from repro.fuzz import generate_scenario
+from repro.obs import trace
+from repro.obs.attribution import ATTRIBUTION
+from repro.perf.counters import COUNTERS
+from repro.perf.phases import PHASES
+from repro.service.cache import ResultCache, SummaryStore, _advisory_write_lock
+from repro.service.jobs import JobOutcome, VerificationJob
+from repro.service.pool import execute_payload
+from repro.service.runner import (
+    merge_shard_jsonl,
+    parse_shard,
+    run_batch,
+    shard_jobs,
+)
+from repro.service.suites import build_suite
+from repro.vass import VASS, build_km_graph
+from repro.vass.karp_miller import scout_km_graph
+from repro.verifier import Verifier, VerifierConfig
+from repro.verifier.task_vass import TaskVASS
+from repro.workloads import table1_workload
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _fresh_caches() -> None:
+    """Clear the process-global content-keyed caches so a run starts as
+    cold as a fresh process (the scout's whole effect is warming them —
+    parity must hold from cold either way)."""
+    from repro.arith import fm
+    from repro.symbolic import store as symbolic_store
+
+    fm.clear_caches()
+    symbolic_store.clear_canonical_caches()
+
+
+def _run_payload(job: VerificationJob) -> JobOutcome:
+    return JobOutcome.from_dict(execute_payload(job.payload()))
+
+
+def _parity_view(outcome: JobOutcome) -> str:
+    """Canonical semantic bytes minus the content key: ``km_workers`` is
+    serialized when non-default (the ``km_order`` pattern), so the keys
+    of a sequential and a parallel job legitimately differ while every
+    other semantic byte must not."""
+    data = outcome.semantic_dict()
+    del data["key"]
+    return json.dumps(data, sort_keys=True)
+
+
+def _verify_fingerprint(has, prop, workers: int, **config_kwargs):
+    """Verdict/witness/counts fingerprint at the Verifier level; raised
+    ``ReproError`` subclasses fingerprint by name (a budget abort must
+    also be parity-stable)."""
+    _fresh_caches()
+    config = VerifierConfig(km_workers=workers, **config_kwargs)
+    try:
+        result = Verifier(has, config).verify(prop)
+    except ReproError as exc:
+        return ("raised", type(exc).__name__)
+    return (
+        result.holds,
+        result.witness_kind,
+        [repr(step) for step in result.witness],
+        result.loop_start,
+        result.stats.km_nodes,
+        result.stats.summaries,
+    )
+
+
+# ----------------------------------------------------------------------
+# scout/replay byte parity
+# ----------------------------------------------------------------------
+class TestScoutReplayParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_travel_lite_byte_parity(self, workers):
+        has = travel_lite(False)
+        prop = discount_policy_property_lite(has)
+
+        def job(n: int) -> VerificationJob:
+            return VerificationJob(
+                has=has,
+                prop=prop,
+                config=VerifierConfig(km_budget=60_000, km_workers=n),
+                name="travel-lite::parity",
+            )
+
+        _fresh_caches()
+        sequential = _run_payload(job(1))
+        _fresh_caches()
+        parallel = _run_payload(job(workers))
+        assert sequential.status == "violated"
+        assert _parity_view(parallel) == _parity_view(sequential)
+        assert parallel.km_nodes == sequential.km_nodes
+        assert parallel.summaries == sequential.summaries
+        assert parallel.witness_json == sequential.witness_json
+
+    def test_table1_cell_byte_parity(self):
+        spec = table1_workload(
+            SchemaClass.ACYCLIC, depth=2, with_sets=True, violated=True
+        )
+        fingerprints = {
+            workers: _verify_fingerprint(
+                spec.has, spec.prop, workers, km_budget=60_000
+            )
+            for workers in (1, 2, 4)
+        }
+        assert fingerprints[2] == fingerprints[1]
+        assert fingerprints[4] == fingerprints[1]
+        assert fingerprints[1][0] == spec.expected_holds
+
+    @pytest.mark.slow
+    def test_fuzz_scenarios_byte_parity(self):
+        """20 generated scenarios, km_workers=4 vs sequential: the scout
+        must be invisible on arbitrary generated models, not just the
+        curated examples."""
+        mismatches = []
+        for index in range(20):
+            scenario = generate_scenario(29, index)
+            sequential = _verify_fingerprint(
+                scenario.has, scenario.prop, 1, km_budget=20_000
+            )
+            parallel = _verify_fingerprint(
+                scenario.has, scenario.prop, 4, km_budget=20_000
+            )
+            if parallel != sequential:
+                mismatches.append((scenario.name, sequential, parallel))
+        assert not mismatches, f"scout/replay divergence: {mismatches}"
+
+    @pytest.mark.slow
+    def test_gallery_jobs_byte_parity(self):
+        """Every verdict-bounded gallery job agrees byte-for-byte at
+        km_workers=4.  Wall-clock-boxed entries are excluded: the scout
+        spends half the remaining deadline, so a job *defined* by its
+        deadline has no parity contract (the bench family reports their
+        parity as ``n/a (wall-boxed)`` for the same reason)."""
+        jobs = [
+            job
+            for job in build_suite("gallery")
+            if job.config.time_limit_seconds is None
+        ]
+        assert len(jobs) >= 50  # the gallery contract keeps this large
+        mismatches = []
+        for job in jobs:
+            sequential = _run_payload(job)
+            parallel = _run_payload(
+                VerificationJob(
+                    has=job.has,
+                    prop=job.prop,
+                    config=replace(job.config, km_workers=4),
+                    name=job.name,
+                    expected_holds=job.expected_holds,
+                    expected_status=job.expected_status,
+                )
+            )
+            if _parity_view(parallel) != _parity_view(sequential):
+                mismatches.append(job.name)
+        assert not mismatches, f"gallery parity failures: {mismatches}"
+
+    @pytest.mark.slow
+    def test_families_jobs_byte_parity(self):
+        """The quick tier of every parametric scenario family, km_workers=4
+        vs sequential, through the full payload pipeline."""
+        for job in build_suite("families", quick=True):
+            sequential = _run_payload(job)
+            parallel = _run_payload(
+                VerificationJob(
+                    has=job.has,
+                    prop=job.prop,
+                    config=replace(job.config, km_workers=4),
+                    name=job.name,
+                    expected_holds=job.expected_holds,
+                    expected_status=job.expected_status,
+                )
+            )
+            assert _parity_view(parallel) == _parity_view(sequential), job.name
+
+    @pytest.mark.slow
+    def test_corpus_scenarios_byte_parity(self):
+        """Every checked-in fuzz corpus entry, replayed under its recorded
+        budgets at km_workers=4 vs sequential."""
+        from repro.service.serialize import from_dict
+
+        corpus = sorted((REPO_ROOT / "tests" / "corpus").glob("*.json"))
+        assert corpus
+        for path in corpus:
+            entry = json.loads(path.read_text())
+            has = from_dict(entry["has"])
+            prop = from_dict(entry["prop"])
+            config = from_dict(entry["verifier_config"])
+            sequential = _verify_fingerprint(
+                has, prop, 1, km_budget=config.km_budget
+            )
+            parallel = _verify_fingerprint(
+                has, prop, 4, km_budget=config.km_budget
+            )
+            assert parallel == sequential, path.name
+
+    def test_km_workers_serializes_only_when_non_default(self):
+        """The km_order pattern: default stays out of the wire form (old
+        keys survive), non-default is part of job identity."""
+        from repro.service.serialize import from_dict, to_dict
+
+        assert "km_workers" not in to_dict(VerifierConfig())
+        parallel = to_dict(VerifierConfig(km_workers=4))
+        assert parallel["km_workers"] == 4
+        assert from_dict(parallel).km_workers == 4
+
+        has = travel_lite(True)
+        prop = discount_policy_property_lite(has)
+        default_key = VerificationJob(
+            has=has, prop=prop, config=VerifierConfig(), name="a"
+        ).key()
+        explicit_default_key = VerificationJob(
+            has=has, prop=prop, config=VerifierConfig(km_workers=1), name="b"
+        ).key()
+        parallel_key = VerificationJob(
+            has=has, prop=prop, config=VerifierConfig(km_workers=4), name="c"
+        ).key()
+        assert default_key == explicit_default_key
+        assert parallel_key != default_key
+
+    @pytest.mark.slow
+    def test_parallel_run_is_hash_seed_independent(self):
+        """The PR 3 subprocess matrix extended to km_workers=4: one
+        byte-identical fingerprint across PYTHONHASHSEED values, and the
+        parallel fingerprint equals the sequential one in-process."""
+        script = (
+            "import json\n"
+            "from repro.examples.travel import travel_lite, "
+            "discount_policy_property_lite\n"
+            "from repro.verifier import Verifier, VerifierConfig\n"
+            "def fp(workers):\n"
+            "    has = travel_lite(False)\n"
+            "    r = Verifier(has, VerifierConfig(km_budget=60000, "
+            "km_workers=workers)).verify(discount_policy_property_lite(has))\n"
+            "    return [r.holds, r.witness_kind, [repr(s) for s in r.witness], "
+            "r.stats.km_nodes, r.stats.summaries]\n"
+            "seq, par = fp(1), fp(4)\n"
+            "assert par == seq, (seq, par)\n"
+            "print(json.dumps(par))\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+                cwd=str(REPO_ROOT),
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, f"hash-seed-dependent outcomes: {outputs}"
+
+    def test_scout_stats_are_recorded(self):
+        has = travel_lite(False)
+        verifier = Verifier(has, VerifierConfig(km_budget=60_000, km_workers=4))
+        verifier.verify(discount_policy_property_lite(has))
+        stats = verifier.last_scout
+        assert stats is not None
+        assert stats.workers == 4
+        assert stats.errors == []
+        assert stats.expansions > 0
+        assert sum(stats.per_worker_expansions) == stats.expansions
+
+
+# ----------------------------------------------------------------------
+# scout machinery (direct, on toy VASS systems)
+# ----------------------------------------------------------------------
+def _diamond() -> VASS:
+    """Finite, acyclic, no domination: a → {b, c} → d where both paths
+    produce the *same* d label (1, 1) — the shared-label first-writer-
+    wins path is guaranteed to matter."""
+    vass = VASS(dimension=2)
+    vass.add_action("a", [1, 0], "b")
+    vass.add_action("a", [0, 1], "c")
+    vass.add_action("b", [0, 1], "d")
+    vass.add_action("c", [1, 0], "d")
+    return vass
+
+
+def _pump() -> VASS:
+    """One pumped counter (accelerates to ω) draining into leaves —
+    dominated queue entries exist, so pruning rounds have prey."""
+    vass = VASS(dimension=1)
+    vass.add_action("hub", [1], "hub")
+    for leaf in ("x", "y", "z"):
+        vass.add_action("hub", [0], leaf)
+        vass.add_action(leaf, [-1], leaf)
+    return vass
+
+
+class TestScoutMachinery:
+    def test_rejects_fewer_than_two_workers(self):
+        with pytest.raises(ValueError):
+            scout_km_graph(_diamond(), "a", workers=1)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_diamond_label_count_matches_sequential(self, workers):
+        graph = build_km_graph(_diamond(), "a")
+        sequential_labels = {node.label for node in graph.nodes}
+        stats = scout_km_graph(_diamond(), "a", workers=workers)
+        assert stats.errors == []
+        assert stats.nodes == len(sequential_labels) == 4
+        assert not stats.budget_exhausted
+
+    def test_pumped_system_terminates_via_acceleration(self):
+        stats = scout_km_graph(_pump(), "hub", workers=4, budget=10_000)
+        assert stats.errors == []
+        assert not stats.budget_exhausted  # ω-acceleration closed it out
+        assert stats.nodes >= 4
+
+    def test_stop_on_cancels_workers(self):
+        stats = scout_km_graph(
+            _pump(), "hub", workers=2, stop_on=lambda n: n.state == "x"
+        )
+        assert stats.stopped_early
+
+    def test_stop_on_initial_state(self):
+        stats = scout_km_graph(
+            _diamond(), "a", workers=2, stop_on=lambda n: n.state == "a"
+        )
+        assert stats.stopped_early
+
+    def test_budget_exhaustion_is_flagged(self):
+        vass = VASS(dimension=1)
+        vass.add_action("p", [1], "p")  # infinite without acceleration? no —
+        vass.add_action("p", [0], "q")  # accelerates; use budget=1 to trip
+        stats = scout_km_graph(vass, "p", workers=2, budget=1)
+        assert stats.budget_exhausted
+        assert stats.expansions <= 1
+
+    def test_worker_errors_are_recorded_not_raised(self):
+        class _Exploding:
+            def successors(self, state, vector):
+                if state == "boom":
+                    raise RuntimeError("injected")
+                yield ({}, "boom", "edge")
+
+        stats = scout_km_graph(_Exploding(), "ok", workers=2)
+        assert stats.errors
+        assert any("injected" in error for error in stats.errors)
+
+    def test_progress_events_carry_worker_ids(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(km, "PROGRESS_EVERY", 1)
+        sink = tmp_path / "trace.jsonl"
+        trace.start(sink)
+        try:
+            scout_km_graph(_pump(), "hub", workers=2, progress_label="toy")
+        finally:
+            trace.stop()
+        records = [
+            json.loads(line) for line in sink.read_text().splitlines() if line
+        ]
+        progress = [r for r in records if r.get("ev") == "km_progress"]
+        assert progress, "PROGRESS_EVERY=1 must emit progress events"
+        assert all("worker" in r for r in progress)
+        assert {r["worker"] for r in progress} <= {0, 1}
+
+    def test_barrier_forces_concurrent_covering_checks(self):
+        """Two workers are held at a barrier inside ``successors`` for the
+        b/c diamond branches, then released together — both compute the
+        shared d label before either can insert it, so the locked
+        first-writer-wins covering check is exercised for real, every
+        run, not just when the scheduler cooperates."""
+        inner = _diamond()
+        barrier = threading.Barrier(2)
+
+        class _Gated:
+            def successors(self, state, vector):
+                if state in ("b", "c"):
+                    try:
+                        barrier.wait(timeout=5.0)
+                    except threading.BrokenBarrierError:
+                        pass  # partner already finished; proceed alone
+                yield from inner.successors(state, vector)
+
+        for _ in range(5):
+            barrier.reset()
+            stats = scout_km_graph(_Gated(), "a", workers=2)
+            assert stats.errors == []
+            assert stats.nodes == 4  # d deduplicated, never double-counted
+
+    def test_pruning_stress_under_forced_interleavings(self, monkeypatch):
+        """Pruning after every expansion plus jittered successor timing:
+        covering checks, steals, and pruning rounds interleave in a
+        different order each rep, and the scout must stay consistent —
+        no worker errors, books balanced, labels a subset of the
+        sequential covering set's."""
+        import random
+
+        monkeypatch.setattr(km, "SCOUT_PRUNE_EVERY", 1)
+        inner = _pump()
+        sequential_labels = {
+            node.label for node in build_km_graph(_pump(), "hub").nodes
+        }
+        sequential_states = {state for state, _vector in sequential_labels}
+
+        for rep in range(6):
+            jitter = random.Random(rep)
+
+            class _Jittered:
+                def successors(self, state, vector):
+                    time.sleep(jitter.random() * 0.002)
+                    yield from inner.successors(state, vector)
+
+            stats = scout_km_graph(_Jittered(), "hub", workers=4, budget=5_000)
+            assert stats.errors == []
+            assert sum(stats.per_worker_expansions) == stats.expansions
+            assert stats.expansions <= 5_000
+            assert 1 <= stats.nodes
+            # pruning only ever drops dominated frontier entries: every
+            # state the scout visits exists in the sequential covering set
+            assert stats.prunes >= 0
+
+
+# ----------------------------------------------------------------------
+# thread-safety audit regressions (docs/performance.md)
+# ----------------------------------------------------------------------
+class _SlowGet(dict):
+    """A dict whose ``get`` dawdles after the lookup — widens the
+    check-then-act window so interning races fire deterministically
+    instead of once per thousand CI runs."""
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        time.sleep(0.0005)
+        return value
+
+
+class _FakeKeyedState:
+    def __init__(self, key: tuple):
+        self.key = key
+
+
+class TestThreadSafetyRegressions:
+    def _vass(self, thread_safe: bool) -> TaskVASS:
+        class _Engine:
+            _thread_safe = thread_safe
+            deadline = None
+
+        has = travel_lite(True)
+        return TaskVASS(
+            _Engine(), has.root, automaton=None, is_root=True,
+            config=VerifierConfig(),
+        )
+
+    def test_intern_lock_only_on_thread_safe_engines(self):
+        """Sequential engines must not pay for the lock; scout engines
+        must have it."""
+        assert self._vass(thread_safe=False)._intern_lock is None
+        assert self._vass(thread_safe=True)._intern_lock is not None
+
+    def test_intern_keeps_id_key_bijection_under_threads(self):
+        """Pinned race: concurrent interning of colliding keys through an
+        artificially slow ``_ids.get`` must still mint exactly one id per
+        key (pre-fix, check-then-append doubled registry entries and
+        broke the id ↔ key bijection the label map dedups on)."""
+        vass = self._vass(thread_safe=True)
+        vass._ids = _SlowGet()
+        keys = [("k", i) for i in range(40)]
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for key in keys:
+                vass.intern(_FakeKeyedState(key))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(vass._ids) == len(keys)
+        assert len(vass.registry) == len(keys)  # no duplicate mints
+        assert sorted(vass._ids.values()) == list(range(len(keys)))
+
+    def test_phase_timers_are_thread_local(self):
+        """A scout thread holding a phase open must not make the main
+        thread's same-named activation look nested (pre-fix: shared depth
+        counters), and scout-thread time must never leak into the main
+        thread's snapshot."""
+        PHASES.reset()
+        opened = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            token = PHASES.begin("fm")
+            opened.set()
+            release.wait(timeout=5.0)
+            PHASES.end("fm", token)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert opened.wait(timeout=5.0)
+            token = PHASES.begin("fm")
+            time.sleep(0.001)
+            PHASES.end("fm", token)
+            snapshot = PHASES.snapshot()
+            assert snapshot["fm"]["calls"] == 1
+            assert snapshot["fm"]["timed"] == 1  # outermost *here*, so timed
+        finally:
+            release.set()
+            thread.join()
+        after = PHASES.snapshot()
+        assert after["fm"]["calls"] == 1  # worker's activation stayed private
+        PHASES.reset()
+
+    def test_phase_observer_fires_only_on_reporting_thread(self):
+        PHASES.reset()
+        samples = []
+        PHASES.observer = lambda name, seconds: samples.append(name)
+        try:
+            def worker():
+                token = PHASES.begin("canon")
+                PHASES.end("canon", token)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert samples == []  # off-thread activation: no observer
+            token = PHASES.begin("canon")
+            PHASES.end("canon", token)
+            assert samples == ["canon"]
+        finally:
+            PHASES.observer = None
+            PHASES.reset()
+
+    def test_attribution_context_is_thread_local(self):
+        ATTRIBUTION.reset()
+        try:
+            ATTRIBUTION.set_context("root", "main-service")
+            main_context = ATTRIBUTION._context
+            assert main_context is not None
+            seen = {}
+
+            def worker():
+                seen["initial"] = ATTRIBUTION._context
+                ATTRIBUTION.set_context("child", "scout-service")
+                seen["set"] = ATTRIBUTION._context
+                ATTRIBUTION.clear_context()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert seen["initial"] is None  # fresh thread: no inherited context
+            assert seen["set"] is not None
+            assert ATTRIBUTION._context == main_context  # survived the worker
+        finally:
+            ATTRIBUTION.reset()
+
+    def test_trace_emission_is_concurrency_safe(self):
+        """8 threads × 50 events through one sink: every line must parse
+        as a standalone JSON record (the emit lock forbids interleaved
+        writes) and no record may be lost."""
+        sink = StringIO()
+        trace.start(sink)
+        try:
+            barrier = threading.Barrier(8)
+
+            def worker(worker_id):
+                barrier.wait()
+                for i in range(50):
+                    trace.event(
+                        "race_probe", worker=worker_id, i=i, pad="x" * 64
+                    )
+
+            threads = [
+                threading.Thread(target=worker, args=(k,)) for k in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            trace.stop()
+        records = [
+            json.loads(line)
+            for line in sink.getvalue().splitlines()
+            if line.strip()
+        ]
+        probes = [r for r in records if r.get("ev") == "race_probe"]
+        assert len(probes) == 8 * 50
+        assert {(r["worker"], r["i"]) for r in probes} == {
+            (k, i) for k in range(8) for i in range(50)
+        }
+
+
+# ----------------------------------------------------------------------
+# advisory flock on the on-disk caches
+# ----------------------------------------------------------------------
+def _outcome(key: str) -> JobOutcome:
+    return JobOutcome(
+        name=f"job-{key[:8]}", key=key, status="holds", holds=True,
+        km_nodes=7, summaries=3,
+    )
+
+
+_HAMMER_SCRIPT = """
+import sys
+from repro.service.cache import ResultCache, SummaryStore
+from repro.service.jobs import JobOutcome
+
+cache_dir, summary_dir, worker = sys.argv[1], sys.argv[2], int(sys.argv[3])
+cache = ResultCache(cache_dir)
+store = SummaryStore(summary_dir)
+for i in range(25):
+    shared = format(i, "064x")                 # every worker fights for these
+    private = format(1000 + worker * 100 + i, "064x")
+    for key in (shared, private):
+        cache.put(key, JobOutcome(
+            name=f"w{worker}-{i}", key=key, status="holds", holds=True,
+            km_nodes=worker, summaries=i,
+        ))
+        store.put(key, {"worker": worker, "i": i, "payload": "y" * 256})
+print(cache.lock_waits + store.lock_waits)
+"""
+
+
+class TestAdvisoryFileLock:
+    def test_lock_waits_are_counted(self, tmp_path):
+        """Deterministic contention: one thread camps on the lock while
+        the main thread writes — the write must block, succeed, and count
+        exactly the wait it experienced."""
+        if __import__("importlib").util.find_spec("fcntl") is None:
+            pytest.skip("no fcntl on this platform")
+        cache = ResultCache(tmp_path)
+        held = threading.Event()
+        release = threading.Event()
+
+        def camper():
+            with _advisory_write_lock(cache):
+                held.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=camper)
+        baseline_waits = COUNTERS.flock_waits
+        thread.start()
+        try:
+            assert held.wait(timeout=5.0)
+            timer = threading.Timer(0.2, release.set)
+            timer.start()
+            cache.put("ab" * 32, _outcome("ab" * 32))  # blocks until release
+            timer.cancel()
+        finally:
+            release.set()
+            thread.join()
+        assert cache.lock_waits == 1
+        assert COUNTERS.flock_waits == baseline_waits + 1
+        assert cache.get("ab" * 32) is not None
+
+    def test_uncontended_writes_never_wait(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            key = format(i, "064x")
+            cache.put(key, _outcome(key))
+        assert cache.lock_waits == 0
+
+    @pytest.mark.slow
+    def test_four_processes_hammer_one_cache_dir(self, tmp_path):
+        """The ISSUE's multi-process contention scenario: 4 processes
+        write overlapping keys into one ResultCache and one SummaryStore
+        concurrently; afterwards every record — shared and private —
+        reads back and decodes clean."""
+        cache_dir = tmp_path / "cache"
+        summary_dir = tmp_path / "summaries"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", _HAMMER_SCRIPT,
+                    str(cache_dir), str(summary_dir), str(worker),
+                ],
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": "0"},
+                cwd=str(REPO_ROOT),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for worker in range(4)
+        ]
+        for proc in procs:
+            stdout, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr
+            assert int(stdout.strip()) >= 0  # lock_waits surfaced per process
+
+        cache = ResultCache(cache_dir)
+        store = SummaryStore(summary_dir)
+        keys = [format(i, "064x") for i in range(25)] + [
+            format(1000 + worker * 100 + i, "064x")
+            for worker in range(4)
+            for i in range(25)
+        ]
+        for key in keys:
+            outcome = cache.get(key)
+            assert outcome is not None, f"cache record {key[:8]} lost/corrupt"
+            assert outcome.status == "holds"
+            record = store.get(key)
+            assert record is not None, f"summary record {key[:8]} lost/corrupt"
+            assert record["payload"] == "y" * 256
+        assert cache.misses == 0
+        assert store.misses == 0
+
+
+# ----------------------------------------------------------------------
+# suite sharding + merge determinism
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+        for bad in ("", "3", "0/4", "5/4", "a/b", "2/0", "-1/4", "1/4/2"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_suite(self):
+        jobs = build_suite("gallery")
+        shards = [shard_jobs(jobs, k, 3) for k in (1, 2, 3)]
+        # disjoint + covering, order preserved inside each shard
+        assert sum(len(shard) for shard in shards) == len(jobs)
+        merged = sorted(
+            (job for shard in shards for job in shard),
+            key=lambda job: jobs.index(job),
+        )
+        assert merged == list(jobs)
+        for shard in shards:
+            indices = [jobs.index(job) for job in shard]
+            assert indices == sorted(indices)
+        # deterministic: same spec, same split
+        assert [job.name for job in shard_jobs(jobs, 2, 3)] == [
+            job.name for job in shards[1]
+        ]
+        # single shard is the identity
+        assert shard_jobs(jobs, 1, 1) == list(jobs)
+
+    def test_shard_assignment_is_content_keyed(self):
+        jobs = build_suite("quick")
+        for job in jobs:
+            owner = int(job.key(), 16) % 3 + 1
+            for index in (1, 2, 3):
+                members = shard_jobs(jobs, index, 3)
+                assert (job in members) == (index == owner)
+
+    @pytest.mark.slow
+    def test_sharded_merge_is_byte_identical_to_unsharded(self, tmp_path):
+        """The headline sharding contract: 3 shard runs against a shared
+        cache + summary store, merged, must reproduce the unsharded
+        run's per-job semantic bytes in suite order — and again when the
+        shared summary store is pre-warmed."""
+        jobs = build_suite("quick")
+        unsharded = run_batch(
+            jobs,
+            cache=ResultCache(tmp_path / "unsharded-cache"),
+            summary_store=SummaryStore(tmp_path / "unsharded-summaries"),
+        )
+        expected = [outcome.semantic_bytes() for outcome in unsharded.outcomes]
+
+        def run_shards(tag: str, summary_dir: Path) -> list[Path]:
+            shared_cache = ResultCache(tmp_path / f"{tag}-cache")
+            store = SummaryStore(summary_dir)
+            paths = []
+            for index in (1, 2, 3):
+                report = run_batch(
+                    shard_jobs(jobs, index, 3),
+                    cache=shared_cache,
+                    summary_store=store,
+                )
+                path = tmp_path / f"{tag}-shard-{index}.jsonl"
+                report.to_jsonl(path)
+                paths.append(path)
+            return paths
+
+        merged = merge_shard_jsonl(jobs, run_shards("cold", tmp_path / "s1"))
+        assert [o.semantic_bytes() for o in merged.outcomes] == expected
+        assert [o.name for o in merged.outcomes] == [job.name for job in jobs]
+        # aggregates derived from semantic fields must agree too
+        assert merged.violations == unsharded.violations
+        assert merged.errors == unsharded.errors
+        assert merged.merged_stats().km_nodes == unsharded.merged_stats().km_nodes
+
+        # pre-warmed shared summary store: reuse must stay invisible
+        warmed = merge_shard_jsonl(jobs, run_shards("warm", tmp_path / "s1"))
+        assert [o.semantic_bytes() for o in warmed.outcomes] == expected
+
+    def test_merge_rejects_incomplete_and_foreign_shards(self, tmp_path):
+        jobs = build_suite("quick")
+        shard_one = shard_jobs(jobs, 1, 2)
+        report = run_batch(shard_one)
+        path = tmp_path / "shard-1.jsonl"
+        report.to_jsonl(path)
+        if len(shard_one) < len(jobs):
+            with pytest.raises(ValueError, match="incomplete"):
+                merge_shard_jsonl(jobs, [path])
+        # records that belong to no job in the merged suite are an error:
+        # merge everything except the last shard job, leaving its record over
+        with pytest.raises(ValueError, match="different suite"):
+            merge_shard_jsonl(shard_one[:-1], [path])
+
+    def test_merge_preserves_duplicate_key_order(self, tmp_path):
+        """Jobs sharing a content key land on one shard and their records
+        are consumed in occurrence order, so per-request provenance
+        (names, expectations) survives the merge."""
+        has = travel_lite(True)
+        prop = discount_policy_property_lite(has)
+        twins = [
+            VerificationJob(has=has, prop=prop, name="first-twin"),
+            VerificationJob(has=has, prop=prop, name="second-twin"),
+        ]
+        report = run_batch(twins, cache=ResultCache(tmp_path / "cache"))
+        path = tmp_path / "twins.jsonl"
+        report.to_jsonl(path)
+        merged = merge_shard_jsonl(twins, [path])
+        assert [o.name for o in merged.outcomes] == ["first-twin", "second-twin"]
+
+    @pytest.mark.slow
+    def test_cli_shard_merge_round_trip(self, tmp_path):
+        """End-to-end through ``python -m repro``: two shard runs with a
+        shared cache/summary store, merged with --merge-jsonl, match an
+        unsharded CLI run's semantic JSONL bytes."""
+        env = {"PYTHONPATH": "src", "PYTHONHASHSEED": "0"}
+
+        def cli(*argv: str) -> subprocess.CompletedProcess:
+            return subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=str(REPO_ROOT),
+            )
+
+        plain = cli("suite", "quick", "--jsonl", str(tmp_path / "plain.jsonl"))
+        assert plain.returncode == 0, plain.stderr + plain.stdout
+        for index in (1, 2):
+            result = cli(
+                "suite", "quick",
+                "--shard", f"{index}/2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--summary-cache", str(tmp_path / "summaries"),
+                "--jsonl", str(tmp_path / f"shard-{index}.jsonl"),
+            )
+            assert result.returncode == 0, result.stderr + result.stdout
+            assert f"shard {index}/2" in result.stdout
+        merged = cli(
+            "suite", "quick",
+            "--merge-jsonl",
+            str(tmp_path / "shard-1.jsonl"), str(tmp_path / "shard-2.jsonl"),
+            "--jsonl", str(tmp_path / "merged.jsonl"),
+        )
+        assert merged.returncode == 0, merged.stderr + merged.stdout
+        assert "merged 4 outcomes from 2 shard file(s)" in merged.stdout
+
+        def semantic_lines(path: Path) -> list[str]:
+            lines = []
+            for line in path.read_text().splitlines():
+                data = json.loads(line)
+                if data.get("aggregate"):
+                    continue
+                lines.append(
+                    json.dumps(
+                        JobOutcome.from_dict(data).semantic_dict(),
+                        sort_keys=True,
+                    )
+                )
+            return lines
+
+        assert semantic_lines(tmp_path / "merged.jsonl") == semantic_lines(
+            tmp_path / "plain.jsonl"
+        )
+
+    def test_shard_and_merge_are_mutually_exclusive(self):
+        from repro.service.cli import main as cli_main
+
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["suite", "quick", "--shard", "1/2", "--merge-jsonl", "x.jsonl"]
+            )
